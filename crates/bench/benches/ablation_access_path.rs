@@ -1,0 +1,37 @@
+//! A1 — access-path length sweep (the paper's default is 5, §4.1:
+//! "user-customizable maximal length (5 by default)"). Shorter paths
+//! over-approximate (more false positives), longer paths cost time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowdroid_bench::eval::{flowdroid_on, run_ablation_access_path};
+use flowdroid_core::InfoflowConfig;
+use flowdroid_droidbench::all_apps;
+
+fn bench(c: &mut Criterion) {
+    println!("\nAblation A1: access-path length over DroidBench");
+    println!("{:>3} {:>4} {:>4} {:>12}", "k", "TP", "FP", "time");
+    for (k, tp, fp, dur) in run_ablation_access_path(&[1, 2, 3, 5, 7]) {
+        println!("{k:>3} {tp:>4} {fp:>4} {dur:>12?}");
+    }
+
+    let apps = all_apps();
+    let fs4 = apps.iter().find(|a| a.name == "FieldSensitivity4").unwrap();
+    let mut group = c.benchmark_group("ablation_access_path");
+    for k in [1usize, 3, 5, 7] {
+        let config = InfoflowConfig::default().with_access_path_length(k);
+        group.bench_with_input(BenchmarkId::new("fieldsensitivity4", k), &config, |b, cfg| {
+            b.iter(|| flowdroid_on(fs4, cfg).0)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

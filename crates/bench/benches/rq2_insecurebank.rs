@@ -1,0 +1,29 @@
+//! E3 — RQ2: InsecureBank. The paper reports all 7 leaks found with no
+//! false positives/negatives in ~31 s on a 2010-era laptop; the
+//! reproduction checks the 7/7 result and measures the analysis time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowdroid_bench::eval::run_rq2;
+
+fn bench(c: &mut Criterion) {
+    let (found, expected, dur) = run_rq2();
+    println!("\nRQ2 (InsecureBank): {found}/{expected} leaks, analysis took {dur:?}");
+    assert_eq!(found, 7);
+
+    c.bench_function("rq2/insecurebank_full_analysis", |b| {
+        b.iter(|| {
+            let (found, _, _) = run_rq2();
+            assert_eq!(found, 7);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E1 — regenerates the paper's Table 1 (DroidBench: AppScan-like vs
+//! Fortify-like vs FlowDroid) and benchmarks a full FlowDroid run over
+//! the suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowdroid_bench::eval::{flowdroid_on, format_table1, run_table1};
+use flowdroid_core::InfoflowConfig;
+use flowdroid_droidbench::all_apps;
+
+fn bench(c: &mut Criterion) {
+    // Print the reproduced table once.
+    let rows = run_table1();
+    println!("\n{}", format_table1(&rows));
+
+    let apps = all_apps();
+    c.bench_function("table1/flowdroid_full_suite", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for app in apps.iter().filter(|a| a.in_table) {
+                total += flowdroid_on(app, &InfoflowConfig::default()).0;
+            }
+            assert_eq!(total, 30);
+        })
+    });
+    let direct = apps.iter().find(|a| a.name == "DirectLeak1").unwrap();
+    c.bench_function("table1/flowdroid_single_app", |b| {
+        b.iter(|| flowdroid_on(direct, &InfoflowConfig::default()).0)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

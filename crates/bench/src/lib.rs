@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! The evaluation harness: regenerates every table of the paper and
+//! hosts the Criterion benches.
+//!
+//! * [`corpus`] — the seeded synthetic app generator standing in for
+//!   the paper's Google Play and VirusShare corpora (RQ3), which are
+//!   not redistributable (see DESIGN.md §3);
+//! * [`eval`] — runners and table printers for Table 1, Table 2, RQ2,
+//!   RQ3 and the ablations.
+
+pub mod corpus;
+pub mod eval;
+
+pub use corpus::{generate_app, AppProfile, GeneratedApp};
+pub use eval::{
+    run_ablation_access_path, run_ablation_alias, run_ablation_callbacks, run_rq2, run_rq3,
+    run_rq3_parallel, run_table1, run_table2, Rq3Stats, Table1Row,
+};

@@ -1,0 +1,278 @@
+//! Call-graph construction by reachability from entry points.
+
+use crate::hierarchy::Hierarchy;
+use flowdroid_ir::{ClassId, InvokeKind, MethodId, Program, Rvalue, Stmt, StmtRef};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Call-graph construction algorithm.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CgAlgorithm {
+    /// Class-hierarchy analysis: virtual calls dispatch to every
+    /// overriding subtype.
+    #[default]
+    Cha,
+    /// Rapid-type analysis: like CHA, but runtime types are restricted
+    /// to classes instantiated in reachable code (iterated to a fixed
+    /// point).
+    Rta,
+}
+
+/// A call graph: callees per call site and callers per method, restricted
+/// to methods reachable from the entry points.
+///
+/// Edges to body-less methods (natives, phantom framework stubs) are
+/// recorded separately as *stub* edges; analyses handle those with
+/// explicit rules rather than by descending into them.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    entry_points: Vec<MethodId>,
+    callees_at: HashMap<StmtRef, Vec<MethodId>>,
+    stub_callees_at: HashMap<StmtRef, Vec<MethodId>>,
+    callers_of: HashMap<MethodId, Vec<StmtRef>>,
+    reachable: Vec<MethodId>,
+    reachable_set: HashSet<MethodId>,
+    instantiated: HashSet<ClassId>,
+}
+
+impl CallGraph {
+    /// Builds the call graph reachable from `entry_points`.
+    pub fn build(program: &Program, entry_points: &[MethodId], algo: CgAlgorithm) -> Self {
+        let hierarchy = Hierarchy::build(program);
+        Self::build_with_hierarchy(program, &hierarchy, entry_points, algo)
+    }
+
+    /// Builds the call graph using a pre-built [`Hierarchy`].
+    pub fn build_with_hierarchy(
+        program: &Program,
+        hierarchy: &Hierarchy,
+        entry_points: &[MethodId],
+        algo: CgAlgorithm,
+    ) -> Self {
+        match algo {
+            CgAlgorithm::Cha => Self::build_once(program, hierarchy, entry_points, None),
+            CgAlgorithm::Rta => {
+                // Iterate: the instantiated-class set and the reachable
+                // set are mutually dependent.
+                let mut instantiated: HashSet<ClassId> = HashSet::new();
+                loop {
+                    let cg =
+                        Self::build_once(program, hierarchy, entry_points, Some(&instantiated));
+                    let next = cg.collect_instantiated(program);
+                    if next == instantiated {
+                        return cg;
+                    }
+                    instantiated = next;
+                }
+            }
+        }
+    }
+
+    fn build_once(
+        program: &Program,
+        hierarchy: &Hierarchy,
+        entry_points: &[MethodId],
+        instantiated: Option<&HashSet<ClassId>>,
+    ) -> Self {
+        let mut cg = CallGraph { entry_points: entry_points.to_vec(), ..Default::default() };
+        let mut queue: VecDeque<MethodId> = VecDeque::new();
+        for &m in entry_points {
+            if cg.reachable_set.insert(m) {
+                cg.reachable.push(m);
+                queue.push_back(m);
+            }
+        }
+        while let Some(m) = queue.pop_front() {
+            let method = program.method(m);
+            let Some(body) = method.body() else { continue };
+            for (idx, stmt) in body.stmts().iter().enumerate() {
+                let Some(call) = stmt.invoke_expr() else { continue };
+                let site = StmtRef::new(m, idx);
+                let targets: Vec<MethodId> = match call.kind {
+                    InvokeKind::Static | InvokeKind::Special => {
+                        program.resolve_method_ref(&call.callee).into_iter().collect()
+                    }
+                    InvokeKind::Virtual | InvokeKind::Interface => {
+                        let mut t =
+                            hierarchy.virtual_targets(program, &call.callee, instantiated);
+                        // If dispatch found nothing (e.g. phantom-class
+                        // receiver), fall back to the static resolution so
+                        // stub handling still sees a target.
+                        if t.is_empty() {
+                            t = program.resolve_method_ref(&call.callee).into_iter().collect();
+                        }
+                        t
+                    }
+                };
+                for t in targets {
+                    if program.method(t).has_body() {
+                        cg.callees_at.entry(site).or_default().push(t);
+                        cg.callers_of.entry(t).or_default().push(site);
+                        if cg.reachable_set.insert(t) {
+                            cg.reachable.push(t);
+                            queue.push_back(t);
+                        }
+                    } else {
+                        cg.stub_callees_at.entry(site).or_default().push(t);
+                    }
+                }
+            }
+        }
+        cg.instantiated = cg.collect_instantiated(program);
+        cg
+    }
+
+    fn collect_instantiated(&self, program: &Program) -> HashSet<ClassId> {
+        let mut out = HashSet::new();
+        for &m in &self.reachable {
+            if let Some(body) = program.method(m).body() {
+                for stmt in body.stmts() {
+                    if let Stmt::Assign { rhs: Rvalue::New(c), .. } = stmt {
+                        out.insert(*c);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The entry points this graph was built from.
+    pub fn entry_points(&self) -> &[MethodId] {
+        &self.entry_points
+    }
+
+    /// Methods reachable from the entry points, in discovery order.
+    pub fn reachable_methods(&self) -> &[MethodId] {
+        &self.reachable
+    }
+
+    /// Returns `true` if `m` is reachable.
+    pub fn is_reachable(&self, m: MethodId) -> bool {
+        self.reachable_set.contains(&m)
+    }
+
+    /// Callees with bodies at a call site.
+    pub fn callees_at(&self, site: StmtRef) -> &[MethodId] {
+        self.callees_at.get(&site).map_or(&[], Vec::as_slice)
+    }
+
+    /// Body-less (stub/native/phantom) callees at a call site.
+    pub fn stub_callees_at(&self, site: StmtRef) -> &[MethodId] {
+        self.stub_callees_at.get(&site).map_or(&[], Vec::as_slice)
+    }
+
+    /// Call sites invoking `m`.
+    pub fn callers_of(&self, m: MethodId) -> &[StmtRef] {
+        self.callers_of.get(&m).map_or(&[], Vec::as_slice)
+    }
+
+    /// Classes instantiated in reachable code.
+    pub fn instantiated_classes(&self) -> &HashSet<ClassId> {
+        &self.instantiated
+    }
+
+    /// Total number of call edges (to methods with bodies).
+    pub fn edge_count(&self) -> usize {
+        self.callees_at.values().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if a (transitive) call path exists from `from` to
+    /// `to`, following only body-having edges.
+    pub fn can_reach(&self, from: MethodId, to: MethodId) -> bool {
+        let mut seen = HashSet::new();
+        let mut stack = vec![from];
+        while let Some(m) = stack.pop() {
+            if m == to {
+                return true;
+            }
+            if !seen.insert(m) {
+                continue;
+            }
+            for (site, tgts) in &self.callees_at {
+                if site.method == m {
+                    stack.extend(tgts.iter().copied());
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowdroid_ir::{MethodBuilder, Type};
+
+    /// main() calls I.run() on an interface; A and B implement it; B is
+    /// never instantiated.
+    fn build_program() -> (Program, MethodId, MethodId, MethodId) {
+        let mut p = Program::new();
+        p.declare_class("java.lang.Object", None, &[]);
+        p.declare_interface("I", &[]);
+        let a = p.declare_class("A", Some("java.lang.Object"), &["I"]);
+        let b = p.declare_class("B", Some("java.lang.Object"), &["I"]);
+        let run_a = MethodBuilder::new_instance(&mut p, a, "run", vec![], Type::Void).finish();
+        let run_b = MethodBuilder::new_instance(&mut p, b, "run", vec![], Type::Void).finish();
+        let main_cls = p.declare_class("Main", Some("java.lang.Object"), &[]);
+        let ity = p.ref_type("I");
+        let mut mb = MethodBuilder::new_static_on(&mut p, main_cls, "main", vec![], Type::Void);
+        let x = mb.local("x", ity.clone());
+        mb.new_object_uninit(x, "A");
+        mb.call_interface(None, x, "I", "run", vec![], Type::Void, vec![]);
+        let main = mb.finish();
+        (p, main, run_a, run_b)
+    }
+
+    #[test]
+    fn cha_reaches_all_implementers() {
+        let (p, main, run_a, run_b) = build_program();
+        let cg = CallGraph::build(&p, &[main], CgAlgorithm::Cha);
+        assert!(cg.is_reachable(run_a));
+        assert!(cg.is_reachable(run_b));
+        let site = StmtRef::new(main, 1);
+        assert_eq!(cg.callees_at(site).len(), 2);
+        assert_eq!(cg.callers_of(run_a), &[site]);
+    }
+
+    #[test]
+    fn rta_prunes_uninstantiated() {
+        let (p, main, run_a, run_b) = build_program();
+        let cg = CallGraph::build(&p, &[main], CgAlgorithm::Rta);
+        assert!(cg.is_reachable(run_a));
+        assert!(!cg.is_reachable(run_b), "B is never instantiated");
+    }
+
+    #[test]
+    fn stub_edges_for_bodyless_targets() {
+        let mut p = Program::new();
+        let c = p.declare_class("Main", None, &[]);
+        let mut b = MethodBuilder::new_static_on(&mut p, c, "main", vec![], Type::Void);
+        b.call_static(None, "android.util.Log", "i", vec![], Type::Void, vec![]);
+        let main = b.finish();
+        // Declare the stub method body-less so it resolves.
+        let log = p.find_class("android.util.Log").unwrap();
+        let m = p.declare_method(log, "i", vec![], Type::Void, true);
+        p.set_native(m, true);
+        let cg = CallGraph::build(&p, &[main], CgAlgorithm::Cha);
+        let site = StmtRef::new(main, 0);
+        assert!(cg.callees_at(site).is_empty());
+        assert_eq!(cg.stub_callees_at(site), &[m]);
+    }
+
+    #[test]
+    fn can_reach_is_transitive() {
+        let mut p = Program::new();
+        let c = p.declare_class("C", None, &[]);
+        let mut b3 = MethodBuilder::new_static_on(&mut p, c, "h", vec![], Type::Void);
+        b3.nop();
+        let h = b3.finish();
+        let mut b2 = MethodBuilder::new_static_on(&mut p, c, "g", vec![], Type::Void);
+        b2.call_static(None, "C", "h", vec![], Type::Void, vec![]);
+        b2.finish();
+        let mut b1 = MethodBuilder::new_static_on(&mut p, c, "f", vec![], Type::Void);
+        b1.call_static(None, "C", "g", vec![], Type::Void, vec![]);
+        let f = b1.finish();
+        let cg = CallGraph::build(&p, &[f], CgAlgorithm::Cha);
+        assert!(cg.can_reach(f, h));
+        assert!(!cg.can_reach(h, f));
+    }
+}

@@ -1,0 +1,288 @@
+//! Bounded access paths (paper §4.1).
+//!
+//! An access path `x.f.g` denotes the object reachable from local `x`
+//! through fields `f` then `g`. Paths are bounded by a configurable
+//! maximal length (default 5); appending beyond the bound *truncates*,
+//! which over-approximates soundly because an access path implicitly
+//! covers every extension of itself (`x.f` subsumes `x.f.g`, `x.f.g.h`,
+//! …).
+
+use flowdroid_ir::{FieldId, Local, Place, Program};
+
+/// The root of an access path.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum ApBase {
+    /// A local variable (or parameter / `this`).
+    Local(Local),
+    /// A static field.
+    Static(FieldId),
+}
+
+/// A bounded access path.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct AccessPath {
+    base: ApBase,
+    fields: Vec<FieldId>,
+    /// Set when fields were dropped due to the length bound; the path
+    /// then stands for *everything* reachable from its prefix.
+    truncated: bool,
+}
+
+impl AccessPath {
+    /// A path rooted at a local with no fields.
+    pub fn local(l: Local) -> AccessPath {
+        AccessPath { base: ApBase::Local(l), fields: Vec::new(), truncated: false }
+    }
+
+    /// A path rooted at a static field.
+    pub fn static_field(f: FieldId) -> AccessPath {
+        AccessPath { base: ApBase::Static(f), fields: Vec::new(), truncated: false }
+    }
+
+    /// A path with explicit parts, truncating to `max_len` fields.
+    pub fn new(base: ApBase, fields: Vec<FieldId>, max_len: usize) -> AccessPath {
+        let mut ap = AccessPath { base, fields, truncated: false };
+        ap.truncate(max_len);
+        ap
+    }
+
+    /// The access path a [`Place`] *writes to / reads from*:
+    /// array elements collapse to the whole array object (paper §4.1:
+    /// index-insensitive array handling).
+    pub fn of_place(place: &Place) -> AccessPath {
+        match place {
+            Place::Local(l) => AccessPath::local(*l),
+            Place::InstanceField(b, f) => AccessPath {
+                base: ApBase::Local(*b),
+                fields: vec![*f],
+                truncated: false,
+            },
+            Place::StaticField(f) => AccessPath::static_field(*f),
+            Place::ArrayElem(b, _) => AccessPath::local(*b),
+        }
+    }
+
+    /// The root.
+    pub fn base(&self) -> ApBase {
+        self.base
+    }
+
+    /// The field chain.
+    pub fn fields(&self) -> &[FieldId] {
+        &self.fields
+    }
+
+    /// Whether fields were dropped due to the length bound.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the path is just its root.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Returns the local root, if the path is rooted at a local.
+    pub fn base_local(&self) -> Option<Local> {
+        match self.base {
+            ApBase::Local(l) => Some(l),
+            ApBase::Static(_) => None,
+        }
+    }
+
+    fn truncate(&mut self, max_len: usize) {
+        if self.fields.len() > max_len {
+            self.fields.truncate(max_len);
+            self.truncated = true;
+        }
+    }
+
+    /// Appends `field`, truncating at `max_len`. A truncated path
+    /// absorbs appends (it already covers all suffixes).
+    pub fn append(&self, field: FieldId, max_len: usize) -> AccessPath {
+        if self.truncated {
+            return self.clone();
+        }
+        let mut fields = self.fields.clone();
+        fields.push(field);
+        let mut ap = AccessPath { base: self.base, fields, truncated: false };
+        ap.truncate(max_len);
+        ap
+    }
+
+    /// Prepends `prefix_fields` after replacing the base: the path
+    /// `base'.prefix ++ self.fields`, truncated to `max_len`.
+    pub fn rebase(
+        &self,
+        new_base: ApBase,
+        prefix_fields: &[FieldId],
+        max_len: usize,
+    ) -> AccessPath {
+        let mut fields = prefix_fields.to_vec();
+        fields.extend(self.fields.iter().copied());
+        let mut ap = AccessPath { base: new_base, fields, truncated: self.truncated };
+        ap.truncate(max_len);
+        ap
+    }
+
+    /// If `self` *covers a read* of `prefix` (paper: a path denotes the
+    /// whole object it reaches), returns the remainder of `self` beyond
+    /// `prefix`:
+    ///
+    /// * `self = x`, `prefix = x.f` → `Some([])` (whole `x` tainted, so
+    ///   the value read from `x.f` is tainted);
+    /// * `self = x.f.g`, `prefix = x.f` → `Some([g])`;
+    /// * `self = x.g`, `prefix = x.f` → `None`.
+    pub fn read_remainder(&self, prefix: &AccessPath) -> Option<Vec<FieldId>> {
+        if self.base != prefix.base {
+            return None;
+        }
+        if self.fields.len() <= prefix.fields.len() {
+            // self must be a prefix of `prefix` (whole-object coverage).
+            if prefix.fields[..self.fields.len()] == self.fields[..] {
+                Some(Vec::new())
+            } else {
+                None
+            }
+        } else {
+            if self.fields[..prefix.fields.len()] == prefix.fields[..] {
+                Some(self.fields[prefix.fields.len()..].to_vec())
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Returns `true` if `self` is rooted at (or below) `prefix` — i.e.
+    /// writing to `prefix` *could* produce `self`, or `self` describes
+    /// data inside the object at `prefix`.
+    pub fn has_prefix(&self, prefix: &AccessPath) -> bool {
+        self.base == prefix.base
+            && self.fields.len() >= prefix.fields.len()
+            && self.fields[..prefix.fields.len()] == prefix.fields[..]
+    }
+
+    /// Human-readable form, resolving names against `program` and the
+    /// local names of `method`.
+    pub fn display(&self, program: &Program, method: flowdroid_ir::MethodId) -> String {
+        let mut s = match self.base {
+            ApBase::Local(l) => {
+                let body = program.method(method).body();
+                match body.and_then(|b| b.locals().get(l.index())) {
+                    Some(d) => d.name.clone(),
+                    None => format!("%{}", l.index()),
+                }
+            }
+            ApBase::Static(f) => {
+                let fd = program.field(f);
+                format!("{}.{}", program.class_name(fd.class()), program.str(fd.name()))
+            }
+        };
+        for &f in &self.fields {
+            s.push('.');
+            s.push_str(program.str(program.field(f).name()));
+        }
+        if self.truncated {
+            s.push_str(".*");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: usize) -> FieldId {
+        FieldId::from_index(i)
+    }
+
+    #[test]
+    fn append_respects_bound() {
+        let ap = AccessPath::local(Local(0));
+        let mut cur = ap;
+        for i in 0..7 {
+            cur = cur.append(f(i), 5);
+        }
+        assert_eq!(cur.len(), 5);
+        assert!(cur.is_truncated());
+        // Truncated paths absorb further appends.
+        let more = cur.append(f(9), 5);
+        assert_eq!(more, cur);
+    }
+
+    #[test]
+    fn read_remainder_whole_object() {
+        let x = AccessPath::local(Local(1));
+        let xf = x.append(f(0), 5);
+        // x tainted, reading x.f → tainted with no extra fields.
+        assert_eq!(x.read_remainder(&xf), Some(vec![]));
+        // x.f tainted, reading x → remainder is [f]? No: reading the
+        // local x yields the whole object, of which .f is tainted.
+        assert_eq!(xf.read_remainder(&x), Some(vec![f(0)]));
+    }
+
+    #[test]
+    fn read_remainder_mismatch() {
+        let x = AccessPath::local(Local(1));
+        let xf = x.append(f(0), 5);
+        let xg = x.append(f(1), 5);
+        assert_eq!(xf.read_remainder(&xg), None);
+        let y = AccessPath::local(Local(2));
+        assert_eq!(xf.read_remainder(&y), None);
+    }
+
+    #[test]
+    fn read_remainder_deep() {
+        let x = AccessPath::local(Local(1));
+        let xfg = x.append(f(0), 5).append(f(1), 5);
+        let xf = x.append(f(0), 5);
+        assert_eq!(xfg.read_remainder(&xf), Some(vec![f(1)]));
+    }
+
+    #[test]
+    fn rebase_builds_combined_path() {
+        let pf = AccessPath::local(Local(3)).append(f(2), 5);
+        let rebased = pf.rebase(ApBase::Local(Local(7)), &[f(9)], 5);
+        assert_eq!(rebased.base_local(), Some(Local(7)));
+        assert_eq!(rebased.fields(), &[f(9), f(2)]);
+    }
+
+    #[test]
+    fn rebase_truncates() {
+        let deep = AccessPath::new(ApBase::Local(Local(0)), vec![f(0), f(1), f(2)], 5);
+        let rebased = deep.rebase(ApBase::Local(Local(1)), &[f(3), f(4), f(5)], 5);
+        assert_eq!(rebased.len(), 5);
+        assert!(rebased.is_truncated());
+    }
+
+    #[test]
+    fn has_prefix() {
+        let x = AccessPath::local(Local(1));
+        let xf = x.append(f(0), 5);
+        assert!(xf.has_prefix(&x));
+        assert!(xf.has_prefix(&xf));
+        assert!(!x.has_prefix(&xf));
+    }
+
+    #[test]
+    fn array_place_collapses_to_base() {
+        use flowdroid_ir::{Constant, Operand};
+        let p = Place::ArrayElem(Local(2), Operand::Const(Constant::Int(3)));
+        assert_eq!(AccessPath::of_place(&p), AccessPath::local(Local(2)));
+    }
+
+    #[test]
+    fn statics_are_distinct_roots() {
+        let a = AccessPath::static_field(f(0));
+        let b = AccessPath::static_field(f(1));
+        assert_ne!(a, b);
+        assert_eq!(a.base_local(), None);
+        assert_eq!(a.read_remainder(&a), Some(vec![]));
+    }
+}

@@ -1,0 +1,135 @@
+//! Top-level analysis entry points.
+//!
+//! [`Infoflow`] runs the taint analysis on arbitrary programs with
+//! explicit entry points (the SecuriBench use case, paper §6.4);
+//! [`Infoflow::analyze_app`] runs the full Android pipeline of Figure 4:
+//! parse app artifacts → build the entry-point model (lifecycle +
+//! callbacks) → generate the dummy main → build the call graph → run the
+//! bidirectional taint analysis.
+
+use crate::config::InfoflowConfig;
+use crate::results::InfoflowResults;
+use crate::solver::BiSolver;
+use crate::sourcesink::SourceSinkManager;
+use crate::wrappers::TaintWrapper;
+use flowdroid_android::{generate_dummy_main, EntryPointModel, PlatformInfo};
+use flowdroid_callgraph::{CallGraph, Icfg};
+use flowdroid_frontend::App;
+use flowdroid_ir::{MethodId, Program};
+
+/// The analysis driver.
+///
+/// # Example
+///
+/// ```
+/// use flowdroid_core::{Infoflow, InfoflowConfig, SourceSinkManager, TaintWrapper};
+/// use flowdroid_ir::{MethodBuilder, Program, Type};
+///
+/// let mut p = Program::new();
+/// let env = p.declare_class("Env", None, &[]);
+/// let s = p.ref_type("java.lang.String");
+/// let src = p.declare_method(env, "source", vec![], s.clone(), true);
+/// p.set_native(src, true);
+/// let snk = p.declare_method(env, "sink", vec![s.clone()], Type::Void, true);
+/// p.set_native(snk, true);
+///
+/// let c = p.declare_class("Main", None, &[]);
+/// let mut b = MethodBuilder::new_static_on(&mut p, c, "main", vec![], Type::Void);
+/// let x = b.local("x", s.clone());
+/// b.call_static(Some(x), "Env", "source", vec![], s.clone(), vec![]);
+/// b.call_static(None, "Env", "sink", vec![s.clone()], Type::Void, vec![x.into()]);
+/// let main = b.finish();
+///
+/// let sources = SourceSinkManager::parse(
+///     "<Env: java.lang.String source()> -> _SOURCE_\n<Env: void sink(java.lang.String)> -> _SINK_",
+/// ).unwrap();
+/// let wrapper = TaintWrapper::default_rules();
+/// let config = InfoflowConfig::default();
+/// let infoflow = Infoflow::new(&sources, &wrapper, &config);
+/// let results = infoflow.run(&p, &[main]);
+/// assert_eq!(results.leak_count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Infoflow<'a> {
+    sources: &'a SourceSinkManager,
+    wrapper: &'a TaintWrapper,
+    config: &'a InfoflowConfig,
+}
+
+impl<'a> Infoflow<'a> {
+    /// Creates a driver with the given sources/sinks, wrapper rules and
+    /// configuration.
+    pub fn new(
+        sources: &'a SourceSinkManager,
+        wrapper: &'a TaintWrapper,
+        config: &'a InfoflowConfig,
+    ) -> Self {
+        Infoflow { sources, wrapper, config }
+    }
+
+    /// Runs the analysis on `program` from the given entry methods.
+    pub fn run(&self, program: &Program, entry_points: &[MethodId]) -> InfoflowResults {
+        let cg = CallGraph::build(program, entry_points, self.config.cg_algorithm);
+        let icfg = Icfg::new(program, &cg);
+        let solver = BiSolver::new(icfg, self.sources, self.wrapper, self.config);
+        solver.solve(entry_points)
+    }
+
+    /// Runs the full Android pipeline on an already-loaded [`App`]
+    /// (paper Figure 4, after parsing): entry-point model → dummy main
+    /// → call graph → taint analysis. UI password fields from the app's
+    /// layouts are registered as sources automatically.
+    ///
+    /// `tag` uniquifies the generated dummy-main class.
+    pub fn analyze_app(
+        &self,
+        program: &mut Program,
+        platform: &PlatformInfo,
+        app: &App,
+        tag: &str,
+    ) -> AppAnalysis {
+        // Register password widgets as UI sources.
+        let mut password_ids = Vec::new();
+        for layout in app.layouts.values() {
+            for w in &layout.widgets {
+                if w.is_password {
+                    if let Some(name) = &w.id_name {
+                        if let Some(id) = app.resources.widget_id(name) {
+                            password_ids.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        let sources_owned = if password_ids.is_empty() {
+            None
+        } else {
+            let mut s = self.sources.clone();
+            for id in password_ids {
+                s.add_password_id(id);
+            }
+            Some(s)
+        };
+        let sources: &SourceSinkManager = sources_owned.as_ref().unwrap_or(self.sources);
+        let model =
+            EntryPointModel::build(program, platform, app, self.config.callback_association);
+        let dummy_main = generate_dummy_main(program, platform, &model, tag);
+        let cg = CallGraph::build(program, &[dummy_main], self.config.cg_algorithm);
+        let icfg = Icfg::new(program, &cg);
+        let solver = BiSolver::new(icfg, sources, self.wrapper, self.config);
+        let results = solver.solve(&[dummy_main]);
+        AppAnalysis { dummy_main, model, results }
+    }
+}
+
+/// The outcome of an app analysis: the entry-point model, the generated
+/// dummy main and the taint-analysis results.
+#[derive(Debug)]
+pub struct AppAnalysis {
+    /// The generated dummy-main method.
+    pub dummy_main: MethodId,
+    /// The entry-point model the dummy main was generated from.
+    pub model: EntryPointModel,
+    /// The taint-analysis results.
+    pub results: InfoflowResults,
+}

@@ -1,0 +1,123 @@
+//! Analysis configuration.
+
+use flowdroid_android::CallbackAssociation;
+use flowdroid_callgraph::CgAlgorithm;
+
+/// Configuration of the taint analysis.
+///
+/// The defaults match the paper's configuration (access-path length 5,
+/// on-demand alias analysis with context injection and activation
+/// statements, per-component callbacks). The switches exist for the
+/// ablation experiments.
+#[derive(Clone, Debug)]
+pub struct InfoflowConfig {
+    /// Maximal number of fields in an access path (paper default: 5).
+    pub max_access_path_length: usize,
+    /// Run the on-demand backward alias analysis (§4.2). Disabling it
+    /// misses aliased flows.
+    pub enable_alias_analysis: bool,
+    /// Inject the forward path-edge context into spawned alias
+    /// searches (§4.2, Figure 3). Disabling reproduces the "naive
+    /// handover" false positives of Listing 2.
+    pub enable_context_injection: bool,
+    /// Track activation statements for alias taints (§4.2, Listing 3).
+    /// Disabling makes alias results flow-insensitive (Andromeda-style
+    /// false positives).
+    pub enable_activation_statements: bool,
+    /// Fallback for body-less calls without a wrapper rule: taint the
+    /// return value if the receiver or any argument is tainted (the
+    /// paper's native-call default).
+    pub stub_default_taints_return: bool,
+    /// Record predecessor links for leak-path reconstruction (§5:
+    /// "reports include full path information").
+    pub track_paths: bool,
+    /// Call-graph construction algorithm.
+    pub cg_algorithm: CgAlgorithm,
+    /// How callbacks are associated with components (§3).
+    pub callback_association: CallbackAssociation,
+    /// Hard cap on forward path-edge propagations (0 = unlimited);
+    /// protects harness runs against pathological inputs.
+    pub max_propagations: u64,
+}
+
+impl Default for InfoflowConfig {
+    fn default() -> Self {
+        InfoflowConfig {
+            max_access_path_length: 5,
+            enable_alias_analysis: true,
+            enable_context_injection: true,
+            enable_activation_statements: true,
+            stub_default_taints_return: true,
+            track_paths: true,
+            cg_algorithm: CgAlgorithm::Cha,
+            callback_association: CallbackAssociation::PerComponent,
+            max_propagations: 0,
+        }
+    }
+}
+
+impl InfoflowConfig {
+    /// The paper's default configuration.
+    pub fn paper_defaults() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style setter for the access-path bound.
+    pub fn with_access_path_length(mut self, k: usize) -> Self {
+        self.max_access_path_length = k;
+        self
+    }
+
+    /// Builder-style setter for the alias analysis switch.
+    pub fn with_alias_analysis(mut self, on: bool) -> Self {
+        self.enable_alias_analysis = on;
+        self
+    }
+
+    /// Builder-style setter for context injection (naive-handover
+    /// ablation when `false`).
+    pub fn with_context_injection(mut self, on: bool) -> Self {
+        self.enable_context_injection = on;
+        self
+    }
+
+    /// Builder-style setter for activation statements (flow-insensitive
+    /// aliasing ablation when `false`).
+    pub fn with_activation_statements(mut self, on: bool) -> Self {
+        self.enable_activation_statements = on;
+        self
+    }
+
+    /// Builder-style setter for callback association.
+    pub fn with_callback_association(mut self, a: CallbackAssociation) -> Self {
+        self.callback_association = a;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = InfoflowConfig::default();
+        assert_eq!(c.max_access_path_length, 5);
+        assert!(c.enable_alias_analysis);
+        assert!(c.enable_context_injection);
+        assert!(c.enable_activation_statements);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = InfoflowConfig::default()
+            .with_access_path_length(3)
+            .with_alias_analysis(false)
+            .with_context_injection(false)
+            .with_activation_statements(false);
+        assert_eq!(c.max_access_path_length, 3);
+        assert!(!c.enable_alias_analysis);
+        assert!(!c.enable_context_injection);
+        assert!(!c.enable_activation_statements);
+    }
+}

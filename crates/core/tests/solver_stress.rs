@@ -1,0 +1,312 @@
+//! Stress tests: adversarial control flow and heap shapes that have to
+//! terminate (bounded access paths + IFDS dedup) and still classify
+//! flows correctly.
+
+use flowdroid_core::{Infoflow, InfoflowConfig, InfoflowResults, SourceSinkManager, TaintWrapper};
+use flowdroid_frontend::layout::ResourceTable;
+use flowdroid_frontend::parse_jasm;
+use flowdroid_ir::Program;
+
+const ENV: &str = r#"
+class Env {
+  static native method source() -> java.lang.String
+  static native method sink(s: java.lang.String) -> void
+}
+"#;
+
+const DEFS: &str = "\
+<Env: java.lang.String source()> -> _SOURCE_\n\
+<Env: void sink(java.lang.String)> -> _SINK_\n";
+
+fn analyze(body: &str) -> InfoflowResults {
+    let mut p = Program::new();
+    flowdroid_android::install_platform(&mut p);
+    let rt = ResourceTable::new();
+    parse_jasm(&mut p, &rt, ENV).unwrap();
+    parse_jasm(&mut p, &rt, body).unwrap_or_else(|e| panic!("{e}"));
+    let sources = SourceSinkManager::parse(DEFS).unwrap();
+    let wrapper = TaintWrapper::default_rules();
+    let config = InfoflowConfig::default();
+    let main = p.find_method("S", "main").unwrap();
+    Infoflow::new(&sources, &wrapper, &config).run(&p, &[main])
+}
+
+#[test]
+fn heap_write_inside_loop_terminates_and_reports() {
+    // The alias query fires on every loop iteration; dedup must bound
+    // the work.
+    let r = analyze(
+        r#"
+class Node { field val: java.lang.String  field next: Node }
+class S {
+  static method main() -> void {
+    let n: Node
+    let m: Node
+    let s: java.lang.String
+    let t: java.lang.String
+    let i: int
+    n = new Node
+    m = n
+    s = staticinvoke <Env: java.lang.String source()>()
+    i = 0
+  label top:
+    if i >= 10 goto done
+    n.val = s
+    i = i + 1
+    goto top
+  label done:
+    t = m.val
+    staticinvoke <Env: void sink(java.lang.String)>(t)
+    return
+  }
+}
+"#,
+    );
+    assert_eq!(r.leak_count(), 1, "{r:#?}");
+}
+
+#[test]
+fn cyclic_list_walk_hits_access_path_bound() {
+    // A self-referential structure forces access-path truncation; the
+    // truncated (over-approximate) taint still reaches the sink.
+    let r = analyze(
+        r#"
+class Node { field val: java.lang.String  field next: Node }
+class S {
+  static method main() -> void {
+    let n: Node
+    let c: Node
+    let s: java.lang.String
+    let t: java.lang.String
+    let i: int
+    n = new Node
+    n.next = n
+    s = staticinvoke <Env: java.lang.String source()>()
+    n.val = s
+    c = n
+    i = 0
+  label top:
+    if i >= 8 goto done
+    c = c.next
+    i = i + 1
+    goto top
+  label done:
+    t = c.val
+    staticinvoke <Env: void sink(java.lang.String)>(t)
+    return
+  }
+}
+"#,
+    );
+    assert_eq!(r.leak_count(), 1, "{r:#?}");
+}
+
+#[test]
+fn recursion_through_heap_terminates() {
+    // Recursive builder creating a chain deeper than the access-path
+    // bound: truncation guarantees termination and soundly reports.
+    let r = analyze(
+        r#"
+class Node { field val: java.lang.String  field next: Node }
+class S {
+  static method build(d: int, s: java.lang.String) -> Node {
+    let n: Node
+    let rest: Node
+    n = new Node
+    n.val = s
+    if d <= 0 goto leaf
+    rest = staticinvoke <S: Node build(int,java.lang.String)>(0, s)
+    n.next = rest
+  label leaf:
+    return n
+  }
+  static method main() -> void {
+    let s: java.lang.String
+    let n: Node
+    let m: Node
+    let t: java.lang.String
+    s = staticinvoke <Env: java.lang.String source()>()
+    n = staticinvoke <S: Node build(int,java.lang.String)>(9, s)
+    m = n.next
+    t = m.val
+    staticinvoke <Env: void sink(java.lang.String)>(t)
+    return
+  }
+}
+"#,
+    );
+    assert_eq!(r.leak_count(), 1, "{r:#?}");
+}
+
+#[test]
+fn mutual_recursion_with_taint() {
+    let r = analyze(
+        r#"
+class S {
+  static method even(x: java.lang.String, d: int) -> java.lang.String {
+    let r: java.lang.String
+    if d <= 0 goto base
+    r = staticinvoke <S: java.lang.String odd(java.lang.String,int)>(x, d)
+    return r
+  label base:
+    return x
+  }
+  static method odd(x: java.lang.String, d: int) -> java.lang.String {
+    let r: java.lang.String
+    let d2: int
+    d2 = d - 1
+    r = staticinvoke <S: java.lang.String even(java.lang.String,int)>(x, d2)
+    return r
+  }
+  static method main() -> void {
+    let s: java.lang.String
+    let t: java.lang.String
+    s = staticinvoke <Env: java.lang.String source()>()
+    t = staticinvoke <S: java.lang.String even(java.lang.String,int)>(s, 7)
+    staticinvoke <Env: void sink(java.lang.String)>(t)
+    return
+  }
+}
+"#,
+    );
+    assert_eq!(r.leak_count(), 1, "{r:#?}");
+}
+
+#[test]
+fn clean_mutual_recursion_stays_clean() {
+    let r = analyze(
+        r#"
+class S {
+  static method even(x: java.lang.String, d: int) -> java.lang.String {
+    let r: java.lang.String
+    if d <= 0 goto base
+    r = staticinvoke <S: java.lang.String odd(java.lang.String,int)>(x, d)
+    return r
+  label base:
+    return x
+  }
+  static method odd(x: java.lang.String, d: int) -> java.lang.String {
+    let r: java.lang.String
+    r = staticinvoke <S: java.lang.String even(java.lang.String,int)>(x, d)
+    return r
+  }
+  static method main() -> void {
+    let s: java.lang.String
+    let t: java.lang.String
+    s = staticinvoke <Env: java.lang.String source()>()
+    t = staticinvoke <S: java.lang.String even(java.lang.String,int)>("clean", 7)
+    staticinvoke <Env: void sink(java.lang.String)>(t)
+    return
+  }
+}
+"#,
+    );
+    assert!(r.is_clean(), "the tainted value is never passed in: {r:#?}");
+}
+
+#[test]
+fn wide_branch_fan_in_deduplicates() {
+    // 16 branches all tainting the same local: exactly one leak, and
+    // propagation counts stay proportional to the program, not the
+    // path count.
+    let mut arms = String::new();
+    let mut labels = String::new();
+    for i in 0..16 {
+        arms.push_str(&format!("    if opaque goto a{i}\n"));
+        labels.push_str(&format!("  label a{i}:\n    t = s + \"{i}\"\n    goto merge\n"));
+    }
+    let code = format!(
+        r#"
+class S {{
+  static method main() -> void {{
+    let s: java.lang.String
+    let t: java.lang.String
+    s = staticinvoke <Env: java.lang.String source()>()
+    t = "none"
+{arms}    goto merge
+{labels}  label merge:
+    staticinvoke <Env: void sink(java.lang.String)>(t)
+    return
+  }}
+}}
+"#
+    );
+    let r = analyze(&code);
+    assert_eq!(r.leak_count(), 1, "{r:#?}");
+    assert!(
+        r.forward_propagations < 5_000,
+        "IFDS joins at merge points; got {} propagations",
+        r.forward_propagations
+    );
+}
+
+#[test]
+fn swap_chain_aliasing() {
+    // Ping-pong assignments between two locals pointing at the same
+    // object; the alias closure must not diverge.
+    let r = analyze(
+        r#"
+class Box { field v: java.lang.String }
+class S {
+  static method main() -> void {
+    let a: Box
+    let b: Box
+    let c: Box
+    let s: java.lang.String
+    let t: java.lang.String
+    let i: int
+    a = new Box
+    b = a
+    i = 0
+  label top:
+    if i >= 6 goto done
+    c = a
+    a = b
+    b = c
+    i = i + 1
+    goto top
+  label done:
+    s = staticinvoke <Env: java.lang.String source()>()
+    a.v = s
+    t = b.v
+    staticinvoke <Env: void sink(java.lang.String)>(t)
+    return
+  }
+}
+"#,
+    );
+    assert_eq!(r.leak_count(), 1, "{r:#?}");
+}
+
+#[test]
+fn propagation_budget_aborts_gracefully() {
+    let mut p = Program::new();
+    flowdroid_android::install_platform(&mut p);
+    let rt = ResourceTable::new();
+    parse_jasm(&mut p, &rt, ENV).unwrap();
+    parse_jasm(
+        &mut p,
+        &rt,
+        r#"
+class S {
+  static method main() -> void {
+    let s: java.lang.String
+    s = staticinvoke <Env: java.lang.String source()>()
+    s = s + "a"
+    s = s + "b"
+    s = s + "c"
+    staticinvoke <Env: void sink(java.lang.String)>(s)
+    return
+  }
+}
+"#,
+    )
+    .unwrap();
+    let sources = SourceSinkManager::parse(DEFS).unwrap();
+    let wrapper = TaintWrapper::default_rules();
+    // A propagation budget that is far too small on purpose.
+    let config = InfoflowConfig { max_propagations: 3, ..InfoflowConfig::default() };
+    let main = p.find_method("S", "main").unwrap();
+    let r = Infoflow::new(&sources, &wrapper, &config).run(&p, &[main]);
+    assert!(r.aborted, "budget exhaustion must be reported");
+}

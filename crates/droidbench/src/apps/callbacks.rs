@@ -1,0 +1,277 @@
+//! Callbacks: UI handlers, listeners registered in code, overridden
+//! framework methods. These require the callback discovery and
+//! per-component association of paper §3.
+
+use super::with_imei;
+use crate::{single_activity_manifest, BenchApp, Category};
+
+pub fn apps() -> Vec<BenchApp> {
+    vec![
+        anonymous_class1(),
+        button1(),
+        button2(),
+        location_leak1(),
+        location_leak2(),
+        method_override1(),
+    ]
+}
+
+/// A separately-declared listener class (standing in for Java's
+/// anonymous class) registered imperatively; its callback leaks both
+/// location coordinates. Two real leaks.
+fn anonymous_class1() -> BenchApp {
+    let code = r#"
+class dbench.anon1.Main extends android.app.Activity {
+  method onCreate(b: android.os.Bundle) -> void {
+    let o: java.lang.Object
+    let lm: android.location.LocationManager
+    let l: dbench.anon1.Listener
+    o = virtualinvoke this.<android.content.Context: java.lang.Object getSystemService(java.lang.String)>("location")
+    lm = (android.location.LocationManager) o
+    l = new dbench.anon1.Listener
+    specialinvoke l.<dbench.anon1.Listener: void <init>()>()
+    virtualinvoke lm.<android.location.LocationManager: void requestLocationUpdates(java.lang.String,long,float,android.location.LocationListener)>("gps", 0, 0, l)
+    return
+  }
+}
+class dbench.anon1.Listener extends java.lang.Object implements android.location.LocationListener {
+  method <init>() -> void {
+    return
+  }
+  method onLocationChanged(loc: android.location.Location) -> void {
+    let lat: double
+    let lon: double
+    let s1: java.lang.String
+    let s2: java.lang.String
+    lat = virtualinvoke loc.<android.location.Location: double getLatitude()>()
+    lon = virtualinvoke loc.<android.location.Location: double getLongitude()>()
+    s1 = staticinvoke <java.lang.String: java.lang.String valueOf(java.lang.Object)>(loc)
+    s2 = virtualinvoke loc.<java.lang.Object: java.lang.String toString()>()
+    staticinvoke <android.util.Log: int d(java.lang.String,java.lang.String)>("Lat", s1)
+    staticinvoke <android.util.Log: int d(java.lang.String,java.lang.String)>("Lon", s2)
+    return
+  }
+}
+"#
+    .to_owned();
+    BenchApp {
+        name: "AnonymousClass1",
+        category: Category::Callbacks,
+        in_table: true,
+        expected_leaks: 2,
+        description: "imperatively registered listener class leaks location twice",
+        manifest: single_activity_manifest("dbench.anon1", "Main"),
+        layouts: vec![],
+        code,
+    }
+}
+
+const BUTTON_LAYOUT: &str = r#"<LinearLayout xmlns:android="http://schemas.android.com/apk/res/android">
+  <Button android:id="@+id/button1" android:onClick="clickHandler"/>
+</LinearLayout>"#;
+
+/// An XML-declared click handler leaks the IMEI.
+fn button1() -> BenchApp {
+    let code = with_imei(
+        r#"
+class dbench.btn1.Main extends android.app.Activity {
+  method onCreate(b: android.os.Bundle) -> void {
+    virtualinvoke this.<android.app.Activity: void setContentView(int)>(@layout/main)
+    return
+  }
+  method clickHandler(v: android.view.View) -> void {
+"#,
+        r#"    staticinvoke <android.util.Log: int i(java.lang.String,java.lang.String)>("T", id)
+    return
+  }
+}
+"#,
+    );
+    BenchApp {
+        name: "Button1",
+        category: Category::Callbacks,
+        in_table: true,
+        expected_leaks: 1,
+        description: "XML onClick handler leaks the IMEI",
+        manifest: single_activity_manifest("dbench.btn1", "Main"),
+        layouts: vec![("main", BUTTON_LAYOUT)],
+        code,
+    }
+}
+
+const BUTTON2_LAYOUT: &str = r#"<LinearLayout xmlns:android="http://schemas.android.com/apk/res/android">
+  <Button android:id="@+id/b1" android:onClick="storeImei"/>
+  <Button android:id="@+id/b2" android:onClick="overwriteAndLeak"/>
+  <Button android:id="@+id/b3" android:onClick="leakField"/>
+</LinearLayout>"#;
+
+/// Three handlers: one taints a field, one overwrites it with clean
+/// data before leaking (no real leak — but FlowDroid cannot perform the
+/// strong update, a documented false positive), one leaks the field
+/// directly (real leak).
+fn button2() -> BenchApp {
+    let code = with_imei(
+        r#"
+class dbench.btn2.Main extends android.app.Activity {
+  field im: java.lang.String
+  method onCreate(b: android.os.Bundle) -> void {
+    virtualinvoke this.<android.app.Activity: void setContentView(int)>(@layout/main)
+    return
+  }
+  method storeImei(v: android.view.View) -> void {
+"#,
+        r#"    this.im = id
+    return
+  }
+  method overwriteAndLeak(v: android.view.View) -> void {
+    let t: java.lang.String
+    this.im = "clean"
+    t = this.im
+    staticinvoke <android.util.Log: int i(java.lang.String,java.lang.String)>("T", t)
+    return
+  }
+  method leakField(v: android.view.View) -> void {
+    let t: java.lang.String
+    t = this.im
+    staticinvoke <android.util.Log: int d(java.lang.String,java.lang.String)>("T", t)
+    return
+  }
+}
+"#,
+    );
+    BenchApp {
+        name: "Button2",
+        category: Category::Callbacks,
+        in_table: true,
+        expected_leaks: 1,
+        description: "field overwritten with clean data before one sink (needs strong updates)",
+        manifest: single_activity_manifest("dbench.btn2", "Main"),
+        layouts: vec![("main", BUTTON2_LAYOUT)],
+        code,
+    }
+}
+
+/// The activity itself implements LocationListener; the callback stores
+/// both coordinates in fields, leaked later in the lifecycle.
+fn location_leak1() -> BenchApp {
+    let code = r#"
+class dbench.loc1.Main extends android.app.Activity implements android.location.LocationListener {
+  field lat: java.lang.String
+  field lon: java.lang.String
+  method onCreate(b: android.os.Bundle) -> void {
+    let o: java.lang.Object
+    let lm: android.location.LocationManager
+    o = virtualinvoke this.<android.content.Context: java.lang.Object getSystemService(java.lang.String)>("location")
+    lm = (android.location.LocationManager) o
+    virtualinvoke lm.<android.location.LocationManager: void requestLocationUpdates(java.lang.String,long,float,android.location.LocationListener)>("gps", 0, 0, this)
+    return
+  }
+  method onLocationChanged(loc: android.location.Location) -> void {
+    let s1: java.lang.String
+    let s2: java.lang.String
+    s1 = staticinvoke <java.lang.String: java.lang.String valueOf(java.lang.Object)>(loc)
+    s2 = virtualinvoke loc.<java.lang.Object: java.lang.String toString()>()
+    this.lat = s1
+    this.lon = s2
+    return
+  }
+  method onResume() -> void {
+    let a: java.lang.String
+    let b: java.lang.String
+    a = this.lat
+    b = this.lon
+    staticinvoke <android.util.Log: int d(java.lang.String,java.lang.String)>("Lat", a)
+    staticinvoke <android.util.Log: int d(java.lang.String,java.lang.String)>("Lon", b)
+    return
+  }
+}
+"#
+    .to_owned();
+    BenchApp {
+        name: "LocationLeak1",
+        category: Category::Callbacks,
+        in_table: true,
+        expected_leaks: 2,
+        description: "activity-as-listener stores coordinates in fields, leaks in onResume",
+        manifest: single_activity_manifest("dbench.loc1", "Main"),
+        layouts: vec![],
+        code,
+    }
+}
+
+/// Like LocationLeak1, but the leak happens in a different callback
+/// (onProviderDisabled), exercising callback-to-callback flows.
+fn location_leak2() -> BenchApp {
+    let code = r#"
+class dbench.loc2.Main extends android.app.Activity implements android.location.LocationListener {
+  field lat: java.lang.String
+  field lon: java.lang.String
+  method onCreate(b: android.os.Bundle) -> void {
+    let o: java.lang.Object
+    let lm: android.location.LocationManager
+    o = virtualinvoke this.<android.content.Context: java.lang.Object getSystemService(java.lang.String)>("location")
+    lm = (android.location.LocationManager) o
+    virtualinvoke lm.<android.location.LocationManager: void requestLocationUpdates(java.lang.String,long,float,android.location.LocationListener)>("gps", 0, 0, this)
+    return
+  }
+  method onLocationChanged(loc: android.location.Location) -> void {
+    let s1: java.lang.String
+    let s2: java.lang.String
+    s1 = staticinvoke <java.lang.String: java.lang.String valueOf(java.lang.Object)>(loc)
+    s2 = virtualinvoke loc.<java.lang.Object: java.lang.String toString()>()
+    this.lat = s1
+    this.lon = s2
+    return
+  }
+  method onProviderDisabled(p: java.lang.String) -> void {
+    let a: java.lang.String
+    let b: java.lang.String
+    a = this.lat
+    b = this.lon
+    staticinvoke <android.util.Log: int d(java.lang.String,java.lang.String)>("Lat", a)
+    staticinvoke <android.util.Log: int d(java.lang.String,java.lang.String)>("Lon", b)
+    return
+  }
+}
+"#
+    .to_owned();
+    BenchApp {
+        name: "LocationLeak2",
+        category: Category::Callbacks,
+        in_table: true,
+        expected_leaks: 2,
+        description: "coordinates stored in one callback leak in another callback",
+        manifest: single_activity_manifest("dbench.loc2", "Main"),
+        layouts: vec![],
+        code,
+    }
+}
+
+/// The activity overrides a non-lifecycle framework method
+/// (onLowMemory); the framework may invoke it at any time.
+fn method_override1() -> BenchApp {
+    let code = with_imei(
+        r#"
+class dbench.ovr1.Main extends android.app.Activity {
+  method onCreate(b: android.os.Bundle) -> void {
+    return
+  }
+  method onLowMemory() -> void {
+"#,
+        r#"    staticinvoke <android.util.Log: int i(java.lang.String,java.lang.String)>("T", id)
+    return
+  }
+}
+"#,
+    );
+    BenchApp {
+        name: "MethodOverride1",
+        category: Category::Callbacks,
+        in_table: true,
+        expected_leaks: 1,
+        description: "overridden framework method (onLowMemory) leaks the IMEI",
+        manifest: single_activity_manifest("dbench.ovr1", "Main"),
+        layouts: vec![],
+        code,
+    }
+}

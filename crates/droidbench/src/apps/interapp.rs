@@ -1,0 +1,122 @@
+//! Inter-App Communication: intent-based flows. The paper's model
+//! treats intent *sending* as a sink and intent *reception* as a source
+//! (§5); `setResult` is neither, which makes IntentSink1 a documented
+//! miss.
+
+use super::with_imei;
+use crate::{single_activity_manifest, BenchApp, Category};
+
+pub fn apps() -> Vec<BenchApp> {
+    vec![intent_sink1(), intent_sink2(), activity_communication1()]
+}
+
+/// Tainted data is stored in an intent handed back via `setResult`; the
+/// framework forwards it to the calling activity. A real leak that the
+/// sink model cannot see.
+fn intent_sink1() -> BenchApp {
+    let code = with_imei(
+        r#"
+class dbench.isnk1.Main extends android.app.Activity {
+  method onCreate(b: android.os.Bundle) -> void {
+"#,
+        r#"    let i: android.content.Intent
+    i = new android.content.Intent
+    specialinvoke i.<android.content.Intent: void <init>()>()
+    virtualinvoke i.<android.content.Intent: android.content.Intent putExtra(java.lang.String,java.lang.String)>("imei", id)
+    virtualinvoke this.<android.app.Activity: void setResult(int,android.content.Intent)>(0, i)
+    virtualinvoke this.<android.app.Activity: void finish()>()
+    return
+  }
+}
+"#,
+    );
+    BenchApp {
+        name: "IntentSink1",
+        category: Category::InterAppCommunication,
+        in_table: true,
+        expected_leaks: 1,
+        description: "tainted intent returned via setResult (documented FlowDroid miss)",
+        manifest: single_activity_manifest("dbench.isnk1", "Main"),
+        layouts: vec![],
+        code,
+    }
+}
+
+/// Tainted data in an intent that is explicitly started — the send is a
+/// sink.
+fn intent_sink2() -> BenchApp {
+    let code = with_imei(
+        r#"
+class dbench.isnk2.Main extends android.app.Activity {
+  method onCreate(b: android.os.Bundle) -> void {
+"#,
+        r#"    let i: android.content.Intent
+    i = new android.content.Intent
+    specialinvoke i.<android.content.Intent: void <init>()>()
+    virtualinvoke i.<android.content.Intent: android.content.Intent putExtra(java.lang.String,java.lang.String)>("imei", id)
+    virtualinvoke this.<android.content.Context: void startActivity(android.content.Intent)>(i)
+    return
+  }
+}
+"#,
+    );
+    BenchApp {
+        name: "IntentSink2",
+        category: Category::InterAppCommunication,
+        in_table: true,
+        expected_leaks: 1,
+        description: "tainted intent sent via startActivity",
+        manifest: single_activity_manifest("dbench.isnk2", "Main"),
+        layouts: vec![],
+        code,
+    }
+}
+
+/// Two activities: the first broadcasts the IMEI inside an intent, the
+/// second would receive it. The send is the reported sink.
+fn activity_communication1() -> BenchApp {
+    let manifest = r#"<manifest package="dbench.ac1">
+  <application>
+    <activity android:name=".Sender">
+      <intent-filter><action android:name="android.intent.action.MAIN"/></intent-filter>
+    </activity>
+    <activity android:name=".Receiver"/>
+  </application>
+</manifest>"#
+        .to_owned();
+    let code = with_imei(
+        r#"
+class dbench.ac1.Sender extends android.app.Activity {
+  method onCreate(b: android.os.Bundle) -> void {
+"#,
+        r#"    let i: android.content.Intent
+    i = new android.content.Intent
+    specialinvoke i.<android.content.Intent: void <init>()>()
+    virtualinvoke i.<android.content.Intent: android.content.Intent putExtra(java.lang.String,java.lang.String)>("secret", id)
+    virtualinvoke this.<android.content.Context: void startActivity(android.content.Intent)>(i)
+    return
+  }
+}
+class dbench.ac1.Receiver extends android.app.Activity {
+  method onCreate(b: android.os.Bundle) -> void {
+    let i: android.content.Intent
+    let s: java.lang.String
+    i = virtualinvoke this.<android.app.Activity: android.content.Intent getIntent()>()
+    s = virtualinvoke i.<android.content.Intent: java.lang.String getStringExtra(java.lang.String)>("secret")
+    virtualinvoke this.<android.widget.TextView: void setText(java.lang.String)>(s)
+    return
+  }
+}
+"#,
+    );
+    BenchApp {
+        name: "ActivityCommunication1",
+        category: Category::InterAppCommunication,
+        in_table: true,
+        expected_leaks: 1,
+        description: "IMEI flows between activities through an intent; the send is the sink",
+        manifest,
+        layouts: vec![],
+        code,
+    }
+}

@@ -1,0 +1,219 @@
+//! Lifecycle: flows that only exist because of the Android component
+//! lifecycle (paper §3). Tools without a lifecycle model miss all of
+//! these.
+
+use super::with_imei;
+use crate::{single_activity_manifest, BenchApp, Category};
+
+pub fn apps() -> Vec<BenchApp> {
+    vec![
+        broadcast_receiver_lifecycle1(),
+        activity_lifecycle1(),
+        activity_lifecycle2(),
+        activity_lifecycle3(),
+        activity_lifecycle4(),
+        service_lifecycle1(),
+    ]
+}
+
+/// A broadcast receiver leaks data from the received intent (the
+/// intent parameter is a framework-delivered source).
+fn broadcast_receiver_lifecycle1() -> BenchApp {
+    let manifest = r#"<manifest package="dbench.brl1">
+  <application>
+    <receiver android:name=".Rcv" android:exported="true"/>
+  </application>
+</manifest>"#
+        .to_owned();
+    let code = r#"
+class dbench.brl1.Rcv extends android.content.BroadcastReceiver {
+  method onReceive(c: android.content.Context, i: android.content.Intent) -> void {
+    let s: java.lang.String
+    s = virtualinvoke i.<android.content.Intent: java.lang.String getStringExtra(java.lang.String)>("data")
+    staticinvoke <android.util.Log: int i(java.lang.String,java.lang.String)>("T", s)
+    return
+  }
+}
+"#
+    .to_owned();
+    BenchApp {
+        name: "BroadcastReceiverLifecycle1",
+        category: Category::Lifecycle,
+        in_table: true,
+        expected_leaks: 1,
+        description: "broadcast receiver leaks received intent data",
+        manifest,
+        layouts: vec![],
+        code,
+    }
+}
+
+/// Taint acquired in onCreate, leaked in onStop — requires modeling the
+/// create→…→stop transition.
+fn activity_lifecycle1() -> BenchApp {
+    let code = with_imei(
+        r#"
+class dbench.al1.Main extends android.app.Activity {
+  static field im: java.lang.String
+  method onCreate(b: android.os.Bundle) -> void {
+"#,
+        r#"    static dbench.al1.Main.im = id
+    return
+  }
+  method onStop() -> void {
+    let t: java.lang.String
+    t = static dbench.al1.Main.im
+    staticinvoke <android.util.Log: int i(java.lang.String,java.lang.String)>("T", t)
+    return
+  }
+}
+"#,
+    );
+    BenchApp {
+        name: "ActivityLifecycle1",
+        category: Category::Lifecycle,
+        in_table: true,
+        expected_leaks: 1,
+        description: "static field set in onCreate leaks in onStop",
+        manifest: single_activity_manifest("dbench.al1", "Main"),
+        layouts: vec![],
+        code,
+    }
+}
+
+/// Taint acquired in onRestart, leaked in onResume — only possible on
+/// the restart path (stop → restart → start → resume).
+fn activity_lifecycle2() -> BenchApp {
+    let code = with_imei(
+        r#"
+class dbench.al2.Main extends android.app.Activity {
+  static field im: java.lang.String
+  method onRestart() -> void {
+"#,
+        r#"    static dbench.al2.Main.im = id
+    return
+  }
+  method onResume() -> void {
+    let t: java.lang.String
+    t = static dbench.al2.Main.im
+    staticinvoke <android.util.Log: int i(java.lang.String,java.lang.String)>("T", t)
+    return
+  }
+}
+"#,
+    );
+    BenchApp {
+        name: "ActivityLifecycle2",
+        category: Category::Lifecycle,
+        in_table: true,
+        expected_leaks: 1,
+        description: "static field set in onRestart leaks in onResume (restart path)",
+        manifest: single_activity_manifest("dbench.al2", "Main"),
+        layouts: vec![],
+        code,
+    }
+}
+
+/// Taint stored in onPause, leaked in onDestroy.
+fn activity_lifecycle3() -> BenchApp {
+    let code = with_imei(
+        r#"
+class dbench.al3.Main extends android.app.Activity {
+  field im: java.lang.String
+  method onPause() -> void {
+"#,
+        r#"    this.im = id
+    return
+  }
+  method onDestroy() -> void {
+    let t: java.lang.String
+    t = this.im
+    staticinvoke <android.util.Log: int i(java.lang.String,java.lang.String)>("T", t)
+    return
+  }
+}
+"#,
+    );
+    BenchApp {
+        name: "ActivityLifecycle3",
+        category: Category::Lifecycle,
+        in_table: true,
+        expected_leaks: 1,
+        description: "field set in onPause leaks in onDestroy",
+        manifest: single_activity_manifest("dbench.al3", "Main"),
+        layouts: vec![],
+        code,
+    }
+}
+
+/// Taint stored to a *static* field in onPause, leaked in onCreate of
+/// the next lifecycle round (component repetition).
+fn activity_lifecycle4() -> BenchApp {
+    let code = with_imei(
+        r#"
+class dbench.al4.Main extends android.app.Activity {
+  static field im: java.lang.String
+  method onCreate(b: android.os.Bundle) -> void {
+    let t: java.lang.String
+    t = static dbench.al4.Main.im
+    staticinvoke <android.util.Log: int i(java.lang.String,java.lang.String)>("T", t)
+    return
+  }
+  method onPause() -> void {
+"#,
+        r#"    static dbench.al4.Main.im = id
+    return
+  }
+}
+"#,
+    );
+    BenchApp {
+        name: "ActivityLifecycle4",
+        category: Category::Lifecycle,
+        in_table: true,
+        expected_leaks: 1,
+        description: "static field set in onPause leaks in onCreate of the next round",
+        manifest: single_activity_manifest("dbench.al4", "Main"),
+        layouts: vec![],
+        code,
+    }
+}
+
+/// A service stores the IMEI in onStartCommand and leaks it in
+/// onDestroy.
+fn service_lifecycle1() -> BenchApp {
+    let manifest = r#"<manifest package="dbench.sl1">
+  <application>
+    <service android:name=".Work"/>
+  </application>
+</manifest>"#
+        .to_owned();
+    let code = with_imei(
+        r#"
+class dbench.sl1.Work extends android.app.Service {
+  static field im: java.lang.String
+  method onStartCommand(i: android.content.Intent, f: int, sid: int) -> int {
+"#,
+        r#"    static dbench.sl1.Work.im = id
+    return 0
+  }
+  method onDestroy() -> void {
+    let t: java.lang.String
+    t = static dbench.sl1.Work.im
+    staticinvoke <android.util.Log: int i(java.lang.String,java.lang.String)>("T", t)
+    return
+  }
+}
+"#,
+    );
+    BenchApp {
+        name: "ServiceLifecycle1",
+        category: Category::Lifecycle,
+        in_table: true,
+        expected_leaks: 1,
+        description: "service static field set in onStartCommand leaks in onDestroy",
+        manifest,
+        layouts: vec![],
+        code,
+    }
+}

@@ -1,0 +1,205 @@
+//! Miscellaneous Android-specific apps: password fields, direct leaks,
+//! disabled components and benign logging.
+
+use super::with_imei;
+use crate::{single_activity_manifest, BenchApp, Category};
+
+pub fn apps() -> Vec<BenchApp> {
+    vec![
+        private_data_leak1(),
+        private_data_leak2(),
+        direct_leak1(),
+        inactive_activity(),
+        log_no_leak(),
+    ]
+}
+
+const PWD_LAYOUT: &str = r#"<LinearLayout xmlns:android="http://schemas.android.com/apk/res/android">
+  <EditText android:id="@+id/username"/>
+  <EditText android:id="@+id/pwdString" android:inputType="textPassword"/>
+  <Button android:id="@+id/button1" android:onClick="sendIt"/>
+</LinearLayout>"#;
+
+/// The paper's Listing 1 shape: a password field read in the lifecycle
+/// is sent via SMS from an XML button handler.
+fn private_data_leak1() -> BenchApp {
+    let code = r#"
+class dbench.pdl1.Main extends android.app.Activity {
+  field pwd: java.lang.String
+  method onCreate(b: android.os.Bundle) -> void {
+    virtualinvoke this.<android.app.Activity: void setContentView(int)>(@layout/main)
+    return
+  }
+  method onRestart() -> void {
+    let v: android.view.View
+    let p: java.lang.String
+    v = virtualinvoke this.<android.app.Activity: android.view.View findViewById(int)>(@id/pwdString)
+    p = virtualinvoke v.<java.lang.Object: java.lang.String toString()>()
+    this.pwd = p
+    return
+  }
+  method sendIt(v: android.view.View) -> void {
+    let p: java.lang.String
+    let sms: android.telephony.SmsManager
+    p = this.pwd
+    sms = staticinvoke <android.telephony.SmsManager: android.telephony.SmsManager getDefault()>()
+    virtualinvoke sms.<android.telephony.SmsManager: void sendTextMessage(java.lang.String,java.lang.String,java.lang.String,java.lang.Object,java.lang.Object)>("+44 020 7321 0905", null, p, null, null)
+    return
+  }
+}
+"#
+    .to_owned();
+    BenchApp {
+        name: "PrivateDataLeak1",
+        category: Category::AndroidSpecific,
+        in_table: true,
+        expected_leaks: 1,
+        description: "password field read in onRestart, sent via SMS from a button handler",
+        manifest: single_activity_manifest("dbench.pdl1", "Main"),
+        layouts: vec![("main", PWD_LAYOUT)],
+        code,
+    }
+}
+
+/// Like PrivateDataLeak1, but the password is obfuscated character by
+/// character before the leak (primitive tracking through the loop).
+fn private_data_leak2() -> BenchApp {
+    let code = r#"
+class dbench.pdl2.Main extends android.app.Activity {
+  method onCreate(b: android.os.Bundle) -> void {
+    virtualinvoke this.<android.app.Activity: void setContentView(int)>(@layout/main)
+    return
+  }
+  method sendIt(v: android.view.View) -> void {
+    let w: android.view.View
+    let p: java.lang.String
+    let obf: java.lang.String
+    let chars: char[]
+    let i: int
+    let n: int
+    let c: char
+    let sms: android.telephony.SmsManager
+    w = virtualinvoke this.<android.app.Activity: android.view.View findViewById(int)>(@id/pwdString)
+    p = virtualinvoke w.<java.lang.Object: java.lang.String toString()>()
+    chars = virtualinvoke p.<java.lang.String: char[] toCharArray()>()
+    obf = ""
+    n = lengthof chars
+    i = 0
+  label top:
+    if i >= n goto done
+    c = chars[i]
+    obf = obf + c
+    obf = obf + "_"
+    i = i + 1
+    goto top
+  label done:
+    sms = staticinvoke <android.telephony.SmsManager: android.telephony.SmsManager getDefault()>()
+    virtualinvoke sms.<android.telephony.SmsManager: void sendTextMessage(java.lang.String,java.lang.String,java.lang.String,java.lang.Object,java.lang.Object)>("+44 020 7321 0905", null, obf, null, null)
+    return
+  }
+}
+"#
+    .to_owned();
+    BenchApp {
+        name: "PrivateDataLeak2",
+        category: Category::AndroidSpecific,
+        in_table: true,
+        expected_leaks: 1,
+        description: "password obfuscated char-by-char, then sent via SMS",
+        manifest: single_activity_manifest("dbench.pdl2", "Main"),
+        layouts: vec![("main", PWD_LAYOUT)],
+        code,
+    }
+}
+
+/// The IMEI flows directly from source to sink in one method.
+fn direct_leak1() -> BenchApp {
+    let code = with_imei(
+        r#"
+class dbench.dl1.Main extends android.app.Activity {
+  method onCreate(b: android.os.Bundle) -> void {
+"#,
+        r#"    let sms: android.telephony.SmsManager
+    sms = staticinvoke <android.telephony.SmsManager: android.telephony.SmsManager getDefault()>()
+    virtualinvoke sms.<android.telephony.SmsManager: void sendTextMessage(java.lang.String,java.lang.String,java.lang.String,java.lang.Object,java.lang.Object)>("+44 020 7321 0905", null, id, null, null)
+    return
+  }
+}
+"#,
+    );
+    BenchApp {
+        name: "DirectLeak1",
+        category: Category::AndroidSpecific,
+        in_table: true,
+        expected_leaks: 1,
+        description: "IMEI sent via SMS directly in onCreate",
+        manifest: single_activity_manifest("dbench.dl1", "Main"),
+        layouts: vec![],
+        code,
+    }
+}
+
+/// A leaking activity that is disabled in the manifest — its lifecycle
+/// never runs.
+fn inactive_activity() -> BenchApp {
+    let manifest = r#"<manifest package="dbench.ia1">
+  <application>
+    <activity android:name=".Main">
+      <intent-filter><action android:name="android.intent.action.MAIN"/></intent-filter>
+    </activity>
+    <activity android:name=".Dormant" android:enabled="false"/>
+  </application>
+</manifest>"#
+        .to_owned();
+    let code = with_imei(
+        r#"
+class dbench.ia1.Main extends android.app.Activity {
+  method onCreate(b: android.os.Bundle) -> void {
+    return
+  }
+}
+class dbench.ia1.Dormant extends android.app.Activity {
+  method onCreate(b: android.os.Bundle) -> void {
+"#,
+        r#"    staticinvoke <android.util.Log: int i(java.lang.String,java.lang.String)>("T", id)
+    return
+  }
+}
+"#,
+    );
+    BenchApp {
+        name: "InactiveActivity",
+        category: Category::AndroidSpecific,
+        in_table: true,
+        expected_leaks: 0,
+        description: "the leaking activity is disabled in the manifest",
+        manifest,
+        layouts: vec![],
+        code,
+    }
+}
+
+/// Only constant data is logged.
+fn log_no_leak() -> BenchApp {
+    let code = r#"
+class dbench.lnl1.Main extends android.app.Activity {
+  method onCreate(b: android.os.Bundle) -> void {
+    let s: java.lang.String
+    s = "nothing sensitive"
+    staticinvoke <android.util.Log: int i(java.lang.String,java.lang.String)>("T", s)
+    return
+  }
+}
+"#
+    .to_owned();
+    BenchApp {
+        name: "LogNoLeak",
+        category: Category::AndroidSpecific,
+        in_table: true,
+        expected_leaks: 0,
+        description: "only constants are logged",
+        manifest: single_activity_manifest("dbench.lnl1", "Main"),
+        layouts: vec![],
+        code,
+    }
+}

@@ -1,0 +1,49 @@
+//! The app registry, organized by Table-1 category.
+
+mod arrays;
+mod callbacks;
+mod extended;
+mod general;
+mod interapp;
+mod lifecycle;
+mod misc;
+mod sensitivity;
+mod supplementary;
+
+use crate::BenchApp;
+
+/// All suite apps in Table-1 order: the 35 table apps, the 4
+/// supplementary apps completing the advertised 39, and the 6 extended
+/// apps (chained callbacks, providers, bound services, …).
+pub fn all_apps() -> Vec<BenchApp> {
+    let mut out = Vec::new();
+    out.extend(arrays::apps());
+    out.extend(callbacks::apps());
+    out.extend(sensitivity::apps());
+    out.extend(interapp::apps());
+    out.extend(lifecycle::apps());
+    out.extend(general::apps());
+    out.extend(misc::apps());
+    out.extend(supplementary::apps());
+    out.extend(extended::apps());
+    out
+}
+
+/// The IMEI-acquisition snippet used throughout the suite (assumes an
+/// activity/service receiver and locals `o`, `tm`, `id`).
+pub(crate) const GET_IMEI: &str = r#"    o = virtualinvoke this.<android.content.Context: java.lang.Object getSystemService(java.lang.String)>("phone")
+    tm = (android.telephony.TelephonyManager) o
+    id = virtualinvoke tm.<android.telephony.TelephonyManager: java.lang.String getDeviceId()>()
+"#;
+
+/// Splices the IMEI-acquisition snippet between a method prefix and a
+/// suffix.
+pub(crate) fn with_imei(prefix: &str, suffix: &str) -> String {
+    format!("{prefix}{IMEI_LOCALS}{GET_IMEI}{suffix}")
+}
+
+/// Declarations for the IMEI snippet.
+pub(crate) const IMEI_LOCALS: &str = r#"    let o: java.lang.Object
+    let tm: android.telephony.TelephonyManager
+    let id: java.lang.String
+"#;

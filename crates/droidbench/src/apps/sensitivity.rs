@@ -1,0 +1,341 @@
+//! Field and Object Sensitivity: distinguishing fields of one object
+//! and objects from different allocation sites (paper §2).
+
+use super::with_imei;
+use crate::{single_activity_manifest, BenchApp, Category};
+
+pub fn apps() -> Vec<BenchApp> {
+    vec![
+        field_sensitivity1(),
+        field_sensitivity2(),
+        field_sensitivity3(),
+        field_sensitivity4(),
+        inherited_objects1(),
+        object_sensitivity1(),
+        object_sensitivity2(),
+    ]
+}
+
+const DATA_CLASS: &str = r#"
+class dbench.sens.Data extends java.lang.Object {
+  field secret: java.lang.String
+  field pub: java.lang.String
+  method <init>() -> void {
+    return
+  }
+  method setSecret(s: java.lang.String) -> void {
+    this.secret = s
+    return
+  }
+  method setPub(s: java.lang.String) -> void {
+    this.pub = s
+    return
+  }
+  method getSecret() -> java.lang.String {
+    let s: java.lang.String
+    s = this.secret
+    return s
+  }
+  method getPub() -> java.lang.String {
+    let s: java.lang.String
+    s = this.pub
+    return s
+  }
+}
+"#;
+
+/// Tainted data in one field, the *other* (clean) field is leaked
+/// directly. No leak; field-insensitive tools false-alarm here.
+fn field_sensitivity1() -> BenchApp {
+    let mut code = with_imei(
+        r#"
+class dbench.fs1.Main extends android.app.Activity {
+  method onCreate(b: android.os.Bundle) -> void {
+"#,
+        r#"    let d: dbench.sens.Data
+    let t: java.lang.String
+    d = new dbench.sens.Data
+    specialinvoke d.<dbench.sens.Data: void <init>()>()
+    d.secret = id
+    d.pub = "plain"
+    t = d.pub
+    staticinvoke <android.util.Log: int i(java.lang.String,java.lang.String)>("T", t)
+    return
+  }
+}
+"#,
+    );
+    code.push_str(DATA_CLASS);
+    BenchApp {
+        name: "FieldSensitivity1",
+        category: Category::FieldObjectSensitivity,
+        in_table: true,
+        expected_leaks: 0,
+        description: "clean sibling field leaked, tainted field untouched (direct access)",
+        manifest: single_activity_manifest("dbench.fs1", "Main"),
+        layouts: vec![],
+        code,
+    }
+}
+
+/// Like FieldSensitivity1, but through setter/getter methods.
+fn field_sensitivity2() -> BenchApp {
+    let mut code = with_imei(
+        r#"
+class dbench.fs2.Main extends android.app.Activity {
+  method onCreate(b: android.os.Bundle) -> void {
+"#,
+        r#"    let d: dbench.sens.Data
+    let t: java.lang.String
+    d = new dbench.sens.Data
+    specialinvoke d.<dbench.sens.Data: void <init>()>()
+    virtualinvoke d.<dbench.sens.Data: void setSecret(java.lang.String)>(id)
+    virtualinvoke d.<dbench.sens.Data: void setPub(java.lang.String)>("plain")
+    t = virtualinvoke d.<dbench.sens.Data: java.lang.String getPub()>()
+    staticinvoke <android.util.Log: int i(java.lang.String,java.lang.String)>("T", t)
+    return
+  }
+}
+"#,
+    );
+    code.push_str(DATA_CLASS);
+    BenchApp {
+        name: "FieldSensitivity2",
+        category: Category::FieldObjectSensitivity,
+        in_table: true,
+        expected_leaks: 0,
+        description: "clean sibling field leaked via accessor methods",
+        manifest: single_activity_manifest("dbench.fs2", "Main"),
+        layouts: vec![],
+        code,
+    }
+}
+
+/// The tainted field itself is leaked through accessors — a real leak.
+fn field_sensitivity3() -> BenchApp {
+    let mut code = with_imei(
+        r#"
+class dbench.fs3.Main extends android.app.Activity {
+  method onCreate(b: android.os.Bundle) -> void {
+"#,
+        r#"    let d: dbench.sens.Data
+    let t: java.lang.String
+    d = new dbench.sens.Data
+    specialinvoke d.<dbench.sens.Data: void <init>()>()
+    virtualinvoke d.<dbench.sens.Data: void setSecret(java.lang.String)>(id)
+    virtualinvoke d.<dbench.sens.Data: void setPub(java.lang.String)>("plain")
+    t = virtualinvoke d.<dbench.sens.Data: java.lang.String getSecret()>()
+    staticinvoke <android.util.Log: int i(java.lang.String,java.lang.String)>("T", t)
+    return
+  }
+}
+"#,
+    );
+    code.push_str(DATA_CLASS);
+    BenchApp {
+        name: "FieldSensitivity3",
+        category: Category::FieldObjectSensitivity,
+        in_table: true,
+        expected_leaks: 1,
+        description: "tainted field leaked via accessor methods",
+        manifest: single_activity_manifest("dbench.fs3", "Main"),
+        layouts: vec![],
+        code,
+    }
+}
+
+/// A deep field chain (wrapper.inner.secret) carries the taint — the
+/// paper's motivation for access paths of length 5.
+fn field_sensitivity4() -> BenchApp {
+    let code = with_imei(
+        r#"
+class dbench.fs4.Outer extends java.lang.Object {
+  field inner: dbench.fs4.Inner
+  method <init>() -> void {
+    return
+  }
+}
+class dbench.fs4.Inner extends java.lang.Object {
+  field secret: java.lang.String
+  field pub: java.lang.String
+  method <init>() -> void {
+    return
+  }
+}
+class dbench.fs4.Main extends android.app.Activity {
+  method onCreate(b: android.os.Bundle) -> void {
+"#,
+        r#"    let w: dbench.fs4.Outer
+    let i: dbench.fs4.Inner
+    let j: dbench.fs4.Inner
+    let t: java.lang.String
+    let u: java.lang.String
+    w = new dbench.fs4.Outer
+    specialinvoke w.<dbench.fs4.Outer: void <init>()>()
+    i = new dbench.fs4.Inner
+    specialinvoke i.<dbench.fs4.Inner: void <init>()>()
+    w.inner = i
+    i.secret = id
+    i.pub = "plain"
+    j = w.inner
+    u = j.pub
+    staticinvoke <android.util.Log: int d(java.lang.String,java.lang.String)>("OK", u)
+    t = j.secret
+    staticinvoke <android.util.Log: int i(java.lang.String,java.lang.String)>("T", t)
+    return
+  }
+}
+"#,
+    );
+    BenchApp {
+        name: "FieldSensitivity4",
+        category: Category::FieldObjectSensitivity,
+        in_table: true,
+        expected_leaks: 1,
+        description: "taint through a two-level field chain; the clean sibling stays clean",
+        manifest: single_activity_manifest("dbench.fs4", "Main"),
+        layouts: vec![],
+        code,
+    }
+}
+
+/// Virtual dispatch picks the data provider: one subclass returns the
+/// IMEI, the other a constant; the choice is made on an opaque
+/// condition, so the tainted variant is reachable — a real leak.
+fn inherited_objects1() -> BenchApp {
+    let code = r#"
+class dbench.inh1.General extends java.lang.Object {
+  method <init>() -> void {
+    return
+  }
+  method obtain(t: android.telephony.TelephonyManager) -> java.lang.String {
+    return "none"
+  }
+}
+class dbench.inh1.VarA extends dbench.inh1.General {
+  method <init>() -> void {
+    return
+  }
+  method obtain(t: android.telephony.TelephonyManager) -> java.lang.String {
+    let s: java.lang.String
+    s = virtualinvoke t.<android.telephony.TelephonyManager: java.lang.String getDeviceId()>()
+    return s
+  }
+}
+class dbench.inh1.VarB extends dbench.inh1.General {
+  method <init>() -> void {
+    return
+  }
+  method obtain(t: android.telephony.TelephonyManager) -> java.lang.String {
+    return "constant"
+  }
+}
+class dbench.inh1.Main extends android.app.Activity {
+  method onCreate(b: android.os.Bundle) -> void {
+    let o: java.lang.Object
+    let tm: android.telephony.TelephonyManager
+    let g: dbench.inh1.General
+    let s: java.lang.String
+    o = virtualinvoke this.<android.content.Context: java.lang.Object getSystemService(java.lang.String)>("phone")
+    tm = (android.telephony.TelephonyManager) o
+    if opaque goto useB
+    g = new dbench.inh1.VarA
+    specialinvoke g.<dbench.inh1.VarA: void <init>()>()
+    goto done
+  label useB:
+    g = new dbench.inh1.VarB
+    specialinvoke g.<dbench.inh1.VarB: void <init>()>()
+  label done:
+    s = virtualinvoke g.<dbench.inh1.General: java.lang.String obtain(android.telephony.TelephonyManager)>(tm)
+    staticinvoke <android.util.Log: int i(java.lang.String,java.lang.String)>("T", s)
+    return
+  }
+}
+"#
+    .to_owned();
+    BenchApp {
+        name: "InheritedObjects1",
+        category: Category::FieldObjectSensitivity,
+        in_table: true,
+        expected_leaks: 1,
+        description: "virtual dispatch selects a tainted or clean provider subclass",
+        manifest: single_activity_manifest("dbench.inh1", "Main"),
+        layouts: vec![],
+        code,
+    }
+}
+
+/// Two instances of the same class; only the first gets tainted data,
+/// the second is leaked. No real leak; object-insensitive analyses
+/// false-alarm.
+fn object_sensitivity1() -> BenchApp {
+    let mut code = with_imei(
+        r#"
+class dbench.os1.Main extends android.app.Activity {
+  method onCreate(b: android.os.Bundle) -> void {
+"#,
+        r#"    let d1: dbench.sens.Data
+    let d2: dbench.sens.Data
+    let t: java.lang.String
+    d1 = new dbench.sens.Data
+    specialinvoke d1.<dbench.sens.Data: void <init>()>()
+    d2 = new dbench.sens.Data
+    specialinvoke d2.<dbench.sens.Data: void <init>()>()
+    d1.secret = id
+    d2.secret = "plain"
+    t = d2.secret
+    staticinvoke <android.util.Log: int i(java.lang.String,java.lang.String)>("T", t)
+    return
+  }
+}
+"#,
+    );
+    code.push_str(DATA_CLASS);
+    BenchApp {
+        name: "ObjectSensitivity1",
+        category: Category::FieldObjectSensitivity,
+        in_table: true,
+        expected_leaks: 0,
+        description: "two allocation sites; the clean instance's field is leaked",
+        manifest: single_activity_manifest("dbench.os1", "Main"),
+        layouts: vec![],
+        code,
+    }
+}
+
+/// Like ObjectSensitivity1, but the instances travel through setter
+/// methods, requiring context-sensitive summaries to keep them apart.
+fn object_sensitivity2() -> BenchApp {
+    let mut code = with_imei(
+        r#"
+class dbench.os2.Main extends android.app.Activity {
+  method onCreate(b: android.os.Bundle) -> void {
+"#,
+        r#"    let d1: dbench.sens.Data
+    let d2: dbench.sens.Data
+    let t: java.lang.String
+    d1 = new dbench.sens.Data
+    specialinvoke d1.<dbench.sens.Data: void <init>()>()
+    d2 = new dbench.sens.Data
+    specialinvoke d2.<dbench.sens.Data: void <init>()>()
+    virtualinvoke d1.<dbench.sens.Data: void setSecret(java.lang.String)>(id)
+    virtualinvoke d2.<dbench.sens.Data: void setSecret(java.lang.String)>("plain")
+    t = virtualinvoke d2.<dbench.sens.Data: java.lang.String getSecret()>()
+    staticinvoke <android.util.Log: int i(java.lang.String,java.lang.String)>("T", t)
+    return
+  }
+}
+"#,
+    );
+    code.push_str(DATA_CLASS);
+    BenchApp {
+        name: "ObjectSensitivity2",
+        category: Category::FieldObjectSensitivity,
+        in_table: true,
+        expected_leaks: 0,
+        description: "clean instance leaked; both instances share accessor summaries",
+        manifest: single_activity_manifest("dbench.os2", "Main"),
+        layouts: vec![],
+        code,
+    }
+}

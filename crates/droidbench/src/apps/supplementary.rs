@@ -1,0 +1,139 @@
+//! Supplementary apps beyond the paper's Table 1, completing the
+//! advertised 39: documented limitations (implicit flows, reflection)
+//! and two additional positive tests.
+
+use super::with_imei;
+use crate::{single_activity_manifest, BenchApp, Category};
+
+pub fn apps() -> Vec<BenchApp> {
+    vec![implicit_flow1(), reflection1(), casting1(), exceptions1()]
+}
+
+/// Data leaks through a control-flow dependency only. The paper
+/// explicitly excludes implicit flows (footnote 1), so the expected
+/// analysis result is "no leak" even though information escapes.
+fn implicit_flow1() -> BenchApp {
+    let code = with_imei(
+        r#"
+class dbench.if1.Main extends android.app.Activity {
+  method onCreate(b: android.os.Bundle) -> void {
+"#,
+        r#"    let out: java.lang.String
+    if id == null goto low
+    out = "one"
+    goto report
+  label low:
+    out = "zero"
+  label report:
+    staticinvoke <android.util.Log: int i(java.lang.String,java.lang.String)>("T", out)
+    return
+  }
+}
+"#,
+    );
+    BenchApp {
+        name: "ImplicitFlow1",
+        category: Category::Supplementary,
+        in_table: false,
+        expected_leaks: 0,
+        description: "implicit (control-dependence) flow — out of scope by design",
+        manifest: single_activity_manifest("dbench.if1", "Main"),
+        layouts: vec![],
+        code,
+    }
+}
+
+/// The sink is invoked behind a reflective dispatch stand-in that the
+/// analysis cannot resolve (a phantom `java.lang.reflect.Method.invoke`
+/// with no rule): a documented limitation.
+fn reflection1() -> BenchApp {
+    let code = with_imei(
+        r#"
+class dbench.refl1.Main extends android.app.Activity {
+  method onCreate(b: android.os.Bundle) -> void {
+"#,
+        r#"    let m: java.lang.reflect.Method
+    m = staticinvoke <dbench.refl1.Main: java.lang.reflect.Method lookup(java.lang.String)>("leak")
+    virtualinvoke m.<java.lang.reflect.Method: java.lang.Object invoke(java.lang.Object,java.lang.String)>(this, id)
+    return
+  }
+  native static method lookup(name: java.lang.String) -> java.lang.reflect.Method
+  method leak(s: java.lang.String) -> void {
+    staticinvoke <android.util.Log: int i(java.lang.String,java.lang.String)>("T", s)
+    return
+  }
+}
+"#,
+    );
+    BenchApp {
+        name: "Reflection1",
+        category: Category::Supplementary,
+        in_table: false,
+        expected_leaks: 1,
+        description: "reflective call to the leaking method (documented limitation: missed)",
+        manifest: single_activity_manifest("dbench.refl1", "Main"),
+        layouts: vec![],
+        code,
+    }
+}
+
+/// Taint survives an up- and down-cast chain.
+fn casting1() -> BenchApp {
+    let code = with_imei(
+        r#"
+class dbench.cast1.Main extends android.app.Activity {
+  method onCreate(b: android.os.Bundle) -> void {
+"#,
+        r#"    let ob: java.lang.Object
+    let s: java.lang.String
+    ob = (java.lang.Object) id
+    s = (java.lang.String) ob
+    staticinvoke <android.util.Log: int i(java.lang.String,java.lang.String)>("T", s)
+    return
+  }
+}
+"#,
+    );
+    BenchApp {
+        name: "Casting1",
+        category: Category::Supplementary,
+        in_table: false,
+        expected_leaks: 1,
+        description: "taint through reference casts",
+        manifest: single_activity_manifest("dbench.cast1", "Main"),
+        layouts: vec![],
+        code,
+    }
+}
+
+/// The leak happens on the path leading to a thrown exception; the
+/// coarse exceptional-flow model still sees the sink call before the
+/// throw.
+fn exceptions1() -> BenchApp {
+    let code = with_imei(
+        r#"
+class dbench.exc1.Main extends android.app.Activity {
+  method onCreate(b: android.os.Bundle) -> void {
+"#,
+        r#"    let e: java.lang.Object
+    if opaque goto boom
+    return
+  label boom:
+    staticinvoke <android.util.Log: int i(java.lang.String,java.lang.String)>("T", id)
+    e = new java.lang.RuntimeException
+    throw e
+  }
+}
+"#,
+    );
+    BenchApp {
+        name: "Exceptions1",
+        category: Category::Supplementary,
+        in_table: false,
+        expected_leaks: 1,
+        description: "leak on a path ending in a throw",
+        manifest: single_activity_manifest("dbench.exc1", "Main"),
+        layouts: vec![],
+        code,
+    }
+}

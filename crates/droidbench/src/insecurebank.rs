@@ -1,0 +1,166 @@
+//! InsecureBank (RQ2): a deliberately vulnerable banking app with
+//! exactly seven ground-truth data leaks, modeled after the Paladion
+//! app the paper analyzes ("FlowDroid finds all seven data leaks …
+//! no false positives nor false negatives").
+//!
+//! The seven leaks:
+//! 1. the password field → device log (login debugging),
+//! 2. the password field → shared preferences ("remember me"),
+//! 3. the password is broadcast inside an intent,
+//! 4. the IMEI → log (analytics),
+//! 5. the IMEI → raw socket (registration with the backend),
+//! 6. the last known location → log,
+//! 7. the account balance (server secret via broadcast intent) → SMS.
+
+use crate::BenchApp;
+use crate::Category;
+
+/// The InsecureBank app bundle.
+pub fn insecure_bank() -> BenchApp {
+    let manifest = r#"<manifest package="com.insecurebank">
+  <application>
+    <activity android:name=".LoginActivity">
+      <intent-filter><action android:name="android.intent.action.MAIN"/></intent-filter>
+    </activity>
+    <activity android:name=".TransferActivity"/>
+    <receiver android:name=".BalanceReceiver" android:exported="true"/>
+  </application>
+</manifest>"#
+        .to_owned();
+
+    let login_layout = r#"<LinearLayout xmlns:android="http://schemas.android.com/apk/res/android">
+  <EditText android:id="@+id/username"/>
+  <EditText android:id="@+id/password" android:inputType="textPassword"/>
+  <Button android:id="@+id/login" android:onClick="doLogin"/>
+</LinearLayout>"#;
+
+    let transfer_layout = r#"<LinearLayout xmlns:android="http://schemas.android.com/apk/res/android">
+  <EditText android:id="@+id/amount"/>
+  <Button android:id="@+id/send" android:onClick="doTransfer"/>
+</LinearLayout>"#;
+
+    let code = r#"
+class com.insecurebank.LoginActivity extends android.app.Activity {
+  field user: java.lang.String
+  field pass: java.lang.String
+  method onCreate(b: android.os.Bundle) -> void {
+    virtualinvoke this.<android.app.Activity: void setContentView(int)>(@layout/login)
+    return
+  }
+  method doLogin(v: android.view.View) -> void {
+    let uv: android.view.View
+    let pv: android.view.View
+    let u: java.lang.String
+    let p: java.lang.String
+    let prefs: android.content.SharedPreferences
+    let ed: android.content.SharedPreferences$Editor
+    let i: android.content.Intent
+    uv = virtualinvoke this.<android.app.Activity: android.view.View findViewById(int)>(@id/username)
+    pv = virtualinvoke this.<android.app.Activity: android.view.View findViewById(int)>(@id/password)
+    u = virtualinvoke uv.<android.widget.TextView: java.lang.String getText()>()
+    p = virtualinvoke pv.<android.widget.TextView: java.lang.String getText()>()
+    this.user = u
+    this.pass = p
+    // Leak 1: password to the device log.
+    staticinvoke <android.util.Log: int d(java.lang.String,java.lang.String)>("login", p)
+    // Leak 2: password persisted in shared preferences.
+    prefs = virtualinvoke this.<android.content.Context: android.content.SharedPreferences getSharedPreferences(java.lang.String,int)>("creds", 0)
+    ed = virtualinvoke prefs.<android.content.SharedPreferences: android.content.SharedPreferences$Editor edit()>()
+    virtualinvoke ed.<android.content.SharedPreferences$Editor: android.content.SharedPreferences$Editor putString(java.lang.String,java.lang.String)>("pwd", p)
+    virtualinvoke ed.<android.content.SharedPreferences$Editor: boolean commit()>()
+    return
+  }
+  method onPause() -> void {
+    let p: java.lang.String
+    let i: android.content.Intent
+    p = this.pass
+    // Leak 3: password broadcast to every app.
+    i = new android.content.Intent
+    specialinvoke i.<android.content.Intent: void <init>()>()
+    virtualinvoke i.<android.content.Intent: android.content.Intent putExtra(java.lang.String,java.lang.String)>("user", p)
+    virtualinvoke this.<android.content.Context: void sendBroadcast(android.content.Intent)>(i)
+    return
+  }
+}
+class com.insecurebank.TransferActivity extends android.app.Activity {
+  field imei: java.lang.String
+  method onCreate(b: android.os.Bundle) -> void {
+    let o: java.lang.Object
+    let tm: android.telephony.TelephonyManager
+    let id: java.lang.String
+    virtualinvoke this.<android.app.Activity: void setContentView(int)>(@layout/transfer)
+    o = virtualinvoke this.<android.content.Context: java.lang.Object getSystemService(java.lang.String)>("phone")
+    tm = (android.telephony.TelephonyManager) o
+    id = virtualinvoke tm.<android.telephony.TelephonyManager: java.lang.String getDeviceId()>()
+    this.imei = id
+    // Leak 4: IMEI to the log ("analytics").
+    staticinvoke <android.util.Log: int i(java.lang.String,java.lang.String)>("analytics", id)
+    return
+  }
+  method doTransfer(v: android.view.View) -> void {
+    let id: java.lang.String
+    let sock: java.net.Socket
+    let os: java.io.OutputStream
+    id = this.imei
+    // Leak 5: IMEI to a raw backend socket.
+    sock = new java.net.Socket
+    specialinvoke sock.<java.net.Socket: void <init>(java.lang.String,int)>("bank.example.com", 8080)
+    os = virtualinvoke sock.<java.net.Socket: java.io.OutputStream getOutputStream()>()
+    virtualinvoke os.<java.io.OutputStream: void write(java.lang.String)>(id)
+    return
+  }
+  method onResume() -> void {
+    let o: java.lang.Object
+    let lm: android.location.LocationManager
+    let loc: android.location.Location
+    let s: java.lang.String
+    o = virtualinvoke this.<android.content.Context: java.lang.Object getSystemService(java.lang.String)>("location")
+    lm = (android.location.LocationManager) o
+    loc = virtualinvoke lm.<android.location.LocationManager: android.location.Location getLastKnownLocation(java.lang.String)>("gps")
+    s = virtualinvoke loc.<java.lang.Object: java.lang.String toString()>()
+    // Leak 6: branch location to the log.
+    staticinvoke <android.util.Log: int d(java.lang.String,java.lang.String)>("branch", s)
+    return
+  }
+}
+class com.insecurebank.BalanceReceiver extends android.content.BroadcastReceiver {
+  method onReceive(c: android.content.Context, i: android.content.Intent) -> void {
+    let bal: java.lang.String
+    let sms: android.telephony.SmsManager
+    bal = virtualinvoke i.<android.content.Intent: java.lang.String getStringExtra(java.lang.String)>("balance")
+    // Leak 7: received balance forwarded via SMS.
+    sms = staticinvoke <android.telephony.SmsManager: android.telephony.SmsManager getDefault()>()
+    virtualinvoke sms.<android.telephony.SmsManager: void sendTextMessage(java.lang.String,java.lang.String,java.lang.String,java.lang.Object,java.lang.Object)>("+1555", null, bal, null, null)
+    return
+  }
+}
+"#
+    .to_owned();
+
+    BenchApp {
+        name: "InsecureBank",
+        category: Category::Supplementary,
+        in_table: false,
+        expected_leaks: 7,
+        description: "vulnerable banking app with exactly seven ground-truth leaks (RQ2)",
+        manifest,
+        layouts: vec![("login", login_layout), ("transfer", transfer_layout)],
+        code,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowdroid_ir::Program;
+
+    #[test]
+    fn insecure_bank_loads() {
+        let mut p = Program::new();
+        flowdroid_android::install_platform(&mut p);
+        let app = insecure_bank();
+        let loaded = app.load(&mut p).unwrap();
+        assert_eq!(loaded.manifest.components.len(), 3);
+        assert_eq!(loaded.layouts.len(), 2);
+    }
+}

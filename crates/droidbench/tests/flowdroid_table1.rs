@@ -1,0 +1,118 @@
+//! The reproduction's headline check: running the reproduced FlowDroid
+//! over DroidBench must match the paper's Table 1 FlowDroid column —
+//! per app and in aggregate (26 TP / 4 FP / 2 misses, 86% precision,
+//! 93% recall).
+
+use flowdroid_android::install_platform;
+use flowdroid_core::{Infoflow, InfoflowConfig, SourceSinkManager, TaintWrapper};
+use flowdroid_droidbench::{all_apps, AppScore, BenchApp};
+use flowdroid_ir::Program;
+use std::collections::HashMap;
+
+fn run_flowdroid(app: &BenchApp) -> usize {
+    let mut p = Program::new();
+    let platform = install_platform(&mut p);
+    let loaded = app.load(&mut p).unwrap_or_else(|e| panic!("{}: {e}", app.name));
+    let sources = SourceSinkManager::default_android();
+    let wrapper = TaintWrapper::default_rules();
+    let config = InfoflowConfig::default();
+    let infoflow = Infoflow::new(&sources, &wrapper, &config);
+    let analysis = infoflow.analyze_app(&mut p, &platform, &loaded, "t");
+    analysis.results.leak_count()
+}
+
+/// The paper's FlowDroid column: leaks *reported* per app.
+fn expected_reported() -> HashMap<&'static str, usize> {
+    let mut m = HashMap::new();
+    // Arrays and Lists — three false positives (index-insensitive).
+    m.insert("ArrayAccess1", 1);
+    m.insert("ArrayAccess2", 1);
+    m.insert("ListAccess1", 1);
+    // Callbacks.
+    m.insert("AnonymousClass1", 2);
+    m.insert("Button1", 1);
+    m.insert("Button2", 2); // 1 real + 1 FP (no strong updates)
+    m.insert("LocationLeak1", 2);
+    m.insert("LocationLeak2", 2);
+    m.insert("MethodOverride1", 1);
+    // Field and Object Sensitivity.
+    m.insert("FieldSensitivity1", 0);
+    m.insert("FieldSensitivity2", 0);
+    m.insert("FieldSensitivity3", 1);
+    m.insert("FieldSensitivity4", 1);
+    m.insert("InheritedObjects1", 1);
+    m.insert("ObjectSensitivity1", 0);
+    m.insert("ObjectSensitivity2", 0);
+    // Inter-App Communication.
+    m.insert("IntentSink1", 0); // documented miss
+    m.insert("IntentSink2", 1);
+    m.insert("ActivityCommunication1", 1);
+    // Lifecycle.
+    m.insert("BroadcastReceiverLifecycle1", 1);
+    m.insert("ActivityLifecycle1", 1);
+    m.insert("ActivityLifecycle2", 1);
+    m.insert("ActivityLifecycle3", 1);
+    m.insert("ActivityLifecycle4", 1);
+    m.insert("ServiceLifecycle1", 1);
+    // General Java.
+    m.insert("Loop1", 1);
+    m.insert("Loop2", 1);
+    m.insert("SourceCodeSpecific1", 1);
+    m.insert("StaticInitialization1", 0); // documented miss
+    m.insert("UnreachableCode", 0);
+    // Miscellaneous Android-Specific.
+    m.insert("PrivateDataLeak1", 1);
+    m.insert("PrivateDataLeak2", 1);
+    m.insert("DirectLeak1", 1);
+    m.insert("InactiveActivity", 0);
+    m.insert("LogNoLeak", 0);
+    // Supplementary (outside Table 1).
+    m.insert("ImplicitFlow1", 0); // implicit flows excluded by design
+    m.insert("Reflection1", 0); // documented limitation
+    m.insert("Casting1", 1);
+    m.insert("Exceptions1", 1);
+    // Extended suite.
+    m.insert("CallbackChain1", 1); // fixed-point callback discovery
+    m.insert("IntentSource1", 1);
+    m.insert("ServiceBound1", 1);
+    m.insert("ProviderQuery1", 1);
+    m.insert("PrivateDataLeak3", 1);
+    m.insert("UnregisteredComponent", 0);
+    m
+}
+
+#[test]
+fn flowdroid_matches_table1_per_app() {
+    let expected = expected_reported();
+    let mut failures = Vec::new();
+    for app in all_apps() {
+        let found = run_flowdroid(&app);
+        let want = expected[app.name];
+        if found != want {
+            failures.push(format!("{}: reported {found}, paper says {want}", app.name));
+        }
+    }
+    assert!(failures.is_empty(), "per-app mismatches:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn flowdroid_aggregate_matches_table1() {
+    let mut total = AppScore::default();
+    for app in all_apps().iter().filter(|a| a.in_table) {
+        let found = run_flowdroid(app);
+        total.add(AppScore::from_counts(app.expected_leaks, found));
+    }
+    assert_eq!(total.tp, 26, "Table 1: 26 correct warnings");
+    assert_eq!(total.fp, 4, "Table 1: 4 false warnings");
+    assert_eq!(total.fn_, 2, "Table 1: 2 missed leaks");
+    assert!((total.precision() - 0.867).abs() < 0.01, "precision ≈ 86%");
+    assert!((total.recall() - 0.929).abs() < 0.01, "recall ≈ 93%");
+    assert!((total.f_measure() - 0.89).abs() < 0.01, "F ≈ 0.89");
+}
+
+#[test]
+fn insecurebank_finds_exactly_seven_leaks() {
+    let app = flowdroid_droidbench::insecurebank::insecure_bank();
+    let found = run_flowdroid(&app);
+    assert_eq!(found, 7, "RQ2: all seven leaks, no false positives");
+}

@@ -1,0 +1,229 @@
+//! Layout XML semantics and the resource-id table.
+//!
+//! Layout files declare the widgets of an activity. The analysis needs
+//! three pieces of information from them (paper §3, §5):
+//!
+//! * which callback handlers are registered declaratively
+//!   (`android:onClick="sendMessage"`),
+//! * which widget ids denote *sensitive* input fields (password
+//!   `EditText`s are sources),
+//! * the integer resource ids that `findViewById`/`setContentView`
+//!   constants in code refer to.
+
+use crate::xml::{self, XmlElement, XmlError};
+use std::collections::HashMap;
+
+/// Base value for layout resource ids (mirrors aapt's `0x7f03____`).
+pub const LAYOUT_ID_BASE: i64 = 0x7f03_0000;
+/// Base value for widget ids (mirrors aapt's `0x7f08____`).
+pub const WIDGET_ID_BASE: i64 = 0x7f08_0000;
+
+/// The widget kinds the analysis distinguishes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum WidgetKind {
+    /// A clickable button.
+    Button,
+    /// A text input field.
+    EditText,
+    /// Any other view (layout containers, labels, …).
+    Other,
+}
+
+/// One widget in a layout.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Widget {
+    /// The widget kind.
+    pub kind: WidgetKind,
+    /// The widget's XML tag (e.g. `Button`, `LinearLayout`).
+    pub tag: String,
+    /// Resource id name from `android:id="@+id/name"`, if any.
+    pub id_name: Option<String>,
+    /// Declarative click handler from `android:onClick`, if any.
+    pub on_click: Option<String>,
+    /// Whether this is a password input (`android:inputType` containing
+    /// `Password`, or `android:password="true"`).
+    pub is_password: bool,
+}
+
+/// One parsed layout file.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Layout {
+    /// Layout resource name (file stem, e.g. `main` for
+    /// `res/layout/main.xml`).
+    pub name: String,
+    /// All widgets in the layout, in breadth-first document order.
+    pub widgets: Vec<Widget>,
+}
+
+impl Layout {
+    /// Parses a layout document. `name` is the resource name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XmlError`] on malformed XML.
+    pub fn parse(name: &str, input: &str) -> Result<Layout, XmlError> {
+        let root = xml::parse(input)?;
+        let widgets = root.descendants().into_iter().map(widget_of).collect();
+        Ok(Layout { name: name.to_owned(), widgets })
+    }
+
+    /// All declarative click-handler method names in this layout.
+    pub fn click_handlers(&self) -> impl Iterator<Item = &str> {
+        self.widgets.iter().filter_map(|w| w.on_click.as_deref())
+    }
+
+    /// The widget with the given id name.
+    pub fn widget_by_id(&self, id_name: &str) -> Option<&Widget> {
+        self.widgets.iter().find(|w| w.id_name.as_deref() == Some(id_name))
+    }
+}
+
+fn widget_of(e: &XmlElement) -> Widget {
+    let kind = match e.name.as_str() {
+        "Button" | "ImageButton" => WidgetKind::Button,
+        "EditText" => WidgetKind::EditText,
+        _ => WidgetKind::Other,
+    };
+    let id_name = e
+        .attr("android:id")
+        .and_then(|v| v.strip_prefix("@+id/").or_else(|| v.strip_prefix("@id/")))
+        .map(str::to_owned);
+    let on_click = e.attr("android:onClick").map(str::to_owned);
+    let input_type = e.attr("android:inputType").unwrap_or("");
+    let is_password = input_type.to_ascii_lowercase().contains("password")
+        || e.attr("android:password") == Some("true");
+    Widget { kind, tag: e.name.clone(), id_name, on_click, is_password }
+}
+
+/// The app-wide resource table: maps symbolic resource names to the
+/// integer constants code refers to (our equivalent of the generated
+/// `R` class).
+#[derive(Clone, Debug, Default)]
+pub struct ResourceTable {
+    layout_ids: HashMap<String, i64>,
+    widget_ids: HashMap<String, i64>,
+    layouts_by_id: HashMap<i64, String>,
+    widgets_by_id: HashMap<i64, String>,
+}
+
+impl ResourceTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the table from a set of parsed layouts, assigning ids in
+    /// iteration order.
+    pub fn from_layouts<'a>(layouts: impl IntoIterator<Item = &'a Layout>) -> Self {
+        let mut t = Self::new();
+        for layout in layouts {
+            t.add_layout(layout);
+        }
+        t
+    }
+
+    /// Registers a layout and all its widget ids.
+    pub fn add_layout(&mut self, layout: &Layout) {
+        let next = LAYOUT_ID_BASE + self.layout_ids.len() as i64;
+        let lid = *self.layout_ids.entry(layout.name.clone()).or_insert(next);
+        self.layouts_by_id.insert(lid, layout.name.clone());
+        for w in &layout.widgets {
+            if let Some(id) = &w.id_name {
+                let next = WIDGET_ID_BASE + self.widget_ids.len() as i64;
+                let wid = *self.widget_ids.entry(id.clone()).or_insert(next);
+                self.widgets_by_id.insert(wid, id.clone());
+            }
+        }
+    }
+
+    /// The integer id of `R.layout.<name>`.
+    pub fn layout_id(&self, name: &str) -> Option<i64> {
+        self.layout_ids.get(name).copied()
+    }
+
+    /// The integer id of `R.id.<name>`.
+    pub fn widget_id(&self, name: &str) -> Option<i64> {
+        self.widget_ids.get(name).copied()
+    }
+
+    /// Reverse lookup: layout name from integer id.
+    pub fn layout_name(&self, id: i64) -> Option<&str> {
+        self.layouts_by_id.get(&id).map(String::as_str)
+    }
+
+    /// Reverse lookup: widget id name from integer id.
+    pub fn widget_name(&self, id: i64) -> Option<&str> {
+        self.widgets_by_id.get(&id).map(String::as_str)
+    }
+
+    /// Resolves a symbolic reference of the form `@layout/name` or
+    /// `@id/name` to its integer id.
+    pub fn resolve(&self, sym: &str) -> Option<i64> {
+        if let Some(n) = sym.strip_prefix("@layout/") {
+            self.layout_id(n)
+        } else if let Some(n) = sym.strip_prefix("@id/") {
+            self.widget_id(n)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"<?xml version="1.0"?>
+<LinearLayout xmlns:android="http://schemas.android.com/apk/res/android">
+    <EditText android:id="@+id/username"/>
+    <EditText android:id="@+id/pwdString" android:inputType="textPassword"/>
+    <Button android:id="@+id/button1" android:onClick="sendMessage"/>
+</LinearLayout>"#;
+
+    #[test]
+    fn parses_widgets() {
+        let l = Layout::parse("main", DOC).unwrap();
+        assert_eq!(l.widgets.len(), 4); // root + 3
+        let pwd = l.widget_by_id("pwdString").unwrap();
+        assert!(pwd.is_password);
+        assert_eq!(pwd.kind, WidgetKind::EditText);
+        let user = l.widget_by_id("username").unwrap();
+        assert!(!user.is_password);
+        let btn = l.widget_by_id("button1").unwrap();
+        assert_eq!(btn.on_click.as_deref(), Some("sendMessage"));
+        assert_eq!(l.click_handlers().collect::<Vec<_>>(), vec!["sendMessage"]);
+    }
+
+    #[test]
+    fn legacy_password_attribute() {
+        let l = Layout::parse("x", r#"<EditText android:id="@+id/p" android:password="true"/>"#)
+            .unwrap();
+        assert!(l.widget_by_id("p").unwrap().is_password);
+    }
+
+    #[test]
+    fn resource_table_assigns_stable_ids() {
+        let l = Layout::parse("main", DOC).unwrap();
+        let t = ResourceTable::from_layouts([&l]);
+        let lid = t.layout_id("main").unwrap();
+        assert_eq!(lid, LAYOUT_ID_BASE);
+        assert_eq!(t.layout_name(lid), Some("main"));
+        let wid = t.widget_id("pwdString").unwrap();
+        assert!(wid >= WIDGET_ID_BASE);
+        assert_eq!(t.widget_name(wid), Some("pwdString"));
+        assert_eq!(t.resolve("@id/pwdString"), Some(wid));
+        assert_eq!(t.resolve("@layout/main"), Some(lid));
+        assert_eq!(t.resolve("@id/nope"), None);
+        assert_eq!(t.resolve("garbage"), None);
+    }
+
+    #[test]
+    fn duplicate_registration_is_idempotent() {
+        let l = Layout::parse("main", DOC).unwrap();
+        let mut t = ResourceTable::new();
+        t.add_layout(&l);
+        let id1 = t.widget_id("button1").unwrap();
+        t.add_layout(&l);
+        assert_eq!(t.widget_id("button1"), Some(id1));
+    }
+}

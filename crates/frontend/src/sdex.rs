@@ -1,0 +1,1024 @@
+//! SDEX: a compact binary class format (the dex-parsing substitute).
+//!
+//! The original FlowDroid converts Dalvik bytecode to Jimple with
+//! Dexpler. We cannot redistribute real dex files, so apps can instead
+//! ship their classes in SDEX: a binary serialization of the IR with a
+//! string pool, descriptor-encoded types and opcode-encoded statement
+//! streams. The encoder and decoder are independent implementations
+//! (the decoder never trusts offsets blindly and validates as it reads),
+//! and round-trip equality is property-tested.
+//!
+//! Layout (all multi-byte integers are unsigned LEB128 unless noted):
+//!
+//! ```text
+//! magic  "SDEX"            4 bytes
+//! version u16 little-endian
+//! string pool: count, then per string: byte length + UTF-8 bytes
+//! class count, then per class:
+//!   name(str idx)  flags(u8: 1=interface 2=abstract)
+//!   super: 0 or 1 + str idx
+//!   interface count + str idxs
+//!   field count, per field: name idx, type descriptor idx, flags(1=static)
+//!   method count, per method:
+//!     name idx, ret descriptor idx, param count + descriptor idxs,
+//!     flags(1=static 2=native 4=abstract)
+//!     body: 0 or 1 + locals (count, per local: name idx, descriptor idx)
+//!       + stmts (count, per stmt: line, opcode, operands)
+//! ```
+//!
+//! Type descriptors use JVM syntax: `I J Z B C S F D V`, `Lcom.foo;`
+//! (dots kept, not slashes) and `[` prefixes for arrays.
+
+use flowdroid_ir::{
+    BinOp, Body, ClassId, CmpOp, Cond, Constant, InvokeExpr, InvokeKind, Local, MethodRef,
+    Operand, Place, Program, Rvalue, Stmt, SubSig, Type, UnOp,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+const MAGIC: &[u8; 4] = b"SDEX";
+
+/// A decode error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SdexError {
+    /// Description.
+    pub message: String,
+    /// Byte offset where decoding failed.
+    pub offset: usize,
+}
+
+impl fmt::Display for SdexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sdex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SdexError {}
+
+// ===================== Encoding =====================
+
+struct Encoder<'p> {
+    program: &'p Program,
+    strings: Vec<String>,
+    string_idx: HashMap<String, u64>,
+    body: Vec<u8>,
+}
+
+impl<'p> Encoder<'p> {
+    fn string(&mut self, s: &str) -> u64 {
+        if let Some(&i) = self.string_idx.get(s) {
+            return i;
+        }
+        let i = self.strings.len() as u64;
+        self.strings.push(s.to_owned());
+        self.string_idx.insert(s.to_owned(), i);
+        i
+    }
+
+    fn type_desc(&mut self, t: &Type) -> u64 {
+        let d = descriptor_of(self.program, t);
+        self.string(&d)
+    }
+
+    fn class_name(&mut self, c: ClassId) -> u64 {
+        let n = self.program.class_name(c).to_owned();
+        self.string(&n)
+    }
+}
+
+fn descriptor_of(p: &Program, t: &Type) -> String {
+    match t {
+        Type::Void => "V".into(),
+        Type::Boolean => "Z".into(),
+        Type::Byte => "B".into(),
+        Type::Char => "C".into(),
+        Type::Short => "S".into(),
+        Type::Int => "I".into(),
+        Type::Long => "J".into(),
+        Type::Float => "F".into(),
+        Type::Double => "D".into(),
+        Type::Ref(c) => format!("L{};", p.class_name(*c)),
+        Type::Array(e) => format!("[{}", descriptor_of(p, e)),
+    }
+}
+
+fn write_uleb(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn write_ileb(out: &mut Vec<u8>, v: i64) {
+    // Zig-zag encoding.
+    write_uleb(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+/// Encodes the given classes of `program` into SDEX bytes.
+///
+/// # Panics
+///
+/// Panics if a class id is out of range for the program.
+pub fn encode(program: &Program, classes: &[ClassId]) -> Vec<u8> {
+    let mut enc = Encoder {
+        program,
+        strings: Vec::new(),
+        string_idx: HashMap::new(),
+        body: Vec::new(),
+    };
+    let mut body = Vec::new();
+    write_uleb(&mut body, classes.len() as u64);
+    for &cid in classes {
+        encode_class(&mut enc, &mut body, cid);
+    }
+    enc.body = body;
+
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    write_uleb(&mut out, enc.strings.len() as u64);
+    for s in &enc.strings {
+        write_uleb(&mut out, s.len() as u64);
+        out.extend_from_slice(s.as_bytes());
+    }
+    out.extend_from_slice(&enc.body);
+    out
+}
+
+fn encode_class(enc: &mut Encoder<'_>, out: &mut Vec<u8>, cid: ClassId) {
+    let p = enc.program;
+    let c = p.class(cid);
+    let name = enc.class_name(cid);
+    write_uleb(out, name);
+    let mut flags = 0u8;
+    if c.is_interface() {
+        flags |= 1;
+    }
+    if c.is_abstract() {
+        flags |= 2;
+    }
+    out.push(flags);
+    match c.superclass() {
+        Some(s) => {
+            out.push(1);
+            let n = enc.class_name(s);
+            write_uleb(out, n);
+        }
+        None => out.push(0),
+    }
+    write_uleb(out, c.interfaces().len() as u64);
+    for &i in c.interfaces() {
+        let n = enc.class_name(i);
+        write_uleb(out, n);
+    }
+    write_uleb(out, c.fields().len() as u64);
+    for &f in c.fields() {
+        let fd = p.field(f);
+        let n = enc.string(p.str(fd.name()));
+        write_uleb(out, n);
+        let t = enc.type_desc(fd.ty());
+        write_uleb(out, t);
+        out.push(u8::from(fd.is_static()));
+    }
+    write_uleb(out, c.methods().len() as u64);
+    for &m in c.methods() {
+        encode_method(enc, out, m);
+    }
+}
+
+fn encode_method(enc: &mut Encoder<'_>, out: &mut Vec<u8>, mid: flowdroid_ir::MethodId) {
+    let p = enc.program;
+    let m = p.method(mid);
+    let n = enc.string(p.str(m.name()));
+    write_uleb(out, n);
+    let r = enc.type_desc(&m.subsig().ret);
+    write_uleb(out, r);
+    write_uleb(out, m.subsig().params.len() as u64);
+    for t in &m.subsig().params {
+        let d = enc.type_desc(t);
+        write_uleb(out, d);
+    }
+    let mut flags = 0u8;
+    if m.is_static() {
+        flags |= 1;
+    }
+    if m.is_native() {
+        flags |= 2;
+    }
+    if m.is_abstract() {
+        flags |= 4;
+    }
+    out.push(flags);
+    match m.body() {
+        None => out.push(0),
+        Some(body) => {
+            out.push(1);
+            write_uleb(out, body.locals().len() as u64);
+            for l in body.locals() {
+                let n = enc.string(&l.name);
+                write_uleb(out, n);
+                let d = enc.type_desc(&l.ty);
+                write_uleb(out, d);
+            }
+            write_uleb(out, body.stmts().len() as u64);
+            for (i, s) in body.stmts().iter().enumerate() {
+                write_uleb(out, u64::from(body.line(i)));
+                encode_stmt(enc, out, s);
+            }
+        }
+    }
+}
+
+// Statement opcodes.
+const OP_NOP: u8 = 0;
+const OP_ASSIGN: u8 = 1;
+const OP_INVOKE: u8 = 2;
+const OP_IF: u8 = 3;
+const OP_GOTO: u8 = 4;
+const OP_RETURN: u8 = 5;
+const OP_THROW: u8 = 6;
+
+// Place tags.
+const PL_LOCAL: u8 = 0;
+const PL_IFIELD: u8 = 1;
+const PL_SFIELD: u8 = 2;
+const PL_ARRAY: u8 = 3;
+
+// Operand tags.
+const OPR_LOCAL: u8 = 0;
+const OPR_INT: u8 = 1;
+const OPR_STR: u8 = 2;
+const OPR_NULL: u8 = 3;
+const OPR_CLASS: u8 = 4;
+
+// Rvalue tags.
+const RV_READ: u8 = 0;
+const RV_CONST: u8 = 1;
+const RV_NEW: u8 = 2;
+const RV_NEWARRAY: u8 = 3;
+const RV_BINOP: u8 = 4;
+const RV_UNOP: u8 = 5;
+const RV_CAST: u8 = 6;
+const RV_INSTANCEOF: u8 = 7;
+
+fn encode_operand(enc: &mut Encoder<'_>, out: &mut Vec<u8>, o: &Operand) {
+    match o {
+        Operand::Local(l) => {
+            out.push(OPR_LOCAL);
+            write_uleb(out, u64::from(l.0));
+        }
+        Operand::Const(c) => encode_const(enc, out, c),
+    }
+}
+
+fn encode_const(enc: &mut Encoder<'_>, out: &mut Vec<u8>, c: &Constant) {
+    match c {
+        Constant::Int(v) => {
+            out.push(OPR_INT);
+            write_ileb(out, *v);
+        }
+        Constant::Str(s) => {
+            out.push(OPR_STR);
+            let i = enc.string(enc.program.str(*s).to_owned().as_str());
+            write_uleb(out, i);
+        }
+        Constant::Null => out.push(OPR_NULL),
+        Constant::Class(s) => {
+            out.push(OPR_CLASS);
+            let i = enc.string(enc.program.str(*s).to_owned().as_str());
+            write_uleb(out, i);
+        }
+    }
+}
+
+fn encode_place(enc: &mut Encoder<'_>, out: &mut Vec<u8>, pl: &Place) {
+    let p = enc.program;
+    match pl {
+        Place::Local(l) => {
+            out.push(PL_LOCAL);
+            write_uleb(out, u64::from(l.0));
+        }
+        Place::InstanceField(b, f) => {
+            out.push(PL_IFIELD);
+            write_uleb(out, u64::from(b.0));
+            let fd = p.field(*f);
+            let cn = enc.class_name(fd.class());
+            write_uleb(out, cn);
+            let fname = enc.string(p.str(fd.name()).to_owned().as_str());
+            write_uleb(out, fname);
+            let ft = enc.type_desc(fd.ty());
+            write_uleb(out, ft);
+        }
+        Place::StaticField(f) => {
+            out.push(PL_SFIELD);
+            let fd = p.field(*f);
+            let cn = enc.class_name(fd.class());
+            write_uleb(out, cn);
+            let fname = enc.string(p.str(fd.name()).to_owned().as_str());
+            write_uleb(out, fname);
+            let ft = enc.type_desc(fd.ty());
+            write_uleb(out, ft);
+        }
+        Place::ArrayElem(b, idx) => {
+            out.push(PL_ARRAY);
+            write_uleb(out, u64::from(b.0));
+            encode_operand(enc, out, idx);
+        }
+    }
+}
+
+fn encode_stmt(enc: &mut Encoder<'_>, out: &mut Vec<u8>, s: &Stmt) {
+    match s {
+        Stmt::Nop => out.push(OP_NOP),
+        Stmt::Assign { lhs, rhs } => {
+            out.push(OP_ASSIGN);
+            encode_place(enc, out, lhs);
+            match rhs {
+                Rvalue::Read(p) => {
+                    out.push(RV_READ);
+                    encode_place(enc, out, p);
+                }
+                Rvalue::Const(c) => {
+                    out.push(RV_CONST);
+                    encode_const(enc, out, c);
+                }
+                Rvalue::New(c) => {
+                    out.push(RV_NEW);
+                    let n = enc.class_name(*c);
+                    write_uleb(out, n);
+                }
+                Rvalue::NewArray(t, n) => {
+                    out.push(RV_NEWARRAY);
+                    let d = enc.type_desc(t);
+                    write_uleb(out, d);
+                    encode_operand(enc, out, n);
+                }
+                Rvalue::BinOp(op, a, b) => {
+                    out.push(RV_BINOP);
+                    out.push(binop_code(*op));
+                    encode_operand(enc, out, a);
+                    encode_operand(enc, out, b);
+                }
+                Rvalue::UnOp(op, a) => {
+                    out.push(RV_UNOP);
+                    out.push(match op {
+                        UnOp::Neg => 0,
+                        UnOp::Len => 1,
+                    });
+                    encode_operand(enc, out, a);
+                }
+                Rvalue::Cast(t, a) => {
+                    out.push(RV_CAST);
+                    let d = enc.type_desc(t);
+                    write_uleb(out, d);
+                    encode_operand(enc, out, a);
+                }
+                Rvalue::InstanceOf(a, t) => {
+                    out.push(RV_INSTANCEOF);
+                    let d = enc.type_desc(t);
+                    write_uleb(out, d);
+                    encode_operand(enc, out, a);
+                }
+            }
+        }
+        Stmt::Invoke { result, call } => {
+            out.push(OP_INVOKE);
+            match result {
+                Some(r) => {
+                    out.push(1);
+                    write_uleb(out, u64::from(r.0));
+                }
+                None => out.push(0),
+            }
+            out.push(match call.kind {
+                InvokeKind::Virtual => 0,
+                InvokeKind::Interface => 1,
+                InvokeKind::Special => 2,
+                InvokeKind::Static => 3,
+            });
+            match call.base {
+                Some(b) => {
+                    out.push(1);
+                    write_uleb(out, u64::from(b.0));
+                }
+                None => out.push(0),
+            }
+            let cn = enc.class_name(call.callee.class);
+            write_uleb(out, cn);
+            let mn = enc.string(enc.program.str(call.callee.subsig.name).to_owned().as_str());
+            write_uleb(out, mn);
+            let rd = enc.type_desc(&call.callee.subsig.ret);
+            write_uleb(out, rd);
+            write_uleb(out, call.callee.subsig.params.len() as u64);
+            for t in &call.callee.subsig.params {
+                let d = enc.type_desc(t);
+                write_uleb(out, d);
+            }
+            write_uleb(out, call.args.len() as u64);
+            for a in &call.args {
+                encode_operand(enc, out, a);
+            }
+        }
+        Stmt::If { cond, target } => {
+            out.push(OP_IF);
+            match cond {
+                Cond::Opaque => out.push(0),
+                Cond::Cmp(op, a, b) => {
+                    out.push(1 + cmpop_code(*op));
+                    encode_operand(enc, out, a);
+                    encode_operand(enc, out, b);
+                }
+            }
+            write_uleb(out, *target as u64);
+        }
+        Stmt::Goto { target } => {
+            out.push(OP_GOTO);
+            write_uleb(out, *target as u64);
+        }
+        Stmt::Return { value } => {
+            out.push(OP_RETURN);
+            match value {
+                Some(v) => {
+                    out.push(1);
+                    encode_operand(enc, out, v);
+                }
+                None => out.push(0),
+            }
+        }
+        Stmt::Throw { value } => {
+            out.push(OP_THROW);
+            encode_operand(enc, out, value);
+        }
+    }
+}
+
+fn binop_code(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Rem => 4,
+        BinOp::And => 5,
+        BinOp::Or => 6,
+        BinOp::Xor => 7,
+        BinOp::Shl => 8,
+        BinOp::Shr => 9,
+        BinOp::Cmp => 10,
+    }
+}
+
+fn cmpop_code(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    }
+}
+
+// ===================== Decoding =====================
+
+struct Decoder<'b, 'p> {
+    bytes: &'b [u8],
+    pos: usize,
+    strings: Vec<String>,
+    program: &'p mut Program,
+}
+
+impl<'b, 'p> Decoder<'b, 'p> {
+    fn err(&self, msg: impl Into<String>) -> SdexError {
+        SdexError { message: msg.into(), offset: self.pos }
+    }
+
+    fn u8(&mut self) -> Result<u8, SdexError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn uleb(&mut self) -> Result<u64, SdexError> {
+        let mut v: u64 = 0;
+        let mut shift = 0;
+        loop {
+            let b = self.u8()?;
+            if shift >= 64 {
+                return Err(self.err("uleb128 overflow"));
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn ileb(&mut self) -> Result<i64, SdexError> {
+        let v = self.uleb()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+
+    fn str_idx(&mut self) -> Result<String, SdexError> {
+        let i = self.uleb()? as usize;
+        self.strings
+            .get(i)
+            .cloned()
+            .ok_or_else(|| self.err(format!("string index {i} out of range")))
+    }
+
+    fn type_desc(&mut self) -> Result<Type, SdexError> {
+        let d = self.str_idx()?;
+        parse_descriptor(self.program, &d).ok_or_else(|| self.err(format!("bad descriptor `{d}`")))
+    }
+
+    fn local(&mut self) -> Result<Local, SdexError> {
+        let v = self.uleb()?;
+        Ok(Local(u32::try_from(v).map_err(|_| self.err("local index overflow"))?))
+    }
+
+    fn operand(&mut self) -> Result<Operand, SdexError> {
+        let tag = self.u8()?;
+        Ok(match tag {
+            OPR_LOCAL => Operand::Local(self.local()?),
+            OPR_INT => Operand::Const(Constant::Int(self.ileb()?)),
+            OPR_STR => {
+                let s = self.str_idx()?;
+                Operand::Const(Constant::Str(self.program.intern(&s)))
+            }
+            OPR_NULL => Operand::Const(Constant::Null),
+            OPR_CLASS => {
+                let s = self.str_idx()?;
+                Operand::Const(Constant::Class(self.program.intern(&s)))
+            }
+            t => return Err(self.err(format!("bad operand tag {t}"))),
+        })
+    }
+
+    /// Resolves (declaring when missing, e.g. for forward references or
+    /// phantom classes) a field.
+    fn field_ref(&mut self, is_static: bool) -> Result<flowdroid_ir::FieldId, SdexError> {
+        let class = self.str_idx()?;
+        let fname = self.str_idx()?;
+        let fty = self.type_desc()?;
+        let cid = self.program.class_id(&class);
+        let sym = self.program.intern(&fname);
+        if let Some(f) = self.program.resolve_field(cid, sym) {
+            Ok(f)
+        } else {
+            Ok(self.program.declare_field(cid, &fname, fty, is_static))
+        }
+    }
+
+    fn place(&mut self) -> Result<Place, SdexError> {
+        let tag = self.u8()?;
+        Ok(match tag {
+            PL_LOCAL => Place::Local(self.local()?),
+            PL_IFIELD => {
+                let b = self.local()?;
+                let f = self.field_ref(false)?;
+                Place::InstanceField(b, f)
+            }
+            PL_SFIELD => {
+                let f = self.field_ref(true)?;
+                Place::StaticField(f)
+            }
+            PL_ARRAY => {
+                let b = self.local()?;
+                let idx = self.operand()?;
+                Place::ArrayElem(b, idx)
+            }
+            t => return Err(self.err(format!("bad place tag {t}"))),
+        })
+    }
+}
+
+fn parse_descriptor(program: &mut Program, d: &str) -> Option<Type> {
+    let b = d.as_bytes();
+    match b.first()? {
+        b'V' if d.len() == 1 => Some(Type::Void),
+        b'Z' if d.len() == 1 => Some(Type::Boolean),
+        b'B' if d.len() == 1 => Some(Type::Byte),
+        b'C' if d.len() == 1 => Some(Type::Char),
+        b'S' if d.len() == 1 => Some(Type::Short),
+        b'I' if d.len() == 1 => Some(Type::Int),
+        b'J' if d.len() == 1 => Some(Type::Long),
+        b'F' if d.len() == 1 => Some(Type::Float),
+        b'D' if d.len() == 1 => Some(Type::Double),
+        b'L' if d.ends_with(';') => Some(program.ref_type(&d[1..d.len() - 1])),
+        b'[' => Some(parse_descriptor(program, &d[1..])?.array_of()),
+        _ => None,
+    }
+}
+
+/// Decodes SDEX bytes, declaring all contained classes into `program`.
+/// Returns the declared class ids.
+///
+/// # Errors
+///
+/// Returns [`SdexError`] on truncated input, bad magic/version, invalid
+/// indices, malformed descriptors or class redeclaration.
+pub fn decode(program: &mut Program, bytes: &[u8]) -> Result<Vec<ClassId>, SdexError> {
+    if bytes.len() < 6 || &bytes[..4] != MAGIC {
+        return Err(SdexError { message: "bad magic".into(), offset: 0 });
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != VERSION {
+        return Err(SdexError {
+            message: format!("unsupported version {version}"),
+            offset: 4,
+        });
+    }
+    let mut dec = Decoder { bytes, pos: 6, strings: Vec::new(), program };
+    let nstrings = dec.uleb()? as usize;
+    for _ in 0..nstrings {
+        let len = dec.uleb()? as usize;
+        if dec.pos + len > dec.bytes.len() {
+            return Err(dec.err("string overruns input"));
+        }
+        let s = std::str::from_utf8(&dec.bytes[dec.pos..dec.pos + len])
+            .map_err(|_| dec.err("invalid UTF-8 in string pool"))?
+            .to_owned();
+        dec.pos += len;
+        dec.strings.push(s);
+    }
+    let nclasses = dec.uleb()? as usize;
+    let mut headers = Vec::with_capacity(nclasses);
+    // Pass 1: declarations (classes, fields, method signatures).
+    for _ in 0..nclasses {
+        headers.push(decode_class_decl(&mut dec)?);
+    }
+    // Pass 2: bodies.
+    let mut ids = Vec::with_capacity(nclasses);
+    for (cid, methods) in headers {
+        ids.push(cid);
+        for (mid, body_bytes_start) in methods {
+            dec.pos = body_bytes_start;
+            decode_body(&mut dec, mid)?;
+        }
+    }
+    Ok(ids)
+}
+
+type ClassHeader = (ClassId, Vec<(flowdroid_ir::MethodId, usize)>);
+
+fn decode_class_decl(dec: &mut Decoder<'_, '_>) -> Result<ClassHeader, SdexError> {
+    let name = dec.str_idx()?;
+    let flags = dec.u8()?;
+    let has_super = dec.u8()?;
+    let superclass = if has_super == 1 { Some(dec.str_idx()?) } else { None };
+    let nifaces = dec.uleb()? as usize;
+    let mut ifaces = Vec::with_capacity(nifaces);
+    for _ in 0..nifaces {
+        ifaces.push(dec.str_idx()?);
+    }
+    if dec.program.find_class(&name).is_some_and(|c| dec.program.class(c).is_declared()) {
+        return Err(dec.err(format!("class {name} already declared")));
+    }
+    let iface_refs: Vec<&str> = ifaces.iter().map(String::as_str).collect();
+    let cid = if flags & 1 != 0 {
+        dec.program.declare_interface(&name, &iface_refs)
+    } else {
+        dec.program.declare_class(&name, superclass.as_deref(), &iface_refs)
+    };
+    if flags & 2 != 0 {
+        dec.program.set_abstract(cid, true);
+    }
+    let nfields = dec.uleb()? as usize;
+    for _ in 0..nfields {
+        let fname = dec.str_idx()?;
+        let fty = dec.type_desc()?;
+        let is_static = dec.u8()? == 1;
+        dec.program.declare_field(cid, &fname, fty, is_static);
+    }
+    let nmethods = dec.uleb()? as usize;
+    let mut methods = Vec::with_capacity(nmethods);
+    for _ in 0..nmethods {
+        let mname = dec.str_idx()?;
+        let ret = dec.type_desc()?;
+        let nparams = dec.uleb()? as usize;
+        let mut params = Vec::with_capacity(nparams);
+        for _ in 0..nparams {
+            params.push(dec.type_desc()?);
+        }
+        let mflags = dec.u8()?;
+        let mid = dec.program.declare_method(cid, &mname, params, ret, mflags & 1 != 0);
+        if mflags & 2 != 0 {
+            dec.program.set_native(mid, true);
+        }
+        if mflags & 4 != 0 {
+            dec.program.set_method_abstract(mid, true);
+        }
+        let has_body = dec.u8()?;
+        if has_body == 1 {
+            methods.push((mid, dec.pos));
+            skip_body(dec)?;
+        }
+    }
+    Ok((cid, methods))
+}
+
+/// Skips over an encoded body (used during the declaration pass).
+fn skip_body(dec: &mut Decoder<'_, '_>) -> Result<(), SdexError> {
+    let nlocals = dec.uleb()? as usize;
+    for _ in 0..nlocals {
+        dec.uleb()?;
+        dec.uleb()?;
+    }
+    let nstmts = dec.uleb()? as usize;
+    for _ in 0..nstmts {
+        dec.uleb()?; // line
+        skip_stmt(dec)?;
+    }
+    Ok(())
+}
+
+fn skip_operand(dec: &mut Decoder<'_, '_>) -> Result<(), SdexError> {
+    match dec.u8()? {
+        OPR_LOCAL | OPR_STR | OPR_CLASS => {
+            dec.uleb()?;
+        }
+        OPR_INT => {
+            dec.ileb()?;
+        }
+        OPR_NULL => {}
+        t => return Err(dec.err(format!("bad operand tag {t}"))),
+    }
+    Ok(())
+}
+
+fn skip_place(dec: &mut Decoder<'_, '_>) -> Result<(), SdexError> {
+    match dec.u8()? {
+        PL_LOCAL => {
+            dec.uleb()?;
+        }
+        PL_IFIELD => {
+            dec.uleb()?;
+            dec.uleb()?;
+            dec.uleb()?;
+            dec.uleb()?;
+        }
+        PL_SFIELD => {
+            dec.uleb()?;
+            dec.uleb()?;
+            dec.uleb()?;
+        }
+        PL_ARRAY => {
+            dec.uleb()?;
+            skip_operand(dec)?;
+        }
+        t => return Err(dec.err(format!("bad place tag {t}"))),
+    }
+    Ok(())
+}
+
+fn skip_stmt(dec: &mut Decoder<'_, '_>) -> Result<(), SdexError> {
+    match dec.u8()? {
+        OP_NOP => {}
+        OP_ASSIGN => {
+            skip_place(dec)?;
+            match dec.u8()? {
+                RV_READ => skip_place(dec)?,
+                RV_CONST => skip_operand(dec)?,
+                RV_NEW => {
+                    dec.uleb()?;
+                }
+                RV_NEWARRAY => {
+                    dec.uleb()?;
+                    skip_operand(dec)?;
+                }
+                RV_BINOP => {
+                    dec.u8()?;
+                    skip_operand(dec)?;
+                    skip_operand(dec)?;
+                }
+                RV_UNOP => {
+                    dec.u8()?;
+                    skip_operand(dec)?;
+                }
+                RV_CAST | RV_INSTANCEOF => {
+                    dec.uleb()?;
+                    skip_operand(dec)?;
+                }
+                t => return Err(dec.err(format!("bad rvalue tag {t}"))),
+            }
+        }
+        OP_INVOKE => {
+            if dec.u8()? == 1 {
+                dec.uleb()?;
+            }
+            dec.u8()?;
+            if dec.u8()? == 1 {
+                dec.uleb()?;
+            }
+            dec.uleb()?;
+            dec.uleb()?;
+            dec.uleb()?;
+            let n = dec.uleb()? as usize;
+            for _ in 0..n {
+                dec.uleb()?;
+            }
+            let n = dec.uleb()? as usize;
+            for _ in 0..n {
+                skip_operand(dec)?;
+            }
+        }
+        OP_IF => {
+            if dec.u8()? > 0 {
+                skip_operand(dec)?;
+                skip_operand(dec)?;
+            }
+            dec.uleb()?;
+        }
+        OP_GOTO => {
+            dec.uleb()?;
+        }
+        OP_RETURN => {
+            if dec.u8()? == 1 {
+                skip_operand(dec)?;
+            }
+        }
+        OP_THROW => skip_operand(dec)?,
+        t => return Err(dec.err(format!("bad opcode {t}"))),
+    }
+    Ok(())
+}
+
+fn decode_body(dec: &mut Decoder<'_, '_>, mid: flowdroid_ir::MethodId) -> Result<(), SdexError> {
+    let nlocals = dec.uleb()? as usize;
+    let mut locals = Vec::with_capacity(nlocals);
+    for _ in 0..nlocals {
+        let name = dec.str_idx()?;
+        let ty = dec.type_desc()?;
+        locals.push(flowdroid_ir::LocalDecl { name, ty });
+    }
+    let nstmts = dec.uleb()? as usize;
+    let mut stmts = Vec::with_capacity(nstmts);
+    let mut lines = Vec::with_capacity(nstmts);
+    for _ in 0..nstmts {
+        let line = dec.uleb()? as u32;
+        lines.push(line);
+        stmts.push(decode_stmt(dec, nstmts)?);
+    }
+    let body = Body::new(locals, stmts, lines);
+    dec.program.set_body(mid, body);
+    Ok(())
+}
+
+fn decode_stmt(dec: &mut Decoder<'_, '_>, nstmts: usize) -> Result<Stmt, SdexError> {
+    let target_check = |dec: &Decoder<'_, '_>, t: u64| -> Result<usize, SdexError> {
+        let t = t as usize;
+        if t >= nstmts {
+            Err(dec.err(format!("branch target {t} out of range")))
+        } else {
+            Ok(t)
+        }
+    };
+    Ok(match dec.u8()? {
+        OP_NOP => Stmt::Nop,
+        OP_ASSIGN => {
+            let lhs = dec.place()?;
+            let rhs = match dec.u8()? {
+                RV_READ => Rvalue::Read(dec.place()?),
+                RV_CONST => match dec.operand()? {
+                    Operand::Const(c) => Rvalue::Const(c),
+                    Operand::Local(_) => return Err(dec.err("const tag holds a local")),
+                },
+                RV_NEW => {
+                    let name = dec.str_idx()?;
+                    Rvalue::New(dec.program.class_id(&name))
+                }
+                RV_NEWARRAY => {
+                    let t = dec.type_desc()?;
+                    Rvalue::NewArray(t, dec.operand()?)
+                }
+                RV_BINOP => {
+                    let code = dec.u8()?;
+                    let op = decode_binop(code).ok_or_else(|| dec.err("bad binop"))?;
+                    Rvalue::BinOp(op, dec.operand()?, dec.operand()?)
+                }
+                RV_UNOP => {
+                    let op = match dec.u8()? {
+                        0 => UnOp::Neg,
+                        1 => UnOp::Len,
+                        _ => return Err(dec.err("bad unop")),
+                    };
+                    Rvalue::UnOp(op, dec.operand()?)
+                }
+                RV_CAST => {
+                    let t = dec.type_desc()?;
+                    Rvalue::Cast(t, dec.operand()?)
+                }
+                RV_INSTANCEOF => {
+                    let t = dec.type_desc()?;
+                    let o = dec.operand()?;
+                    Rvalue::InstanceOf(o, t)
+                }
+                t => return Err(dec.err(format!("bad rvalue tag {t}"))),
+            };
+            Stmt::Assign { lhs, rhs }
+        }
+        OP_INVOKE => {
+            let result = if dec.u8()? == 1 { Some(dec.local()?) } else { None };
+            let kind = match dec.u8()? {
+                0 => InvokeKind::Virtual,
+                1 => InvokeKind::Interface,
+                2 => InvokeKind::Special,
+                3 => InvokeKind::Static,
+                t => return Err(dec.err(format!("bad invoke kind {t}"))),
+            };
+            let base = if dec.u8()? == 1 { Some(dec.local()?) } else { None };
+            let class_name = dec.str_idx()?;
+            let mname = dec.str_idx()?;
+            let ret = dec.type_desc()?;
+            let nparams = dec.uleb()? as usize;
+            let mut params = Vec::with_capacity(nparams);
+            for _ in 0..nparams {
+                params.push(dec.type_desc()?);
+            }
+            let nargs = dec.uleb()? as usize;
+            let mut args = Vec::with_capacity(nargs);
+            for _ in 0..nargs {
+                args.push(dec.operand()?);
+            }
+            if nargs != nparams {
+                return Err(dec.err("argument/parameter count mismatch"));
+            }
+            let class = dec.program.class_id(&class_name);
+            let name = dec.program.intern(&mname);
+            Stmt::Invoke {
+                result,
+                call: InvokeExpr {
+                    kind,
+                    base,
+                    callee: MethodRef { class, subsig: SubSig { name, params, ret } },
+                    args,
+                },
+            }
+        }
+        OP_IF => {
+            let ctag = dec.u8()?;
+            let cond = if ctag == 0 {
+                Cond::Opaque
+            } else {
+                let op = decode_cmpop(ctag - 1).ok_or_else(|| dec.err("bad cmp op"))?;
+                let a = dec.operand()?;
+                let b = dec.operand()?;
+                Cond::Cmp(op, a, b)
+            };
+            let t = dec.uleb()?;
+            Stmt::If { cond, target: target_check(dec, t)? }
+        }
+        OP_GOTO => {
+            let t = dec.uleb()?;
+            Stmt::Goto { target: target_check(dec, t)? }
+        }
+        OP_RETURN => {
+            let value = if dec.u8()? == 1 { Some(dec.operand()?) } else { None };
+            Stmt::Return { value }
+        }
+        OP_THROW => Stmt::Throw { value: dec.operand()? },
+        t => return Err(dec.err(format!("bad opcode {t}"))),
+    })
+}
+
+fn decode_binop(code: u8) -> Option<BinOp> {
+    Some(match code {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Rem,
+        5 => BinOp::And,
+        6 => BinOp::Or,
+        7 => BinOp::Xor,
+        8 => BinOp::Shl,
+        9 => BinOp::Shr,
+        10 => BinOp::Cmp,
+        _ => return None,
+    })
+}
+
+fn decode_cmpop(code: u8) -> Option<CmpOp> {
+    Some(match code {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        5 => CmpOp::Ge,
+        _ => return None,
+    })
+}

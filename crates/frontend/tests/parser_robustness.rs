@@ -1,0 +1,103 @@
+//! Robustness: the front-end parsers must reject arbitrary and mutated
+//! input with errors, never panics.
+
+use flowdroid_frontend::layout::ResourceTable;
+use flowdroid_frontend::{parse_jasm, rpk::Archive, xml};
+use flowdroid_ir::Program;
+use proptest::prelude::*;
+
+const VALID: &str = r#"
+class fz.Main extends java.lang.Object {
+  static field g: int
+  method run(x: java.lang.String) -> java.lang.String {
+    let y: java.lang.String
+    let i: int
+    y = x + "suffix"
+    i = 0
+  label top:
+    if i >= 3 goto done
+    i = i + 1
+    goto top
+  label done:
+    return y
+  }
+}
+"#;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary text never panics the jasm parser.
+    #[test]
+    fn jasm_arbitrary_input_never_panics(input in ".{0,256}") {
+        let mut p = Program::new();
+        let rt = ResourceTable::new();
+        let _ = parse_jasm(&mut p, &rt, &input);
+    }
+
+    /// Arbitrary token-ish soup never panics either.
+    #[test]
+    fn jasm_token_soup_never_panics(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("class".to_owned()),
+                Just("method".to_owned()),
+                Just("{".to_owned()),
+                Just("}".to_owned()),
+                Just("(".to_owned()),
+                Just(")".to_owned()),
+                Just("->".to_owned()),
+                Just("let".to_owned()),
+                Just(":".to_owned()),
+                Just("=".to_owned()),
+                Just("goto".to_owned()),
+                Just("if".to_owned()),
+                Just("return".to_owned()),
+                Just("staticinvoke".to_owned()),
+                Just("<".to_owned()),
+                Just(">".to_owned()),
+                "[a-z]{1,6}",
+                "[0-9]{1,4}",
+            ],
+            0..64,
+        )
+    ) {
+        let input = words.join(" ");
+        let mut p = Program::new();
+        let rt = ResourceTable::new();
+        let _ = parse_jasm(&mut p, &rt, &input);
+    }
+
+    /// Mutating one byte of a valid program never panics (it may still
+    /// parse if the mutation hits a comment or identifier).
+    #[test]
+    fn jasm_single_byte_mutation_never_panics(pos in 0usize..512, byte in 32u8..127) {
+        let mut text = VALID.as_bytes().to_vec();
+        if pos < text.len() {
+            text[pos] = byte;
+        }
+        if let Ok(input) = std::str::from_utf8(&text) {
+            let mut p = Program::new();
+            let rt = ResourceTable::new();
+            let _ = parse_jasm(&mut p, &rt, input);
+        }
+    }
+
+    /// Arbitrary bytes never panic the archive or XML parsers.
+    #[test]
+    fn containers_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Archive::from_bytes(&bytes);
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            let _ = xml::parse(text);
+            let _ = flowdroid_frontend::Manifest::parse(text);
+            let _ = flowdroid_frontend::Layout::parse("x", text);
+        }
+    }
+}
+
+#[test]
+fn the_valid_fixture_actually_parses() {
+    let mut p = Program::new();
+    let rt = ResourceTable::new();
+    parse_jasm(&mut p, &rt, VALID).unwrap();
+}

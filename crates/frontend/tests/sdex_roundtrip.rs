@@ -1,0 +1,197 @@
+//! Property tests: SDEX encode → decode (and jasm emit → parse)
+//! preserve programs exactly.
+
+use flowdroid_frontend::layout::ResourceTable;
+use flowdroid_frontend::{parse_jasm, sdex};
+use flowdroid_ir::{
+    BinOp, Constant, MethodBuilder, Operand, Place, Program, ProgramPrinter, Rvalue, Type,
+};
+use proptest::prelude::*;
+
+/// A statement recipe the generator can emit.
+#[derive(Debug, Clone)]
+enum Recipe {
+    Nop,
+    ConstInt(i64),
+    ConstStr(String),
+    Move,
+    FieldStore,
+    FieldLoad,
+    StaticStore,
+    ArrayStore(u8),
+    BinAdd,
+    CallStatic,
+    CallVirtual,
+    OpaqueBranch,
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    prop_oneof![
+        Just(Recipe::Nop),
+        any::<i64>().prop_map(Recipe::ConstInt),
+        "[a-z]{0,8}".prop_map(Recipe::ConstStr),
+        Just(Recipe::Move),
+        Just(Recipe::FieldStore),
+        Just(Recipe::FieldLoad),
+        Just(Recipe::StaticStore),
+        any::<u8>().prop_map(Recipe::ArrayStore),
+        Just(Recipe::BinAdd),
+        Just(Recipe::CallStatic),
+        Just(Recipe::CallVirtual),
+        Just(Recipe::OpaqueBranch),
+    ]
+}
+
+/// Builds a program with one class and one method whose body follows the
+/// recipes.
+fn build_program(recipes: &[Recipe]) -> (Program, flowdroid_ir::ClassId) {
+    let mut p = Program::new();
+    p.declare_class("java.lang.Object", None, &[]);
+    let c = p.declare_class("gen.C", Some("java.lang.Object"), &[]);
+    let holder_ty = p.ref_type("gen.C");
+    let f = p.declare_field(c, "data", Type::Int, false);
+    let sf = p.declare_field(c, "global", Type::Int, true);
+    let mut b = MethodBuilder::new_instance(&mut p, c, "m", vec![Type::Int], Type::Void);
+    let this = b.this();
+    let x = b.local("x", Type::Int);
+    let y = b.local("y", Type::Int);
+    let o = b.local("o", holder_ty);
+    let arr = b.local("arr", Type::Int.array_of());
+    b.assign_local(x, Rvalue::Const(Constant::Int(0)));
+    b.assign_local(y, Rvalue::Const(Constant::Int(0)));
+    b.assign_local(o, Rvalue::Read(Place::Local(this)));
+    b.assign_local(arr, Rvalue::NewArray(Type::Int, Operand::Const(Constant::Int(4))));
+    let end = b.fresh_label();
+    for r in recipes {
+        match r {
+            Recipe::Nop => {
+                b.nop();
+            }
+            Recipe::ConstInt(v) => {
+                b.assign_local(x, Rvalue::Const(Constant::Int(*v)));
+            }
+            Recipe::ConstStr(s) => {
+                let sym = b.program().intern(s);
+                let sl = x; // ints and strings share a slot; types are not checked
+                b.assign_local(sl, Rvalue::Const(Constant::Str(sym)));
+            }
+            Recipe::Move => {
+                b.assign_local(y, Rvalue::Read(Place::Local(x)));
+            }
+            Recipe::FieldStore => {
+                b.assign(Place::InstanceField(o, f), Rvalue::Read(Place::Local(x)));
+            }
+            Recipe::FieldLoad => {
+                b.assign_local(y, Rvalue::Read(Place::InstanceField(o, f)));
+            }
+            Recipe::StaticStore => {
+                b.assign(Place::StaticField(sf), Rvalue::Read(Place::Local(y)));
+            }
+            Recipe::ArrayStore(i) => {
+                b.assign(
+                    Place::ArrayElem(arr, Operand::Const(Constant::Int(i64::from(*i)))),
+                    Rvalue::Read(Place::Local(x)),
+                );
+            }
+            Recipe::BinAdd => {
+                b.assign_local(x, Rvalue::BinOp(BinOp::Add, x.into(), y.into()));
+            }
+            Recipe::CallStatic => {
+                b.call_static(Some(x), "gen.Helper", "get", vec![Type::Int], Type::Int, vec![
+                    y.into(),
+                ]);
+            }
+            Recipe::CallVirtual => {
+                b.call_virtual(None, o, "gen.C", "m", vec![Type::Int], Type::Void, vec![x.into()]);
+            }
+            Recipe::OpaqueBranch => {
+                b.if_opaque(end);
+            }
+        }
+    }
+    b.bind(end);
+    b.ret(None);
+    b.finish();
+    (p, c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encode_decode_preserves_pretty_printed_class(
+        recipes in proptest::collection::vec(recipe_strategy(), 0..24)
+    ) {
+        let (p, c) = build_program(&recipes);
+        let bytes = sdex::encode(&p, &[c]);
+        let mut q = Program::new();
+        let ids = sdex::decode(&mut q, &bytes).expect("decode");
+        prop_assert_eq!(ids.len(), 1);
+        let before = ProgramPrinter::new(&p).class_to_string(c);
+        let after = ProgramPrinter::new(&q).class_to_string(ids[0]);
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn emit_parse_round_trip_preserves_pretty_printed_class(
+        recipes in proptest::collection::vec(recipe_strategy(), 0..24)
+    ) {
+        let (p, c) = build_program(&recipes);
+        let text = flowdroid_frontend::emit_jasm(&p, &[c]);
+        let mut q = Program::new();
+        q.declare_class("java.lang.Object", None, &[]);
+        let rt = ResourceTable::new();
+        let ids = parse_jasm(&mut q, &rt, &text)
+            .unwrap_or_else(|e| panic!("emitted text re-parses: {e}\n{text}"));
+        prop_assert_eq!(ids.len(), 1);
+        let before = ProgramPrinter::new(&p).class_to_string(c);
+        let after = ProgramPrinter::new(&q).class_to_string(ids[0]);
+        prop_assert_eq!(before, after, "emitted:\n{}", text);
+    }
+
+    #[test]
+    fn decode_of_corrupted_bytes_never_panics(
+        recipes in proptest::collection::vec(recipe_strategy(), 0..8),
+        flip in 6usize..256,
+        val in any::<u8>(),
+    ) {
+        let (p, c) = build_program(&recipes);
+        let mut bytes = sdex::encode(&p, &[c]);
+        if flip < bytes.len() {
+            bytes[flip] = val;
+        }
+        let mut q = Program::new();
+        let _ = sdex::decode(&mut q, &bytes); // must not panic
+    }
+}
+
+#[test]
+fn jasm_to_sdex_to_program_matches_direct_parse() {
+    let src = r#"
+class demo.App extends java.lang.Object {
+  field items: java.lang.String[]
+  static field seen: int
+  method run(input: java.lang.String) -> java.lang.String {
+    let buf: java.lang.String
+    buf = input
+    this.items = null
+    static demo.App.seen = 1
+    if input == null goto out
+    buf = buf + "x"
+  label out:
+    return buf
+  }
+  native method nat(x: int) -> int
+}
+"#;
+    let mut direct = Program::new();
+    let rt = ResourceTable::new();
+    let direct_ids = parse_jasm(&mut direct, &rt, src).unwrap();
+    let bytes = sdex::encode(&direct, &direct_ids);
+    let mut via = Program::new();
+    let via_ids = sdex::decode(&mut via, &bytes).unwrap();
+    assert_eq!(
+        ProgramPrinter::new(&direct).class_to_string(direct_ids[0]),
+        ProgramPrinter::new(&via).class_to_string(via_ids[0]),
+    );
+}

@@ -1,0 +1,346 @@
+//! An IDE solver (Sagiv–Reps–Horwitz, TAPSOFT '95): IFDS generalized
+//! from set membership to *values from a lattice* computed along the
+//! exploded supergraph's edges.
+//!
+//! The paper's Heros solver implements both IFDS and IDE (its §7 cites
+//! Rountev et al.'s IDE-based library summaries as a natural extension
+//! of FlowDroid); this module provides the IDE half: **phase 1**
+//! computes *jump functions* — composed edge functions from method
+//! entries to each reachable ⟨statement, fact⟩ — by a worklist over
+//! function joins, and **phase 2** propagates concrete lattice values
+//! along the computed jump and summary functions.
+//!
+//! Edge functions are supplied by the problem as a [`EdgeTransfer`]
+//! implementation — a small, *finite-height* algebra with composition
+//! and join (the classic instantiation, linear constant propagation,
+//! is exercised in the crate's tests).
+
+use crate::problem::IfdsProblem;
+use flowdroid_ir::{MethodId, StmtRef};
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A distributive edge function over lattice values `V`.
+///
+/// Implementations must form a finite-height join semilattice under
+/// [`EdgeTransfer::join`] (the solver iterates to a fixed point of
+/// function joins) and compose associatively.
+pub trait EdgeTransfer<V>: Clone + Eq + Hash + Debug {
+    /// The identity function.
+    fn identity() -> Self;
+    /// Applies the function to a value.
+    fn apply(&self, v: &V) -> V;
+    /// `self` followed by `after` (diagrammatic composition).
+    fn compose(&self, after: &Self) -> Self;
+    /// The join (least upper bound) of two functions.
+    fn join(&self, other: &Self) -> Self;
+}
+
+/// An IDE problem: an [`IfdsProblem`] whose flow functions additionally
+/// label each generated fact with an edge function, plus the value
+/// lattice.
+pub trait IdeProblem: IfdsProblem {
+    /// The value lattice.
+    type Value: Clone + Eq + Debug;
+    /// The edge-function algebra.
+    type Transfer: EdgeTransfer<Self::Value>;
+
+    /// The lattice's top (no information; the initial value of
+    /// everything but the seeds).
+    fn top(&self) -> Self::Value;
+    /// Joins two values (least upper bound toward more information
+    /// loss).
+    fn join_values(&self, a: &Self::Value, b: &Self::Value) -> Self::Value;
+    /// The value seeded at the entry points for the zero fact.
+    fn initial_value(&self) -> Self::Value;
+
+    /// The edge function for a normal-flow edge `⟨n, d⟩ → ⟨succ, d'⟩`.
+    fn normal_transfer(
+        &self,
+        n: StmtRef,
+        d: &Self::Fact,
+        succ: StmtRef,
+        d2: &Self::Fact,
+    ) -> Self::Transfer;
+    /// The edge function for a call edge into a callee.
+    fn call_transfer(
+        &self,
+        call: StmtRef,
+        callee: MethodId,
+        d: &Self::Fact,
+        d2: &Self::Fact,
+    ) -> Self::Transfer;
+    /// The edge function for a return edge back to a return site.
+    fn return_transfer(
+        &self,
+        call: StmtRef,
+        callee: MethodId,
+        exit: StmtRef,
+        d: &Self::Fact,
+        d2: &Self::Fact,
+    ) -> Self::Transfer;
+    /// The edge function for a call-to-return edge.
+    fn call_to_return_transfer(
+        &self,
+        call: StmtRef,
+        d: &Self::Fact,
+        d2: &Self::Fact,
+    ) -> Self::Transfer;
+}
+
+/// The result of an IDE run: lattice values per ⟨statement, fact⟩.
+#[derive(Debug)]
+pub struct IdeResults<F, V> {
+    values: HashMap<(StmtRef, F), V>,
+    top: V,
+}
+
+impl<F: Eq + Hash, V: Clone> IdeResults<F, V> {
+    /// The computed value of `d` before `n` (top if unreached).
+    pub fn value_at(&self, n: StmtRef, d: &F) -> V
+    where
+        F: Clone,
+    {
+        self.values
+            .get(&(n, d.clone()))
+            .cloned()
+            .unwrap_or_else(|| self.top.clone())
+    }
+
+    /// Number of ⟨statement, fact⟩ pairs with a computed value.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` when nothing was computed.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+type JumpKey<F> = (F, StmtRef, F);
+/// (callee, entry fact) → exit summaries (exit stmt, exit fact, function).
+type SummaryMap<F, T> = HashMap<(MethodId, F), Vec<(StmtRef, F, T)>>;
+/// (callee, entry fact) → call contexts (call site, caller fact).
+type IncomingMap<F> = HashMap<(MethodId, F), Vec<(StmtRef, F)>>;
+
+/// The two-phase IDE solver.
+#[derive(Debug)]
+pub struct IdeSolver<'a, P: IdeProblem> {
+    icfg: &'a flowdroid_callgraph::Icfg<'a>,
+    problem: &'a P,
+}
+
+impl<'a, P: IdeProblem> IdeSolver<'a, P> {
+    /// Creates a solver.
+    pub fn new(icfg: &'a flowdroid_callgraph::Icfg<'a>, problem: &'a P) -> Self {
+        IdeSolver { icfg, problem }
+    }
+
+    /// Runs both phases.
+    pub fn solve(&self) -> IdeResults<P::Fact, P::Value> {
+        let jumps = self.phase1();
+        self.phase2(&jumps)
+    }
+
+    /// Phase 1: compute jump functions `⟨sp, d1⟩ → ⟨n, d2⟩ ↦ f` by a
+    /// worklist over function joins.
+    fn phase1(&self) -> HashMap<JumpKey<P::Fact>, P::Transfer> {
+        let icfg = self.icfg;
+        let problem = self.problem;
+        let mut jump: HashMap<JumpKey<P::Fact>, P::Transfer> = HashMap::new();
+        let mut summaries: SummaryMap<P::Fact, P::Transfer> = HashMap::new();
+        let mut incoming: IncomingMap<P::Fact> = HashMap::new();
+        let mut work: VecDeque<JumpKey<P::Fact>> = VecDeque::new();
+
+        let propagate =
+            |jump: &mut HashMap<JumpKey<P::Fact>, P::Transfer>,
+             work: &mut VecDeque<JumpKey<P::Fact>>,
+             d1: P::Fact,
+             n: StmtRef,
+             d2: P::Fact,
+             f: P::Transfer| {
+                let key = (d1, n, d2);
+                match jump.get(&key) {
+                    Some(old) => {
+                        let joined = old.join(&f);
+                        if *old != joined {
+                            jump.insert(key.clone(), joined);
+                            work.push_back(key);
+                        }
+                    }
+                    None => {
+                        jump.insert(key.clone(), f);
+                        work.push_back(key);
+                    }
+                }
+            };
+
+        for (n, d) in self.problem.initial_seeds() {
+            propagate(&mut jump, &mut work, d.clone(), n, d, P::Transfer::identity());
+        }
+
+        while let Some((d1, n, d2)) = work.pop_front() {
+            let f = jump[&(d1.clone(), n, d2.clone())].clone();
+            let is_call = icfg.is_call(n);
+            let callees = icfg.callees_of_call(n);
+            if is_call && !callees.is_empty() {
+                for &callee in callees {
+                    for d3 in problem.call_flow(n, callee, &d2) {
+                        let cf = problem.call_transfer(n, callee, &d2, &d3);
+                        incoming
+                            .entry((callee, d3.clone()))
+                            .or_default()
+                            .push((n, d2.clone()));
+                        for sp in icfg.start_points_of(callee) {
+                            propagate(
+                                &mut jump,
+                                &mut work,
+                                d3.clone(),
+                                sp,
+                                d3.clone(),
+                                P::Transfer::identity(),
+                            );
+                        }
+                        // Apply existing summaries.
+                        if let Some(sums) = summaries.get(&(callee, d3.clone())) {
+                            for (exit, d4, sumf) in sums.clone() {
+                                for ret_site in icfg.return_sites_of_call(n) {
+                                    for d5 in
+                                        problem.return_flow(n, callee, exit, ret_site, &d4)
+                                    {
+                                        let rf = problem
+                                            .return_transfer(n, callee, exit, &d4, &d5);
+                                        let whole =
+                                            f.compose(&cf).compose(&sumf).compose(&rf);
+                                        propagate(
+                                            &mut jump,
+                                            &mut work,
+                                            d1.clone(),
+                                            ret_site,
+                                            d5,
+                                            whole,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                for ret_site in icfg.return_sites_of_call(n) {
+                    for d3 in problem.call_to_return_flow(n, ret_site, &d2) {
+                        let t = problem.call_to_return_transfer(n, &d2, &d3);
+                        propagate(&mut jump, &mut work, d1.clone(), ret_site, d3, f.compose(&t));
+                    }
+                }
+            } else if icfg.is_exit(n) {
+                let callee = icfg.method_of(n);
+                summaries
+                    .entry((callee, d1.clone()))
+                    .or_default()
+                    .push((n, d2.clone(), f.clone()));
+                let inc = incoming.get(&(callee, d1.clone())).cloned().unwrap_or_default();
+                for (call_site, d4) in inc {
+                    let cf = problem.call_transfer(call_site, callee, &d4, &d1);
+                    for ret_site in icfg.return_sites_of_call(call_site) {
+                        for d5 in problem.return_flow(call_site, callee, n, ret_site, &d2) {
+                            let rf = problem.return_transfer(call_site, callee, n, &d2, &d5);
+                            // For each caller context reaching the call.
+                            let caller_keys: Vec<JumpKey<P::Fact>> = jump
+                                .keys()
+                                .filter(|(_, cn, cd)| *cn == call_site && cd == &d4)
+                                .cloned()
+                                .collect();
+                            for (cd1, _, _) in caller_keys {
+                                let caller_f =
+                                    jump[&(cd1.clone(), call_site, d4.clone())].clone();
+                                let whole =
+                                    caller_f.compose(&cf).compose(&f).compose(&rf);
+                                propagate(
+                                    &mut jump,
+                                    &mut work,
+                                    cd1,
+                                    ret_site,
+                                    d5.clone(),
+                                    whole,
+                                );
+                            }
+                        }
+                    }
+                }
+            } else {
+                for succ in icfg.succs_of(n) {
+                    for d3 in problem.normal_flow(n, succ, &d2) {
+                        let t = problem.normal_transfer(n, &d2, succ, &d3);
+                        propagate(&mut jump, &mut work, d1.clone(), succ, d3, f.compose(&t));
+                    }
+                }
+            }
+        }
+        jump
+    }
+
+    /// Phase 2: seed entry values and evaluate jump functions.
+    fn phase2(
+        &self,
+        jumps: &HashMap<JumpKey<P::Fact>, P::Transfer>,
+    ) -> IdeResults<P::Fact, P::Value> {
+        let problem = self.problem;
+        // Entry values per (method-start fact): seeds get the initial
+        // value; callee entries get values propagated through call
+        // edges, iterated to a fixed point.
+        let mut entry_vals: HashMap<(StmtRef, P::Fact), P::Value> = HashMap::new();
+        for (n, d) in problem.initial_seeds() {
+            entry_vals.insert((n, d), problem.initial_value());
+        }
+        // Iterate: compute node values from entry values, derive new
+        // callee-entry values, repeat until stable.
+        let mut values: HashMap<(StmtRef, P::Fact), P::Value> = HashMap::new();
+        loop {
+            values.clear();
+            for ((d1, n, d2), f) in jumps {
+                // Find the entry value for (sp(n.method), d1).
+                let sp = StmtRef::new(n.method, 0);
+                let Some(base) = entry_vals.get(&(sp, d1.clone())) else { continue };
+                let v = f.apply(base);
+                values
+                    .entry((*n, d2.clone()))
+                    .and_modify(|old| *old = problem.join_values(old, &v))
+                    .or_insert(v);
+            }
+            // Derive callee entry values from call sites.
+            let mut changed = false;
+            let icfg = self.icfg;
+            let call_nodes: Vec<(StmtRef, P::Fact)> = values
+                .keys()
+                .filter(|(n, _)| icfg.is_call(*n) && !icfg.callees_of_call(*n).is_empty())
+                .cloned()
+                .collect();
+            for (call, d2) in call_nodes {
+                let v = values[&(call, d2.clone())].clone();
+                for &callee in icfg.callees_of_call(call) {
+                    for d3 in problem.call_flow(call, callee, &d2) {
+                        let cf = problem.call_transfer(call, callee, &d2, &d3);
+                        let nv = cf.apply(&v);
+                        for sp in icfg.start_points_of(callee) {
+                            let key = (sp, d3.clone());
+                            let merged = match entry_vals.get(&key) {
+                                Some(old) => problem.join_values(old, &nv),
+                                None => nv.clone(),
+                            };
+                            if entry_vals.get(&key) != Some(&merged) {
+                                entry_vals.insert(key, merged);
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        IdeResults { values, top: problem.top() }
+    }
+}

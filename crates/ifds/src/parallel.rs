@@ -1,0 +1,229 @@
+//! A multi-threaded IFDS solver (the paper's Heros is "a scalable,
+//! highly multi-threaded implementation of the IFDS framework", §5).
+//!
+//! The tabulation algorithm is monotone — path edges, summaries and
+//! incoming sets only grow — so edges can be processed in any order and
+//! concurrently, as long as the table updates are atomic with respect
+//! to each other. This solver shards the tables behind mutexes and
+//! drives a fixed pool of workers over a shared worklist; termination
+//! uses an in-flight counter (work is done when the list is empty *and*
+//! nobody is processing).
+//!
+//! Determinism note: the *result set* equals the sequential solver's
+//! (the fixed point is unique); only discovery order differs. The
+//! FlowDroid core keeps its deterministic sequential driver for
+//! reproducible leak reports; this solver parallelizes the generic
+//! problems (and demonstrates the Heros property).
+
+use crate::problem::IfdsProblem;
+use crate::solver::IfdsResults;
+use flowdroid_callgraph::Icfg;
+use flowdroid_ir::{MethodId, StmtRef};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// (method, fact) → (statement, fact) pairs.
+type MethodFactMap<F> = HashMap<(MethodId, F), Vec<(StmtRef, F)>>;
+
+struct Shared<F> {
+    /// (n, d2) → d1 set.
+    edges: Mutex<HashMap<(StmtRef, F), HashSet<F>>>,
+    /// (callee, d1) → exit facts.
+    summaries: Mutex<MethodFactMap<F>>,
+    /// (callee, d3) → call contexts.
+    incoming: Mutex<MethodFactMap<F>>,
+    /// Pending edges + in-flight counter + completion flag.
+    queue: Mutex<VecDeque<(F, StmtRef, F)>>,
+    in_flight: AtomicUsize,
+    propagations: AtomicU64,
+    wake: Condvar,
+}
+
+impl<F: Clone + Eq + Hash> Shared<F> {
+    fn propagate(&self, d1: F, n: StmtRef, d2: F) {
+        let is_new = self
+            .edges
+            .lock()
+            .unwrap()
+            .entry((n, d2.clone()))
+            .or_default()
+            .insert(d1.clone());
+        if is_new {
+            self.propagations.fetch_add(1, Ordering::Relaxed);
+            self.queue.lock().unwrap().push_back((d1, n, d2));
+            self.wake.notify_one();
+        }
+    }
+
+    fn d1s_at(&self, n: StmtRef, d2: &F) -> Vec<F> {
+        self.edges
+            .lock()
+            .unwrap()
+            .get(&(n, d2.clone()))
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+}
+
+/// A parallel IFDS solver over `threads` workers.
+#[derive(Debug)]
+pub struct ParallelSolver<'a, P: IfdsProblem> {
+    icfg: &'a Icfg<'a>,
+    problem: &'a P,
+    threads: usize,
+}
+
+impl<'a, P> ParallelSolver<'a, P>
+where
+    P: IfdsProblem + Sync,
+    P::Fact: Send + Sync,
+{
+    /// Creates a solver with the given worker count (at least 1).
+    pub fn new(icfg: &'a Icfg<'a>, problem: &'a P, threads: usize) -> Self {
+        ParallelSolver { icfg, problem, threads: threads.max(1) }
+    }
+
+    /// Runs the tabulation to its (unique) fixed point.
+    pub fn solve(&self) -> IfdsResults<P::Fact> {
+        let shared: Shared<P::Fact> = Shared {
+            edges: Mutex::new(HashMap::new()),
+            summaries: Mutex::new(HashMap::new()),
+            incoming: Mutex::new(HashMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            in_flight: AtomicUsize::new(0),
+            propagations: AtomicU64::new(0),
+            wake: Condvar::new(),
+        };
+        for (n, d) in self.problem.initial_seeds() {
+            shared.propagate(d.clone(), n, d);
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads {
+                scope.spawn(|| self.worker(&shared));
+            }
+        });
+        let edges = shared.edges.into_inner().unwrap();
+        let mut facts: HashMap<StmtRef, Vec<P::Fact>> = HashMap::new();
+        for (n, d) in edges.into_keys() {
+            facts.entry(n).or_default().push(d);
+        }
+        IfdsResults::from_parts(facts, shared.propagations.into_inner())
+    }
+
+    fn worker(&self, shared: &Shared<P::Fact>) {
+        loop {
+            let job = {
+                let mut q = shared.queue.lock().unwrap();
+                loop {
+                    if let Some(job) = q.pop_front() {
+                        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                        break Some(job);
+                    }
+                    if shared.in_flight.load(Ordering::SeqCst) == 0 {
+                        // Nothing queued and nobody working: done. Wake
+                        // the others so they observe the same state.
+                        shared.wake.notify_all();
+                        break None;
+                    }
+                    q = shared.wake.wait(q).unwrap();
+                }
+            };
+            let Some((d1, n, d2)) = job else { return };
+            self.process(shared, d1, n, d2);
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            shared.wake.notify_all();
+        }
+    }
+
+    fn process(&self, shared: &Shared<P::Fact>, d1: P::Fact, n: StmtRef, d2: P::Fact) {
+        let icfg = self.icfg;
+        let problem = self.problem;
+        let callees = icfg.callees_of_call(n);
+        let is_call = icfg.is_call(n);
+        if is_call && !callees.is_empty() {
+            for &callee in callees {
+                let starts = icfg.start_points_of(callee);
+                for d3 in problem.call_flow(n, callee, &d2) {
+                    shared
+                        .incoming
+                        .lock()
+                        .unwrap()
+                        .entry((callee, d3.clone()))
+                        .or_default()
+                        .push((n, d2.clone()));
+                    for &sp in &starts {
+                        shared.propagate(d3.clone(), sp, d3.clone());
+                    }
+                    let sums = shared
+                        .summaries
+                        .lock()
+                        .unwrap()
+                        .get(&(callee, d3.clone()))
+                        .cloned()
+                        .unwrap_or_default();
+                    for (exit, d4) in sums {
+                        for ret_site in icfg.return_sites_of_call(n) {
+                            for d5 in problem.return_flow(n, callee, exit, ret_site, &d4) {
+                                shared.propagate(d1.clone(), ret_site, d5);
+                            }
+                        }
+                    }
+                }
+            }
+            for ret_site in icfg.return_sites_of_call(n) {
+                for d3 in problem.call_to_return_flow(n, ret_site, &d2) {
+                    shared.propagate(d1.clone(), ret_site, d3);
+                }
+            }
+        } else if icfg.is_exit(n) {
+            let callee = icfg.method_of(n);
+            let inserted = {
+                let mut sums = shared.summaries.lock().unwrap();
+                let v = sums.entry((callee, d1.clone())).or_default();
+                let entry = (n, d2.clone());
+                if v.contains(&entry) {
+                    false
+                } else {
+                    v.push(entry);
+                    true
+                }
+            };
+            if inserted {
+                let inc = shared
+                    .incoming
+                    .lock()
+                    .unwrap()
+                    .get(&(callee, d1.clone()))
+                    .cloned()
+                    .unwrap_or_default();
+                for (call_site, d4) in inc {
+                    for ret_site in icfg.return_sites_of_call(call_site) {
+                        for d5 in problem.return_flow(call_site, callee, n, ret_site, &d2) {
+                            for d3 in shared.d1s_at(call_site, &d4) {
+                                shared.propagate(d3, ret_site, d5.clone());
+                            }
+                        }
+                    }
+                }
+            } else {
+                // The summary existed; incoming entries added since then
+                // are handled by the call side (it reads summaries after
+                // registering incoming).
+            }
+        } else if is_call {
+            for ret_site in icfg.return_sites_of_call(n) {
+                for d3 in problem.call_to_return_flow(n, ret_site, &d2) {
+                    shared.propagate(d1.clone(), ret_site, d3);
+                }
+            }
+        } else {
+            for succ in icfg.succs_of(n) {
+                for d3 in problem.normal_flow(n, succ, &d2) {
+                    shared.propagate(d1.clone(), succ, d3);
+                }
+            }
+        }
+    }
+}

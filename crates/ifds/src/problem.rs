@@ -1,0 +1,54 @@
+//! The problem interface for the generic IFDS solver.
+
+use flowdroid_ir::{MethodId, StmtRef};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// An inter-procedural finite distributive subset problem.
+///
+/// Facts are the nodes of the exploded supergraph; the four flow
+/// functions are the edges. Every flow function must propagate the
+/// *zero* fact to itself (identity) — fact generation happens by
+/// returning additional facts from the zero fact.
+///
+/// The solver computes, for every reachable statement `n`, the set of
+/// facts that hold *before* `n` executes.
+pub trait IfdsProblem {
+    /// The data-flow fact domain.
+    type Fact: Clone + Eq + Hash + Debug;
+
+    /// The tautological zero fact.
+    fn zero(&self) -> Self::Fact;
+
+    /// Statements at which to seed the analysis (typically the entry
+    /// point's first statement, with the zero fact).
+    fn initial_seeds(&self) -> Vec<(StmtRef, Self::Fact)>;
+
+    /// Flow within a method: from `n` (where `d` holds) to its
+    /// intraprocedural successor `succ`.
+    fn normal_flow(&self, n: StmtRef, succ: StmtRef, d: &Self::Fact) -> Vec<Self::Fact>;
+
+    /// Flow from a call site into a callee: maps `d` (before the call)
+    /// to facts at the callee's start point.
+    fn call_flow(&self, call: StmtRef, callee: MethodId, d: &Self::Fact) -> Vec<Self::Fact>;
+
+    /// Flow from a callee's exit back to a return site of `call`.
+    /// `d` holds before the exit statement `exit`.
+    fn return_flow(
+        &self,
+        call: StmtRef,
+        callee: MethodId,
+        exit: StmtRef,
+        return_site: StmtRef,
+        d: &Self::Fact,
+    ) -> Vec<Self::Fact>;
+
+    /// Flow that bypasses the call on the caller's side (propagates
+    /// facts not passed to the callee; generates facts at sources).
+    fn call_to_return_flow(
+        &self,
+        call: StmtRef,
+        return_site: StmtRef,
+        d: &Self::Fact,
+    ) -> Vec<Self::Fact>;
+}

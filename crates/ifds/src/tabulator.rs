@@ -1,0 +1,217 @@
+//! The path-edge / summary / incoming-set state machine underlying the
+//! IFDS tabulation algorithm.
+
+use flowdroid_ir::{MethodId, StmtRef};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::Hash;
+
+/// A path edge `⟨sp, d1⟩ → ⟨n, d2⟩`.
+///
+/// The start point `sp` is implied by `n`'s method (methods have a
+/// single entry), so only the source fact `d1`, the target statement `n`
+/// and the target fact `d2` are stored — the same representation Heros
+/// uses.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PathEdge<F> {
+    /// Fact at the method entry (`d1`).
+    pub d1: F,
+    /// Target statement (`n`).
+    pub n: StmtRef,
+    /// Fact holding before `n` (`d2`).
+    pub d2: F,
+}
+
+/// Worklist, path-edge table, end summaries and incoming sets for one
+/// IFDS solver instance.
+///
+/// [`crate::Solver`] drives a `Tabulator` automatically; the FlowDroid
+/// bidirectional analysis drives two of them manually so it can hand
+/// edges from one to the other (context injection).
+#[derive(Debug)]
+pub struct Tabulator<F> {
+    worklist: VecDeque<PathEdge<F>>,
+    /// (n, d2) → set of d1 for all recorded path edges.
+    edges: HashMap<(StmtRef, F), HashSet<F>>,
+    /// (callee, d1-at-entry) → exit facts (exit stmt, d2-at-exit).
+    end_summaries: HashMap<(MethodId, F), Vec<(StmtRef, F)>>,
+    /// (callee, d3-at-entry) → call contexts (call site, d2-at-call).
+    incoming: HashMap<(MethodId, F), Vec<(StmtRef, F)>>,
+    /// Number of path edges ever propagated (for statistics).
+    propagation_count: u64,
+}
+
+impl<F: Clone + Eq + Hash> Default for Tabulator<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<F: Clone + Eq + Hash> Tabulator<F> {
+    /// Creates an empty tabulator.
+    pub fn new() -> Self {
+        Self {
+            worklist: VecDeque::new(),
+            edges: HashMap::new(),
+            end_summaries: HashMap::new(),
+            incoming: HashMap::new(),
+            propagation_count: 0,
+        }
+    }
+
+    /// Records the path edge `⟨·, d1⟩ → ⟨n, d2⟩` and schedules it if it
+    /// is new. Returns `true` if the edge was new.
+    pub fn propagate(&mut self, d1: F, n: StmtRef, d2: F) -> bool {
+        let key = (n, d2.clone());
+        let inserted = self.edges.entry(key).or_default().insert(d1.clone());
+        if inserted {
+            self.propagation_count += 1;
+            self.worklist.push_back(PathEdge { d1, n, d2 });
+        }
+        inserted
+    }
+
+    /// Pops the next edge to process.
+    pub fn pop(&mut self) -> Option<PathEdge<F>> {
+        self.worklist.pop_front()
+    }
+
+    /// Returns `true` if the worklist is empty.
+    pub fn is_idle(&self) -> bool {
+        self.worklist.is_empty()
+    }
+
+    /// All source facts `d1` of path edges targeting `(n, d2)`.
+    pub fn d1s_at(&self, n: StmtRef, d2: &F) -> Vec<F> {
+        self.edges
+            .get(&(n, d2.clone()))
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Returns `true` if the edge `⟨·, d1⟩ → ⟨n, d2⟩` has been recorded.
+    pub fn has_edge(&self, d1: &F, n: StmtRef, d2: &F) -> bool {
+        self.edges
+            .get(&(n, d2.clone()))
+            .is_some_and(|s| s.contains(d1))
+    }
+
+    /// Records a call context: the callee was entered with `d3` from
+    /// `call_site` where `d2` held. Returns `true` if new.
+    pub fn add_incoming(&mut self, callee: MethodId, d3: F, call_site: StmtRef, d2: F) -> bool {
+        let v = self.incoming.entry((callee, d3)).or_default();
+        let entry = (call_site, d2);
+        if v.contains(&entry) {
+            false
+        } else {
+            v.push(entry);
+            true
+        }
+    }
+
+    /// The call contexts recorded for `(callee, d3)`.
+    pub fn incoming_for(&self, callee: MethodId, d3: &F) -> Vec<(StmtRef, F)> {
+        self.incoming
+            .get(&(callee, d3.clone()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Injects call contexts wholesale (used for cross-solver context
+    /// injection in the bidirectional analysis).
+    pub fn inject_incoming(&mut self, callee: MethodId, d3: F, contexts: Vec<(StmtRef, F)>) {
+        for (site, d2) in contexts {
+            self.add_incoming(callee, d3.clone(), site, d2);
+        }
+    }
+
+    /// Installs the end summary `⟨callee, d1⟩ → (exit, d2)`. Returns
+    /// `true` if new.
+    pub fn install_summary(&mut self, callee: MethodId, d1: F, exit: StmtRef, d2: F) -> bool {
+        let v = self.end_summaries.entry((callee, d1)).or_default();
+        let entry = (exit, d2);
+        if v.contains(&entry) {
+            false
+        } else {
+            v.push(entry);
+            true
+        }
+    }
+
+    /// The end summaries recorded for `(callee, d1)`.
+    pub fn summaries_for(&self, callee: MethodId, d1: &F) -> Vec<(StmtRef, F)> {
+        self.end_summaries
+            .get(&(callee, d1.clone()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// All facts recorded as holding before `n` (ignoring source facts).
+    pub fn facts_at(&self, n: StmtRef) -> Vec<F> {
+        self.edges
+            .keys()
+            .filter(|(s, _)| *s == n)
+            .map(|(_, d2)| d2.clone())
+            .collect()
+    }
+
+    /// Iterates over all `(n, d2)` pairs with at least one path edge.
+    pub fn reached(&self) -> impl Iterator<Item = (&StmtRef, &F)> {
+        self.edges.keys().map(|(n, d)| (n, d))
+    }
+
+    /// Number of `propagate` calls that inserted a new edge.
+    pub fn propagation_count(&self) -> u64 {
+        self.propagation_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowdroid_ir::MethodId;
+
+    fn sr(i: usize) -> StmtRef {
+        StmtRef::new(MethodId::from_index(0), i)
+    }
+
+    #[test]
+    fn propagate_dedupes() {
+        let mut t: Tabulator<u32> = Tabulator::new();
+        assert!(t.propagate(0, sr(1), 7));
+        assert!(!t.propagate(0, sr(1), 7));
+        assert!(t.propagate(1, sr(1), 7));
+        assert_eq!(t.propagation_count(), 2);
+        let mut d1s = t.d1s_at(sr(1), &7);
+        d1s.sort_unstable();
+        assert_eq!(d1s, vec![0, 1]);
+        assert!(t.pop().is_some());
+        assert!(t.pop().is_some());
+        assert!(t.pop().is_none());
+        assert!(t.is_idle());
+    }
+
+    #[test]
+    fn summaries_and_incoming_dedupe() {
+        let m = MethodId::from_index(3);
+        let mut t: Tabulator<u32> = Tabulator::new();
+        assert!(t.install_summary(m, 1, sr(9), 2));
+        assert!(!t.install_summary(m, 1, sr(9), 2));
+        assert_eq!(t.summaries_for(m, &1), vec![(sr(9), 2)]);
+        assert!(t.summaries_for(m, &0).is_empty());
+
+        assert!(t.add_incoming(m, 1, sr(4), 5));
+        assert!(!t.add_incoming(m, 1, sr(4), 5));
+        assert_eq!(t.incoming_for(m, &1), vec![(sr(4), 5)]);
+    }
+
+    #[test]
+    fn facts_at_collects_all() {
+        let mut t: Tabulator<u32> = Tabulator::new();
+        t.propagate(0, sr(2), 5);
+        t.propagate(0, sr(2), 6);
+        t.propagate(0, sr(3), 7);
+        let mut facts = t.facts_at(sr(2));
+        facts.sort_unstable();
+        assert_eq!(facts, vec![5, 6]);
+    }
+}

@@ -1,0 +1,372 @@
+//! Linear constant propagation — the canonical IDE instantiation
+//! (Sagiv–Reps–Horwitz 1996, the paper's reference [34]). Facts are
+//! "local is relevant", values are elements of the constant lattice
+//! ⊤ (unknown) / Const(c) / ⊥ (non-constant), edge functions are the
+//! linear maps λv. a·v + b.
+
+use flowdroid_callgraph::{CallGraph, CgAlgorithm, Icfg};
+use flowdroid_ifds::{EdgeTransfer, IdeProblem, IdeSolver, IfdsProblem};
+use flowdroid_ir::{
+    BinOp, Constant, Local, MethodBuilder, MethodId, Operand, Place, Program, Rvalue, Stmt,
+    StmtRef, Type,
+};
+
+// ===================== the lattice =====================
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Val {
+    Top,
+    Const(i64),
+    Bottom,
+}
+
+// ===================== edge functions =====================
+
+/// λv. match self { Id → v, Linear(a,b) → a·v+b, ConstFn(c) → c, Bot → ⊥ }
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Lin {
+    Id,
+    Linear(i64, i64),
+    ConstFn(i64),
+    Bot,
+}
+
+impl EdgeTransfer<Val> for Lin {
+    fn identity() -> Self {
+        Lin::Id
+    }
+
+    fn apply(&self, v: &Val) -> Val {
+        match self {
+            Lin::Id => v.clone(),
+            Lin::ConstFn(c) => Val::Const(*c),
+            Lin::Bot => Val::Bottom,
+            Lin::Linear(a, b) => match v {
+                Val::Top => Val::Top,
+                Val::Const(c) => Val::Const(a * c + b),
+                Val::Bottom => Val::Bottom,
+            },
+        }
+    }
+
+    fn compose(&self, after: &Self) -> Self {
+        match (self, after) {
+            (_, Lin::ConstFn(c)) => Lin::ConstFn(*c),
+            (_, Lin::Bot) | (Lin::Bot, _) => Lin::Bot,
+            (f, Lin::Id) => f.clone(),
+            (Lin::Id, g) => g.clone(),
+            (Lin::ConstFn(c), Lin::Linear(a, b)) => Lin::ConstFn(a * c + b),
+            (Lin::Linear(a1, b1), Lin::Linear(a2, b2)) => {
+                Lin::Linear(a1 * a2, a2 * b1 + b2)
+            }
+        }
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        if self == other {
+            self.clone()
+        } else {
+            Lin::Bot
+        }
+    }
+}
+
+// ===================== the problem =====================
+
+/// `None` is the zero fact; `Some(l)` tracks local `l`'s value.
+type Fact = Option<Local>;
+
+struct LinearConstants<'a> {
+    icfg: Icfg<'a>,
+    entry: MethodId,
+}
+
+impl LinearConstants<'_> {
+    fn stmt(&self, n: StmtRef) -> &Stmt {
+        self.icfg.stmt(n)
+    }
+}
+
+impl IfdsProblem for LinearConstants<'_> {
+    type Fact = Fact;
+
+    fn zero(&self) -> Fact {
+        None
+    }
+
+    fn initial_seeds(&self) -> Vec<(StmtRef, Fact)> {
+        vec![(StmtRef::new(self.entry, 0), None)]
+    }
+
+    fn normal_flow(&self, n: StmtRef, _succ: StmtRef, d: &Fact) -> Vec<Fact> {
+        match self.stmt(n) {
+            Stmt::Assign { lhs: Place::Local(l), rhs } => match d {
+                None => {
+                    // Generate tracking for constant and linear defs.
+                    match rhs {
+                        Rvalue::Const(Constant::Int(_)) => vec![None, Some(*l)],
+                        _ => vec![None],
+                    }
+                }
+                Some(t) if t == l => {
+                    // Self-redefinition (`t = t + 1`) threads through;
+                    // anything else kills the tracking.
+                    if rhs_depends_on(rhs, *t) {
+                        vec![Some(*l)]
+                    } else {
+                        vec![]
+                    }
+                }
+                Some(t) => {
+                    let mut out = vec![Some(*t)];
+                    // x = a*t + b style defs extend tracking to x.
+                    if rhs_depends_on(rhs, *t) {
+                        out.push(Some(*l));
+                    }
+                    out
+                }
+            },
+            _ => vec![*d],
+        }
+    }
+
+    fn call_flow(&self, call: StmtRef, callee: MethodId, d: &Fact) -> Vec<Fact> {
+        let Some(l) = d else { return vec![None] };
+        let expr = self.stmt(call).invoke_expr().expect("call");
+        let m = self.icfg.program().method(callee);
+        let mut out = Vec::new();
+        for (i, arg) in expr.args.iter().enumerate() {
+            if arg.as_local() == Some(*l) && i < m.param_count() {
+                out.push(Some(m.param_local(i)));
+            }
+        }
+        out
+    }
+
+    fn return_flow(
+        &self,
+        call: StmtRef,
+        _callee: MethodId,
+        exit: StmtRef,
+        _return_site: StmtRef,
+        d: &Fact,
+    ) -> Vec<Fact> {
+        let Some(l) = d else { return vec![] };
+        if let Stmt::Return { value: Some(Operand::Local(v)) } = self.stmt(exit) {
+            if v == l {
+                if let Stmt::Invoke { result: Some(r), .. } = self.stmt(call) {
+                    return vec![Some(*r)];
+                }
+            }
+        }
+        vec![]
+    }
+
+    fn call_to_return_flow(&self, call: StmtRef, _return_site: StmtRef, d: &Fact) -> Vec<Fact> {
+        match (d, self.stmt(call)) {
+            (Some(l), Stmt::Invoke { result: Some(r), .. }) if l == r => vec![],
+            _ => vec![*d],
+        }
+    }
+}
+
+fn rhs_depends_on(rhs: &Rvalue, t: Local) -> bool {
+    match rhs {
+        Rvalue::Read(Place::Local(r)) => *r == t,
+        Rvalue::BinOp(_, a, b) => {
+            a.as_local() == Some(t) || b.as_local() == Some(t)
+        }
+        _ => false,
+    }
+}
+
+impl IdeProblem for LinearConstants<'_> {
+    type Value = Val;
+    type Transfer = Lin;
+
+    fn top(&self) -> Val {
+        Val::Top
+    }
+
+    fn join_values(&self, a: &Val, b: &Val) -> Val {
+        match (a, b) {
+            (Val::Top, x) | (x, Val::Top) => x.clone(),
+            (x, y) if x == y => x.clone(),
+            _ => Val::Bottom,
+        }
+    }
+
+    fn initial_value(&self) -> Val {
+        Val::Top
+    }
+
+    fn normal_transfer(&self, n: StmtRef, d: &Fact, _succ: StmtRef, d2: &Fact) -> Lin {
+        let Stmt::Assign { lhs: Place::Local(l), rhs } = self.stmt(n) else { return Lin::Id };
+        // Only edges that *define* the target fact carry a non-identity
+        // function.
+        if d2 != &Some(*l) {
+            return Lin::Id;
+        }
+        match (d, rhs) {
+            (None, Rvalue::Const(Constant::Int(c))) => Lin::ConstFn(*c),
+            (Some(t), Rvalue::Read(Place::Local(r))) if r == t => Lin::Id,
+            (Some(t), Rvalue::BinOp(op, a, b)) => {
+                let (coeff, konst) = match (op, a, b) {
+                    (BinOp::Add, x, Operand::Const(Constant::Int(c)))
+                        if x.as_local() == Some(*t) =>
+                    {
+                        (1, *c)
+                    }
+                    (BinOp::Add, Operand::Const(Constant::Int(c)), x)
+                        if x.as_local() == Some(*t) =>
+                    {
+                        (1, *c)
+                    }
+                    (BinOp::Mul, x, Operand::Const(Constant::Int(c)))
+                        if x.as_local() == Some(*t) =>
+                    {
+                        (*c, 0)
+                    }
+                    (BinOp::Mul, Operand::Const(Constant::Int(c)), x)
+                        if x.as_local() == Some(*t) =>
+                    {
+                        (*c, 0)
+                    }
+                    (BinOp::Sub, x, Operand::Const(Constant::Int(c)))
+                        if x.as_local() == Some(*t) =>
+                    {
+                        (1, -*c)
+                    }
+                    _ => return Lin::Bot,
+                };
+                Lin::Linear(coeff, konst)
+            }
+            _ => Lin::Bot,
+        }
+    }
+
+    fn call_transfer(&self, _c: StmtRef, _m: MethodId, _d: &Fact, _d2: &Fact) -> Lin {
+        Lin::Id
+    }
+
+    fn return_transfer(
+        &self,
+        _c: StmtRef,
+        _m: MethodId,
+        _e: StmtRef,
+        _d: &Fact,
+        _d2: &Fact,
+    ) -> Lin {
+        Lin::Id
+    }
+
+    fn call_to_return_transfer(&self, _c: StmtRef, _d: &Fact, _d2: &Fact) -> Lin {
+        Lin::Id
+    }
+}
+
+// ===================== tests =====================
+
+/// ```text
+/// static int scale(int p) { return p * 3 + 1; }   (as IR arithmetic)
+/// main:
+///   a = 7
+///   b = a + 2        // 9
+///   c = scale(b)     // 28
+///   d = 5
+///   if * goto other
+///   d = 5            // same constant on both paths → still 5
+/// other:
+///   nop              // query point
+/// ```
+fn build() -> (Program, MethodId, Local, Local, Local, Local) {
+    let mut p = Program::new();
+    let cls = p.declare_class("LC", None, &[]);
+    let mut sb = MethodBuilder::new_static_on(&mut p, cls, "scale", vec![Type::Int], Type::Int);
+    let param = sb.param(0);
+    let t = sb.local("t", Type::Int);
+    sb.assign_local(t, Rvalue::BinOp(BinOp::Mul, param.into(), Operand::Const(Constant::Int(3))));
+    sb.assign_local(t, Rvalue::BinOp(BinOp::Add, t.into(), Operand::Const(Constant::Int(1))));
+    sb.ret(Some(t.into()));
+    sb.finish();
+
+    let mut b = MethodBuilder::new_static_on(&mut p, cls, "main", vec![], Type::Void);
+    let a = b.local("a", Type::Int);
+    let bb = b.local("b", Type::Int);
+    let c = b.local("c", Type::Int);
+    let d = b.local("d", Type::Int);
+    b.assign_local(a, Rvalue::Const(Constant::Int(7)));
+    b.assign_local(bb, Rvalue::BinOp(BinOp::Add, a.into(), Operand::Const(Constant::Int(2))));
+    b.call_static(Some(c), "LC", "scale", vec![Type::Int], Type::Int, vec![bb.into()]);
+    b.assign_local(d, Rvalue::Const(Constant::Int(5)));
+    let other = b.fresh_label();
+    b.if_opaque(other);
+    b.assign_local(d, Rvalue::Const(Constant::Int(5)));
+    b.bind(other);
+    b.nop();
+    let main = b.finish();
+    (p, main, a, bb, c, d)
+}
+
+#[test]
+fn linear_constants_through_calls_and_branches() {
+    let (p, main, a, b, c, d) = build();
+    let cg = CallGraph::build(&p, &[main], CgAlgorithm::Cha);
+    let icfg = Icfg::new(&p, &cg);
+    let problem = LinearConstants { icfg, entry: main };
+    let results = IdeSolver::new(&icfg, &problem).solve();
+    let body = p.method(main).body().unwrap();
+    let query = StmtRef::new(main, body.len() - 2); // the nop
+    assert_eq!(results.value_at(query, &Some(a)), Val::Const(7));
+    assert_eq!(results.value_at(query, &Some(b)), Val::Const(9), "7 + 2");
+    assert_eq!(results.value_at(query, &Some(c)), Val::Const(28), "9 * 3 + 1 through the call");
+    assert_eq!(results.value_at(query, &Some(d)), Val::Const(5), "same constant on both paths");
+}
+
+#[test]
+fn conflicting_branch_constants_go_to_bottom() {
+    let mut p = Program::new();
+    let cls = p.declare_class("LC2", None, &[]);
+    let mut b = MethodBuilder::new_static_on(&mut p, cls, "main", vec![], Type::Void);
+    let x = b.local("x", Type::Int);
+    let alt = b.fresh_label();
+    let merge = b.fresh_label();
+    b.assign_local(x, Rvalue::Const(Constant::Int(1)));
+    b.if_opaque(alt);
+    b.assign_local(x, Rvalue::Const(Constant::Int(2)));
+    b.goto(merge);
+    b.bind(alt);
+    b.assign_local(x, Rvalue::Const(Constant::Int(3)));
+    b.bind(merge);
+    b.nop();
+    let main = b.finish();
+
+    let cg = CallGraph::build(&p, &[main], CgAlgorithm::Cha);
+    let icfg = Icfg::new(&p, &cg);
+    let problem = LinearConstants { icfg, entry: main };
+    let results = IdeSolver::new(&icfg, &problem).solve();
+    let body = p.method(main).body().unwrap();
+    let query = StmtRef::new(main, body.len() - 2);
+    assert_eq!(
+        results.value_at(query, &Some(x)),
+        Val::Bottom,
+        "2 on one path, 3 on the other"
+    );
+}
+
+#[test]
+fn edge_function_algebra() {
+    // compose: (λv.2v+1) then (λv.3v+2) = λv.6v+5
+    let f = Lin::Linear(2, 1);
+    let g = Lin::Linear(3, 2);
+    assert_eq!(f.compose(&g), Lin::Linear(6, 5));
+    assert_eq!(f.compose(&Lin::Id), f);
+    assert_eq!(Lin::Id.compose(&g), g);
+    assert_eq!(Lin::ConstFn(4).compose(&Lin::Linear(3, 2)), Lin::ConstFn(14));
+    assert_eq!(f.join(&f), f);
+    assert_eq!(f.join(&g), Lin::Bot);
+    // apply
+    assert_eq!(Lin::Linear(2, 1).apply(&Val::Const(5)), Val::Const(11));
+    assert_eq!(Lin::Linear(2, 1).apply(&Val::Top), Val::Top);
+    assert_eq!(Lin::Bot.apply(&Val::Const(5)), Val::Bottom);
+}

@@ -1,0 +1,165 @@
+//! A second, classic IFDS problem — possibly-uninitialized variables
+//! (the example problem of Reps–Horwitz–Sagiv 1995) — demonstrating
+//! that the solver is a generic framework, not taint-specific.
+
+use flowdroid_callgraph::{CallGraph, CgAlgorithm, Icfg};
+use flowdroid_ifds::{IfdsProblem, Solver};
+use flowdroid_ir::{
+    Constant, Local, MethodBuilder, MethodId, Operand, Place, Program, Rvalue, Stmt, StmtRef,
+    Type,
+};
+
+/// `None` = zero fact; `Some(l)` = local `l` is possibly uninitialized.
+type Fact = Option<Local>;
+
+struct UninitVars<'a> {
+    icfg: Icfg<'a>,
+    entry: MethodId,
+}
+
+impl UninitVars<'_> {
+    fn defines(&self, n: StmtRef) -> Option<Local> {
+        match self.icfg.stmt(n) {
+            Stmt::Assign { lhs: Place::Local(l), .. } => Some(*l),
+            Stmt::Invoke { result: Some(l), .. } => Some(*l),
+            _ => None,
+        }
+    }
+}
+
+impl IfdsProblem for UninitVars<'_> {
+    type Fact = Fact;
+
+    fn zero(&self) -> Fact {
+        None
+    }
+
+    fn initial_seeds(&self) -> Vec<(StmtRef, Fact)> {
+        // At entry, every non-parameter local is possibly uninitialized.
+        let m = self.icfg.program().method(self.entry);
+        let body = m.body().expect("entry body");
+        let first_var = m.param_count() + usize::from(!m.is_static());
+        let sp = StmtRef::new(self.entry, 0);
+        let mut seeds = vec![(sp, None)];
+        for i in first_var..body.locals().len() {
+            seeds.push((sp, Some(Local(i as u32))));
+        }
+        seeds
+    }
+
+    fn normal_flow(&self, n: StmtRef, _succ: StmtRef, d: &Fact) -> Vec<Fact> {
+        match (d, self.defines(n)) {
+            (Some(l), Some(def)) if *l == def => vec![], // initialized here
+            _ => vec![*d],
+        }
+    }
+
+    fn call_flow(&self, call: StmtRef, callee: MethodId, d: &Fact) -> Vec<Fact> {
+        // A possibly-uninitialized local passed as an argument makes the
+        // parameter possibly uninitialized.
+        let Some(l) = d else { return vec![None] };
+        let expr = self.icfg.stmt(call).invoke_expr().expect("call");
+        let m = self.icfg.program().method(callee);
+        let mut out = Vec::new();
+        for (i, arg) in expr.args.iter().enumerate() {
+            if arg.as_local() == Some(*l) && i < m.param_count() {
+                out.push(Some(m.param_local(i)));
+            }
+        }
+        out
+    }
+
+    fn return_flow(
+        &self,
+        call: StmtRef,
+        _callee: MethodId,
+        exit: StmtRef,
+        _return_site: StmtRef,
+        d: &Fact,
+    ) -> Vec<Fact> {
+        // Returning a possibly-uninitialized value makes the result
+        // possibly uninitialized.
+        let Some(l) = d else { return vec![] };
+        if let Stmt::Return { value: Some(Operand::Local(v)) } = self.icfg.stmt(exit) {
+            if v == l {
+                if let Stmt::Invoke { result: Some(r), .. } = self.icfg.stmt(call) {
+                    return vec![Some(*r)];
+                }
+            }
+        }
+        vec![]
+    }
+
+    fn call_to_return_flow(&self, call: StmtRef, _return_site: StmtRef, d: &Fact) -> Vec<Fact> {
+        match (d, self.defines(call)) {
+            (Some(l), Some(def)) if *l == def => vec![],
+            _ => vec![*d],
+        }
+    }
+}
+
+/// Builds:
+/// ```text
+/// static int pick(int p) { return p; }
+/// static void main() {
+///   let a, b, c: int
+///   a = 1
+///   if * goto skip          // b assigned on one path only
+///   b = 2
+/// skip:
+///   c = pick(b)             // b possibly uninit -> c possibly uninit
+///   nop                     // query point
+/// }
+/// ```
+fn build() -> (Program, MethodId, Local, Local, Local) {
+    let mut p = Program::new();
+    let cls = p.declare_class("U", None, &[]);
+    let mut pb = MethodBuilder::new_static_on(&mut p, cls, "pick", vec![Type::Int], Type::Int);
+    let param = pb.param(0);
+    pb.ret(Some(param.into()));
+    pb.finish();
+
+    let mut b = MethodBuilder::new_static_on(&mut p, cls, "main", vec![], Type::Void);
+    let a = b.local("a", Type::Int);
+    let bb = b.local("b", Type::Int);
+    let c = b.local("c", Type::Int);
+    b.assign_local(a, Rvalue::Const(Constant::Int(1)));
+    let skip = b.fresh_label();
+    b.if_opaque(skip);
+    b.assign_local(bb, Rvalue::Const(Constant::Int(2)));
+    b.bind(skip);
+    b.call_static(Some(c), "U", "pick", vec![Type::Int], Type::Int, vec![bb.into()]);
+    b.nop();
+    let main = b.finish();
+    (p, main, a, bb, c)
+}
+
+#[test]
+fn branch_dependent_initialization() {
+    let (p, main, a, b, c) = build();
+    let cg = CallGraph::build(&p, &[main], CgAlgorithm::Cha);
+    let icfg = Icfg::new(&p, &cg);
+    let problem = UninitVars { icfg, entry: main };
+    let results = Solver::new(&icfg, &problem).solve();
+    // Query at the trailing nop (statement 5).
+    let query = StmtRef::new(main, 5);
+    assert!(!results.holds_at(query, &Some(a)), "a is definitely initialized");
+    assert!(results.holds_at(query, &Some(b)), "b is possibly uninitialized (one path)");
+    assert!(
+        results.holds_at(query, &Some(c)),
+        "c inherits possible-uninit through the call"
+    );
+}
+
+#[test]
+fn all_locals_uninitialized_at_entry() {
+    let (p, main, a, b, c) = build();
+    let cg = CallGraph::build(&p, &[main], CgAlgorithm::Cha);
+    let icfg = Icfg::new(&p, &cg);
+    let problem = UninitVars { icfg, entry: main };
+    let results = Solver::new(&icfg, &problem).solve();
+    let entry = StmtRef::new(main, 0);
+    for l in [a, b, c] {
+        assert!(results.holds_at(entry, &Some(l)));
+    }
+}

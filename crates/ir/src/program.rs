@@ -1,0 +1,444 @@
+//! The program arena: owns all classes, methods, fields and symbols.
+
+use crate::body::Body;
+use crate::class::{Class, ClassId, Field, FieldId, Method, MethodId, MethodRef, SubSig};
+use crate::symbols::{Interner, Symbol};
+use crate::types::Type;
+use std::collections::HashMap;
+
+/// A whole program: the unit of analysis.
+///
+/// All other IR entities live inside a `Program` and are addressed by
+/// copyable ids. Classes referenced before (or without) being declared
+/// exist as *phantom* classes so that incremental construction and
+/// linking against framework stubs always succeeds.
+#[derive(Default, Debug, Clone)]
+pub struct Program {
+    interner: Interner,
+    classes: Vec<Class>,
+    class_by_name: HashMap<Symbol, ClassId>,
+    methods: Vec<Method>,
+    fields: Vec<Field>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ----- symbols ------------------------------------------------------
+
+    /// Interns a string.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        self.interner.intern(s)
+    }
+
+    /// Resolves a symbol to its string.
+    pub fn str(&self, sym: Symbol) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// Looks up a symbol without interning.
+    pub fn lookup_symbol(&self, s: &str) -> Option<Symbol> {
+        self.interner.get(s)
+    }
+
+    // ----- classes ------------------------------------------------------
+
+    /// Returns the id for `name`, creating a phantom class if it does not
+    /// exist yet.
+    pub fn class_id(&mut self, name: &str) -> ClassId {
+        let sym = self.interner.intern(name);
+        if let Some(&id) = self.class_by_name.get(&sym) {
+            return id;
+        }
+        let id = ClassId::from_index(self.classes.len());
+        self.classes.push(Class {
+            id,
+            name: sym,
+            superclass: None,
+            interfaces: Vec::new(),
+            fields: Vec::new(),
+            methods: Vec::new(),
+            method_by_subsig: HashMap::new(),
+            field_by_name: HashMap::new(),
+            is_interface: false,
+            is_abstract: false,
+            is_declared: false,
+        });
+        self.class_by_name.insert(sym, id);
+        id
+    }
+
+    /// Declares (or completes a phantom) class with the given superclass
+    /// and interfaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class was already declared.
+    pub fn declare_class(
+        &mut self,
+        name: &str,
+        superclass: Option<&str>,
+        interfaces: &[&str],
+    ) -> ClassId {
+        let id = self.class_id(name);
+        let superclass = superclass.map(|s| self.class_id(s));
+        let interfaces: Vec<ClassId> = interfaces.iter().map(|s| self.class_id(s)).collect();
+        let c = &mut self.classes[id.index()];
+        assert!(!c.is_declared, "class {name} declared twice");
+        c.superclass = superclass;
+        c.interfaces = interfaces;
+        c.is_declared = true;
+        id
+    }
+
+    /// Declares an interface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interface was already declared.
+    pub fn declare_interface(&mut self, name: &str, extends: &[&str]) -> ClassId {
+        let id = self.declare_class(name, None, extends);
+        self.classes[id.index()].is_interface = true;
+        id
+    }
+
+    /// Marks a class as abstract.
+    pub fn set_abstract(&mut self, class: ClassId, is_abstract: bool) {
+        self.classes[class.index()].is_abstract = is_abstract;
+    }
+
+    /// A class by id.
+    pub fn class(&self, id: ClassId) -> &Class {
+        &self.classes[id.index()]
+    }
+
+    /// Looks up a class by name without creating a phantom.
+    pub fn find_class(&self, name: &str) -> Option<ClassId> {
+        let sym = self.interner.get(name)?;
+        self.class_by_name.get(&sym).copied()
+    }
+
+    /// The fully qualified name of a class.
+    pub fn class_name(&self, id: ClassId) -> &str {
+        self.str(self.classes[id.index()].name)
+    }
+
+    /// Iterates all classes (declared and phantom).
+    pub fn classes(&self) -> impl Iterator<Item = &Class> {
+        self.classes.iter()
+    }
+
+    /// Number of classes (including phantoms).
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// A `Type::Ref` for the named class (interning it as needed).
+    pub fn ref_type(&mut self, name: &str) -> Type {
+        Type::Ref(self.class_id(name))
+    }
+
+    /// Walks the superclass chain starting at (and including) `class`.
+    pub fn supers(&self, class: ClassId) -> Supers<'_> {
+        Supers { program: self, cur: Some(class) }
+    }
+
+    /// Returns `true` if `sub` equals `sup` or transitively extends /
+    /// implements it.
+    pub fn is_subtype_of(&self, sub: ClassId, sup: ClassId) -> bool {
+        let mut stack = vec![sub];
+        let mut seen = std::collections::HashSet::new();
+        while let Some(c) = stack.pop() {
+            if c == sup {
+                return true;
+            }
+            if !seen.insert(c) {
+                continue;
+            }
+            let cd = self.class(c);
+            if let Some(s) = cd.superclass {
+                stack.push(s);
+            }
+            stack.extend(cd.interfaces.iter().copied());
+        }
+        false
+    }
+
+    // ----- fields -------------------------------------------------------
+
+    /// Declares a field on `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field of that name already exists on the class.
+    pub fn declare_field(&mut self, class: ClassId, name: &str, ty: Type, is_static: bool) -> FieldId {
+        let sym = self.interner.intern(name);
+        let id = FieldId::from_index(self.fields.len());
+        let c = &mut self.classes[class.index()];
+        assert!(
+            !c.field_by_name.contains_key(&sym),
+            "field declared twice on class"
+        );
+        c.fields.push(id);
+        c.field_by_name.insert(sym, id);
+        self.fields.push(Field { id, class, name: sym, ty, is_static });
+        id
+    }
+
+    /// A field by id.
+    pub fn field(&self, id: FieldId) -> &Field {
+        &self.fields[id.index()]
+    }
+
+    /// Resolves a field by name on `class`, walking up the superclass
+    /// chain. Creates nothing.
+    pub fn resolve_field(&self, class: ClassId, name: Symbol) -> Option<FieldId> {
+        for c in self.supers(class) {
+            if let Some(f) = self.class(c).field_by_name(name) {
+                return Some(f);
+            }
+        }
+        None
+    }
+
+    /// Number of fields.
+    pub fn field_count(&self) -> usize {
+        self.fields.len()
+    }
+
+    // ----- methods ------------------------------------------------------
+
+    /// Declares a method on `class`. Bodies are attached separately via
+    /// [`Program::set_body`] (the [`crate::MethodBuilder`] does both).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a method with the same subsignature already exists on
+    /// the class.
+    pub fn declare_method(
+        &mut self,
+        class: ClassId,
+        name: &str,
+        params: Vec<Type>,
+        ret: Type,
+        is_static: bool,
+    ) -> MethodId {
+        let name = self.interner.intern(name);
+        let subsig = SubSig { name, params, ret };
+        let id = MethodId::from_index(self.methods.len());
+        let c = &mut self.classes[class.index()];
+        assert!(
+            !c.method_by_subsig.contains_key(&subsig),
+            "method declared twice on class"
+        );
+        c.methods.push(id);
+        c.method_by_subsig.insert(subsig.clone(), id);
+        self.methods.push(Method {
+            id,
+            class,
+            subsig,
+            is_static,
+            is_native: false,
+            is_abstract: false,
+            body: None,
+        });
+        id
+    }
+
+    /// Marks a method native (modeled by explicit rules, never analyzed).
+    pub fn set_native(&mut self, method: MethodId, is_native: bool) {
+        self.methods[method.index()].is_native = is_native;
+    }
+
+    /// Marks a method abstract.
+    pub fn set_method_abstract(&mut self, method: MethodId, is_abstract: bool) {
+        self.methods[method.index()].is_abstract = is_abstract;
+    }
+
+    /// Attaches a body to a method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the method already has a body.
+    pub fn set_body(&mut self, method: MethodId, body: Body) {
+        let m = &mut self.methods[method.index()];
+        assert!(m.body.is_none(), "method body set twice");
+        m.body = Some(body);
+    }
+
+    /// A method by id.
+    pub fn method(&self, id: MethodId) -> &Method {
+        &self.methods[id.index()]
+    }
+
+    /// Iterates all methods.
+    pub fn methods(&self) -> impl Iterator<Item = &Method> {
+        self.methods.iter()
+    }
+
+    /// Number of methods.
+    pub fn method_count(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Looks up a declared method by class name / method name when the
+    /// subsignature is unique by name on that class. Convenience for
+    /// tests and harnesses.
+    pub fn find_method(&self, class: &str, name: &str) -> Option<MethodId> {
+        let cid = self.find_class(class)?;
+        let name = self.interner.get(name)?;
+        let c = self.class(cid);
+        let mut found = None;
+        for &m in &c.methods {
+            if self.method(m).subsig.name == name {
+                if found.is_some() {
+                    return None; // ambiguous
+                }
+                found = Some(m);
+            }
+        }
+        found
+    }
+
+    /// Resolves a method reference to a concrete method by walking up
+    /// the superclass chain from `MethodRef::class` (the "declared
+    /// target" as used for `invokespecial`/`invokestatic` and as the CHA
+    /// starting point for virtual dispatch).
+    pub fn resolve_method_ref(&self, mref: &MethodRef) -> Option<MethodId> {
+        for c in self.supers(mref.class) {
+            if let Some(m) = self.class(c).method_by_subsig(&mref.subsig) {
+                return Some(m);
+            }
+            // Also check interfaces for default-style declarations.
+            for &i in self.class(c).interfaces() {
+                if let Some(m) = self.class(i).method_by_subsig(&mref.subsig) {
+                    return Some(m);
+                }
+            }
+        }
+        None
+    }
+
+    /// A human-readable full signature like
+    /// `<com.example.Foo: java.lang.String bar(int)>`.
+    pub fn signature(&self, method: MethodId) -> String {
+        let m = self.method(method);
+        let cls = self.class_name(m.class).to_owned();
+        let ret = self.type_name(&m.subsig.ret);
+        let name = self.str(m.subsig.name).to_owned();
+        let params: Vec<String> = m.subsig.params.iter().map(|t| self.type_name(t)).collect();
+        format!("<{}: {} {}({})>", cls, ret, name, params.join(","))
+    }
+
+    /// Resolves a type to its display name (`int`, `java.lang.String[]`, …).
+    pub fn type_name(&self, ty: &Type) -> String {
+        match ty {
+            Type::Ref(c) => self.class_name(*c).to_owned(),
+            Type::Array(e) => format!("{}[]", self.type_name(e)),
+            other => other.to_string(),
+        }
+    }
+}
+
+/// Iterator over a class and its transitive superclasses.
+pub struct Supers<'p> {
+    program: &'p Program,
+    cur: Option<ClassId>,
+}
+
+impl Iterator for Supers<'_> {
+    type Item = ClassId;
+
+    fn next(&mut self) -> Option<ClassId> {
+        let cur = self.cur?;
+        self.cur = self.program.class(cur).superclass();
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phantom_then_declare() {
+        let mut p = Program::new();
+        let id1 = p.class_id("a.B");
+        assert!(!p.class(id1).is_declared());
+        let id2 = p.declare_class("a.B", Some("java.lang.Object"), &[]);
+        assert_eq!(id1, id2);
+        assert!(p.class(id1).is_declared());
+        assert!(p.class(p.find_class("java.lang.Object").unwrap()).superclass().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "declared twice")]
+    fn double_declare_panics() {
+        let mut p = Program::new();
+        p.declare_class("X", None, &[]);
+        p.declare_class("X", None, &[]);
+    }
+
+    #[test]
+    fn subtype_via_interface() {
+        let mut p = Program::new();
+        p.declare_class("java.lang.Object", None, &[]);
+        let i = p.declare_interface("I", &[]);
+        let c = p.declare_class("C", Some("java.lang.Object"), &["I"]);
+        let d = p.declare_class("D", Some("C"), &[]);
+        let obj = p.find_class("java.lang.Object").unwrap();
+        assert!(p.is_subtype_of(d, i));
+        assert!(p.is_subtype_of(d, obj));
+        assert!(p.is_subtype_of(c, c));
+        assert!(!p.is_subtype_of(c, d));
+    }
+
+    #[test]
+    fn field_resolution_walks_supers() {
+        let mut p = Program::new();
+        p.declare_class("java.lang.Object", None, &[]);
+        let a = p.declare_class("A", Some("java.lang.Object"), &[]);
+        let b = p.declare_class("B", Some("A"), &[]);
+        let f = p.declare_field(a, "data", Type::Int, false);
+        let name = p.lookup_symbol("data").unwrap();
+        assert_eq!(p.resolve_field(b, name), Some(f));
+        assert_eq!(p.field(f).class(), a);
+    }
+
+    #[test]
+    fn method_ref_resolution_walks_supers() {
+        let mut p = Program::new();
+        p.declare_class("java.lang.Object", None, &[]);
+        let a = p.declare_class("A", Some("java.lang.Object"), &[]);
+        let b = p.declare_class("B", Some("A"), &[]);
+        let m = p.declare_method(a, "run", vec![], Type::Void, false);
+        let subsig = p.method(m).subsig().clone();
+        let mref = MethodRef { class: b, subsig };
+        assert_eq!(p.resolve_method_ref(&mref), Some(m));
+    }
+
+    #[test]
+    fn signature_formatting() {
+        let mut p = Program::new();
+        p.declare_class("java.lang.Object", None, &[]);
+        let c = p.declare_class("com.example.Foo", Some("java.lang.Object"), &[]);
+        let s = p.ref_type("java.lang.String");
+        let m = p.declare_method(c, "bar", vec![Type::Int, s.clone()], s, false);
+        assert_eq!(
+            p.signature(m),
+            "<com.example.Foo: java.lang.String bar(int,java.lang.String)>"
+        );
+    }
+
+    #[test]
+    fn find_method_is_none_when_ambiguous() {
+        let mut p = Program::new();
+        let c = p.declare_class("C", None, &[]);
+        p.declare_method(c, "f", vec![], Type::Void, false);
+        p.declare_method(c, "f", vec![Type::Int], Type::Void, false);
+        assert_eq!(p.find_method("C", "f"), None);
+    }
+}

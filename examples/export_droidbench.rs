@@ -1,0 +1,29 @@
+//! Exports the whole DroidBench suite (and InsecureBank) as on-disk
+//! app directories, ready for the `flowdroid` CLI:
+//!
+//! ```sh
+//! cargo run --example export_droidbench -- /tmp/droidbench
+//! cargo run --bin flowdroid -- analyze /tmp/droidbench/Button1
+//! cargo run --bin flowdroid -- permissions /tmp/droidbench/DirectLeak1
+//! ```
+
+use flowdroid::droidbench::{all_apps, insecurebank::insecure_bank};
+use std::path::PathBuf;
+
+fn main() {
+    let out: PathBuf = std::env::args()
+        .nth(1)
+        .map(Into::into)
+        .unwrap_or_else(|| std::env::temp_dir().join("droidbench"));
+    let mut count = 0;
+    for app in all_apps() {
+        let dir = out.join(app.name);
+        app.write_to_dir(&dir).expect("write app dir");
+        count += 1;
+    }
+    let bank = insecure_bank();
+    bank.write_to_dir(&out.join(bank.name)).expect("write InsecureBank");
+    count += 1;
+    println!("exported {count} apps to {}", out.display());
+    println!("try: cargo run --bin flowdroid -- analyze {}", out.join("Button1").display());
+}

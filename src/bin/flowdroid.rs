@@ -1,0 +1,336 @@
+//! The `flowdroid` command-line tool.
+//!
+//! ```text
+//! flowdroid analyze <app-dir | app.rpk> [options]   run the taint analysis
+//! flowdroid pack <app-dir> -o <app.rpk>             bundle an app directory
+//! flowdroid disas <app-dir | app.rpk>               disassemble app code to jasm
+//! flowdroid permissions <app-dir | app.rpk>         permission-gap report
+//! flowdroid droidbench                              run the DroidBench suite
+//!
+//! analyze options:
+//!   --access-path-length <k>   bound access paths (default 5)
+//!   --no-alias                 disable the on-demand alias analysis
+//!   --global-callbacks         pool callbacks across components
+//!   --sources <file>           extra source/sink definitions
+//!   --wrappers <file>          extra taint-wrapper rules
+//!   --no-paths                 skip leak-path reconstruction
+//! ```
+
+use flowdroid::android::{install_platform, CallbackAssociation};
+use flowdroid::prelude::*;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => analyze(&args[1..]),
+        Some("pack") => pack(&args[1..]),
+        Some("disas") => disas(&args[1..]),
+        Some("permissions") => permissions(&args[1..]),
+        Some("droidbench") => droidbench(),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage:");
+    eprintln!("  flowdroid analyze <app-dir | app.rpk> [options]");
+    eprintln!("  flowdroid pack <app-dir> -o <app.rpk>");
+    eprintln!("  flowdroid disas <app-dir | app.rpk>");
+    eprintln!("  flowdroid permissions <app-dir | app.rpk>");
+    eprintln!("  flowdroid droidbench");
+    eprintln!();
+    eprintln!("analyze options:");
+    eprintln!("  --access-path-length <k>   bound access paths (default 5)");
+    eprintln!("  --no-alias                 disable the on-demand alias analysis");
+    eprintln!("  --global-callbacks         pool callbacks across components");
+    eprintln!("  --sources <file>           extra source/sink definitions");
+    eprintln!("  --wrappers <file>          extra taint-wrapper rules");
+    eprintln!("  --no-paths                 skip leak-path reconstruction");
+}
+
+fn analyze(args: &[String]) -> ExitCode {
+    let Some(target) = args.first() else {
+        eprintln!("analyze: missing app path");
+        return ExitCode::FAILURE;
+    };
+    let mut config = InfoflowConfig::default();
+    let mut sources = SourceSinkManager::default_android();
+    let mut wrapper = TaintWrapper::default_rules();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--access-path-length" => {
+                i += 1;
+                let Some(k) = args.get(i).and_then(|v| v.parse().ok()) else {
+                    eprintln!("--access-path-length needs a number");
+                    return ExitCode::FAILURE;
+                };
+                config.max_access_path_length = k;
+            }
+            "--no-alias" => config.enable_alias_analysis = false,
+            "--no-paths" => config.track_paths = false,
+            "--global-callbacks" => {
+                config.callback_association = CallbackAssociation::Global;
+            }
+            "--sources" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--sources needs a file");
+                    return ExitCode::FAILURE;
+                };
+                match std::fs::read_to_string(path) {
+                    Ok(text) => {
+                        if let Err(e) = sources.add_definitions(&text) {
+                            eprintln!("{path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--wrappers" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--wrappers needs a file");
+                    return ExitCode::FAILURE;
+                };
+                match std::fs::read_to_string(path) {
+                    Ok(text) => {
+                        if let Err(e) = wrapper.add_rules(&text) {
+                            eprintln!("{path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("analyze: unknown option `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let mut program = Program::new();
+    let platform = install_platform(&mut program);
+    let path = Path::new(target);
+    let app = if path.is_dir() {
+        flowdroid::frontend::App::from_dir(&mut program, path)
+    } else {
+        match std::fs::read(path) {
+            Ok(bytes) => match Archive::from_bytes(&bytes) {
+                Ok(archive) => flowdroid::frontend::App::from_archive(&mut program, &archive),
+                Err(e) => {
+                    eprintln!("{target}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("{target}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let app = match app {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{target}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "loaded {} ({} classes, {} components, {} layouts)",
+        app.manifest.package,
+        app.classes.len(),
+        app.manifest.components.len(),
+        app.layouts.len()
+    );
+    let analysis = Infoflow::new(&sources, &wrapper, &config)
+        .analyze_app(&mut program, &platform, &app, "cli");
+    print!("{}", analysis.results.report(&program));
+    if analysis.results.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        // Like grep: finding something exits 0; we still signal leaks
+        // via a distinct code for scripting.
+        ExitCode::from(2)
+    }
+}
+
+fn load_app(target: &str, program: &mut Program) -> Result<flowdroid::frontend::App, String> {
+    let path = Path::new(target);
+    if path.is_dir() {
+        flowdroid::frontend::App::from_dir(program, path).map_err(|e| format!("{target}: {e}"))
+    } else {
+        let bytes = std::fs::read(path).map_err(|e| format!("{target}: {e}"))?;
+        let archive = Archive::from_bytes(&bytes).map_err(|e| format!("{target}: {e}"))?;
+        flowdroid::frontend::App::from_archive(program, &archive)
+            .map_err(|e| format!("{target}: {e}"))
+    }
+}
+
+fn disas(args: &[String]) -> ExitCode {
+    let Some(target) = args.first() else {
+        eprintln!("disas: missing app path");
+        return ExitCode::FAILURE;
+    };
+    let mut program = Program::new();
+    install_platform(&mut program);
+    match load_app(target, &mut program) {
+        Ok(app) => {
+            print!("{}", flowdroid::frontend::emit_jasm(&program, &app.classes));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn permissions(args: &[String]) -> ExitCode {
+    let Some(target) = args.first() else {
+        eprintln!("permissions: missing app path");
+        return ExitCode::FAILURE;
+    };
+    let mut program = Program::new();
+    let platform = install_platform(&mut program);
+    let app = match load_app(target, &mut program) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report =
+        flowdroid::android::analyze_permissions(&mut program, &platform, &app, "cli-perm");
+    println!("required by reachable code:");
+    for p in &report.required {
+        println!("  {p}");
+    }
+    println!("declared in the manifest:");
+    for p in &report.declared {
+        println!("  {p}");
+    }
+    let over = report.over_privileged();
+    if over.is_empty() {
+        println!("no over-privilege.");
+    } else {
+        println!("over-privileged (declared but unused):");
+        for p in &over {
+            println!("  {p}");
+        }
+    }
+    let missing = report.missing();
+    if !missing.is_empty() {
+        println!("missing (needed but not declared):");
+        for p in &missing {
+            println!("  {p}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn pack(args: &[String]) -> ExitCode {
+    let (dir, out) = match args {
+        [dir, flag, out] if flag == "-o" => (dir, out),
+        _ => {
+            eprintln!("usage: flowdroid pack <app-dir> -o <app.rpk>");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dir = Path::new(dir);
+    let mut archive = Archive::new();
+    let manifest = dir.join("AndroidManifest.xml");
+    match std::fs::read(&manifest) {
+        Ok(bytes) => {
+            archive.add("AndroidManifest.xml", bytes);
+        }
+        Err(e) => {
+            eprintln!("{}: {e}", manifest.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let layouts = dir.join("res/layout");
+    if layouts.is_dir() {
+        let entries = match std::fs::read_dir(&layouts) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("{}: {e}", layouts.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".xml") {
+                if let Ok(bytes) = std::fs::read(entry.path()) {
+                    archive.add(format!("res/layout/{name}"), bytes);
+                }
+            }
+        }
+    }
+    for code in ["classes.jasm", "classes.sdex"] {
+        let p = dir.join(code);
+        if p.is_file() {
+            if let Ok(bytes) = std::fs::read(&p) {
+                archive.add(code, bytes);
+            }
+        }
+    }
+    match std::fs::write(out, archive.to_bytes()) {
+        Ok(()) => {
+            println!("packed {} entries into {out}", archive.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn droidbench() -> ExitCode {
+    use flowdroid::droidbench::{all_apps, AppScore};
+    let mut total = AppScore::default();
+    for app in all_apps().iter().filter(|a| a.in_table) {
+        let mut program = Program::new();
+        let platform = install_platform(&mut program);
+        let loaded = app.load(&mut program).expect("suite app");
+        let sources = SourceSinkManager::default_android();
+        let wrapper = TaintWrapper::default_rules();
+        let config = InfoflowConfig::default();
+        let analysis = Infoflow::new(&sources, &wrapper, &config)
+            .analyze_app(&mut program, &platform, &loaded, "cli");
+        let found = analysis.results.leak_count();
+        let score = AppScore::from_counts(app.expected_leaks, found);
+        println!(
+            "{:<28} expected {} reported {} ({}✓ {}☆ {}○)",
+            app.name, app.expected_leaks, found, score.tp, score.fp, score.fn_
+        );
+        total.add(score);
+    }
+    println!(
+        "\nprecision {:.0}%  recall {:.0}%  F {:.2}",
+        total.precision() * 100.0,
+        total.recall() * 100.0,
+        total.f_measure()
+    );
+    ExitCode::SUCCESS
+}
