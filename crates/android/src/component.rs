@@ -348,7 +348,7 @@ fn imperative_callbacks(
 ) -> Vec<CallbackInfo> {
     let mut out = Vec::new();
     // Classes allocated in reachable code (candidate listener types).
-    let allocated: HashSet<ClassId> = cg.instantiated_classes().clone();
+    let allocated = cg.instantiated_classes();
     for &m in cg.reachable_methods() {
         let Some(body) = program.method(m).body() else { continue };
         for stmt in body.stmts() {
@@ -374,7 +374,7 @@ fn imperative_callbacks(
                 if program.is_subtype_of(component_class, iface) {
                     candidates.push(component_class);
                 }
-                for &cls in &allocated {
+                for &cls in allocated {
                     if program.is_subtype_of(cls, iface) && !candidates.contains(&cls) {
                         candidates.push(cls);
                     }

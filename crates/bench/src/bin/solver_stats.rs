@@ -1,0 +1,240 @@
+//! Emits `BENCH_solver.json`: solver performance across three modes —
+//! sequential with whole-fact keys, sequential with interned `u32`
+//! keys (the default), and the parallel corpus driver at 1/2/4/8
+//! threads — over the full DroidBench + SecuriBench corpus.
+//!
+//! Heap allocations are counted with a wrapping global allocator, so
+//! the interned-vs-direct comparison measures exactly what interning
+//! buys. Leak reports are compared byte-for-byte across every mode;
+//! the binary exits non-zero if any run diverges.
+//!
+//! Usage: `solver_stats [output.json]` (default `BENCH_solver.json`).
+
+use flowdroid_bench::driver::{corpus_report, full_corpus, run_corpus, CorpusJob, CorpusRun};
+use flowdroid_core::InfoflowConfig;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation (and reallocation) made through the global
+/// allocator. `Relaxed` is fine: the counter is read only between
+/// runs, after all worker threads have joined.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+struct ModeStats {
+    name: &'static str,
+    threads: usize,
+    wall_ms: f64,
+    app_time_ms: f64,
+    dataflow_ms: f64,
+    setup_ms: f64,
+    forward_propagations: u64,
+    backward_propagations: u64,
+    leaks: usize,
+    allocations: u64,
+    distinct_facts: usize,
+    distinct_aps: usize,
+    report: String,
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn measure(
+    name: &'static str,
+    jobs: &[CorpusJob],
+    config: &InfoflowConfig,
+    threads: usize,
+) -> ModeStats {
+    ALLOCATIONS.store(0, Ordering::Relaxed);
+    let run: CorpusRun = run_corpus(jobs, config, threads);
+    let allocations = ALLOCATIONS.load(Ordering::Relaxed);
+    let (fw, bw) = run.total_propagations();
+    let app_time = run.total_app_time();
+    let dataflow = run.total_dataflow_time();
+    ModeStats {
+        name,
+        threads,
+        wall_ms: ms(run.wall),
+        app_time_ms: ms(app_time),
+        dataflow_ms: ms(dataflow),
+        setup_ms: ms(app_time.saturating_sub(dataflow)),
+        forward_propagations: fw,
+        backward_propagations: bw,
+        leaks: run.total_leaks(),
+        allocations,
+        distinct_facts: run.total_distinct_facts(),
+        distinct_aps: run.total_distinct_aps(),
+        report: corpus_report(&run),
+    }
+}
+
+fn mode_json(m: &ModeStats, report_identical: bool) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"mode\": \"{}\",\n",
+            "      \"threads\": {},\n",
+            "      \"wall_ms\": {:.3},\n",
+            "      \"app_time_ms\": {:.3},\n",
+            "      \"dataflow_ms\": {:.3},\n",
+            "      \"setup_ms\": {:.3},\n",
+            "      \"forward_propagations\": {},\n",
+            "      \"backward_propagations\": {},\n",
+            "      \"leaks\": {},\n",
+            "      \"allocations\": {},\n",
+            "      \"distinct_facts\": {},\n",
+            "      \"distinct_aps\": {},\n",
+            "      \"report_identical_to_baseline\": {}\n",
+            "    }}"
+        ),
+        m.name,
+        m.threads,
+        m.wall_ms,
+        m.app_time_ms,
+        m.dataflow_ms,
+        m.setup_ms,
+        m.forward_propagations,
+        m.backward_propagations,
+        m.leaks,
+        m.allocations,
+        m.distinct_facts,
+        m.distinct_aps,
+        report_identical
+    )
+}
+
+fn main() {
+    let out_path =
+        std::env::args().nth(1).unwrap_or_else(|| "BENCH_solver.json".to_string());
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let jobs = full_corpus();
+    let droidbench = jobs.iter().filter(|j| j.name.starts_with("droidbench/")).count();
+    let securibench = jobs.iter().filter(|j| j.name.starts_with("securibench/")).count();
+    eprintln!(
+        "corpus: {} apps ({droidbench} DroidBench, {securibench} SecuriBench, 1 InsecureBank)",
+        jobs.len()
+    );
+
+    let direct = InfoflowConfig::default().with_fact_interning(false);
+    let interned = InfoflowConfig::default();
+
+    let mut modes = Vec::new();
+    eprintln!("running sequential-direct (whole-fact keys) ...");
+    modes.push(measure("sequential-direct", &jobs, &direct, 1));
+    eprintln!("running sequential-interned (u32 fact ids) ...");
+    modes.push(measure("sequential-interned", &jobs, &interned, 1));
+    for threads in [1usize, 2, 4, 8] {
+        eprintln!("running parallel corpus driver with {threads} thread(s) ...");
+        modes.push(measure(
+            match threads {
+                1 => "parallel-1",
+                2 => "parallel-2",
+                4 => "parallel-4",
+                _ => "parallel-8",
+            },
+            &jobs,
+            &interned,
+            threads,
+        ));
+    }
+
+    let baseline_report = modes[0].report.clone();
+    let reports_identical = modes.iter().all(|m| m.report == baseline_report);
+
+    let direct_allocs = modes[0].allocations;
+    let interned_allocs = modes[1].allocations;
+    let alloc_reduction = if direct_allocs > 0 {
+        1.0 - interned_allocs as f64 / direct_allocs as f64
+    } else {
+        0.0
+    };
+    let wall_1t = modes.iter().find(|m| m.name == "parallel-1").unwrap().wall_ms;
+    let speedup = |name: &str| {
+        let w = modes.iter().find(|m| m.name == name).unwrap().wall_ms;
+        if w > 0.0 {
+            wall_1t / w
+        } else {
+            0.0
+        }
+    };
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(
+        json,
+        "  \"corpus\": {{ \"apps\": {}, \"droidbench\": {droidbench}, \"securibench\": {securibench} }},",
+        jobs.len()
+    )
+    .unwrap();
+    writeln!(json, "  \"available_cores\": {cores},").unwrap();
+    writeln!(json, "  \"modes\": [").unwrap();
+    for (i, m) in modes.iter().enumerate() {
+        let sep = if i + 1 < modes.len() { "," } else { "" };
+        writeln!(json, "{}{sep}", mode_json(m, m.report == baseline_report)).unwrap();
+    }
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"comparison\": {{").unwrap();
+    writeln!(json, "    \"direct_allocations\": {direct_allocs},").unwrap();
+    writeln!(json, "    \"interned_allocations\": {interned_allocs},").unwrap();
+    writeln!(json, "    \"interning_alloc_reduction\": {alloc_reduction:.4},").unwrap();
+    writeln!(
+        json,
+        "    \"interning_strictly_fewer_allocations\": {},",
+        interned_allocs < direct_allocs
+    )
+    .unwrap();
+    writeln!(json, "    \"speedup_2t\": {:.3},", speedup("parallel-2")).unwrap();
+    writeln!(json, "    \"speedup_4t\": {:.3},", speedup("parallel-4")).unwrap();
+    writeln!(json, "    \"speedup_8t\": {:.3},", speedup("parallel-8")).unwrap();
+    if cores < 2 {
+        // Wall-clock speedup needs real hardware parallelism; on a
+        // single core the measurement degenerates to pool overhead
+        // (a speedup ~1.0 then means the fan-out costs nothing).
+        writeln!(
+            json,
+            "    \"speedup_note\": \"only {cores} core(s) available; speedups bound by hardware\","
+        )
+        .unwrap();
+    }
+    writeln!(json, "    \"reports_identical\": {reports_identical}").unwrap();
+    writeln!(json, "  }}").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(&out_path, &json).expect("write BENCH_solver.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+
+    if !reports_identical {
+        eprintln!("FAIL: leak reports diverged across modes/thread counts");
+        std::process::exit(1);
+    }
+    if interned_allocs >= direct_allocs {
+        eprintln!(
+            "FAIL: interning did not reduce allocations ({interned_allocs} >= {direct_allocs})"
+        );
+        std::process::exit(1);
+    }
+}

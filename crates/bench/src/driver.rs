@@ -1,0 +1,260 @@
+//! Parallel corpus driver: fans the DroidBench and SecuriBench suites
+//! across a `std::thread` pool, one whole app per work item.
+//!
+//! Each per-app analysis is single-threaded (the solver itself is
+//! deterministic: intern ids are assigned in first-encounter order by
+//! the sequential driver), so the only parallelism-induced
+//! nondeterminism is *which worker* finishes first. The driver removes
+//! it by sorting results by app name before reporting — the corpus
+//! leak report ([`corpus_report`]) is byte-for-byte identical across
+//! thread counts and runs.
+
+use flowdroid_android::install_platform;
+use flowdroid_core::{Infoflow, InfoflowConfig, InfoflowResults, SourceSinkManager, TaintWrapper};
+use flowdroid_droidbench::{all_apps, insecurebank, BenchApp};
+use flowdroid_frontend::layout::ResourceTable;
+use flowdroid_frontend::parse_jasm;
+use flowdroid_ir::Program;
+use flowdroid_securibench::{cases_in, Group, MicroCase, MICRO_DEFS, MICRO_ENV};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What kind of benchmark a corpus entry is.
+enum JobKind {
+    /// An Android app (DroidBench / InsecureBank): full pipeline with
+    /// lifecycle model and dummy main.
+    Droid(Box<BenchApp>),
+    /// A SecuriBench Micro case: plain-Java analysis from an explicit
+    /// `main` entry point.
+    Micro(Box<MicroCase>),
+}
+
+/// One app (or micro case) of the corpus, with a unique stable name.
+pub struct CorpusJob {
+    /// Unique name (`droidbench/...`, `securibench/<group>/...`,
+    /// `insecurebank`); the corpus report is sorted by it.
+    pub name: String,
+    kind: JobKind,
+}
+
+/// The full benchmark corpus: every DroidBench app (table and
+/// supplementary), InsecureBank, and every SecuriBench Micro case.
+pub fn full_corpus() -> Vec<CorpusJob> {
+    let mut jobs = Vec::new();
+    for app in all_apps() {
+        jobs.push(CorpusJob {
+            name: format!("droidbench/{:?}/{}", app.category, app.name),
+            kind: JobKind::Droid(Box::new(app)),
+        });
+    }
+    jobs.push(CorpusJob {
+        name: "insecurebank".to_string(),
+        kind: JobKind::Droid(Box::new(insecurebank::insecure_bank())),
+    });
+    for group in Group::all() {
+        for case in cases_in(group) {
+            jobs.push(CorpusJob {
+                name: format!("securibench/{}/{}", group, case.name),
+                kind: JobKind::Micro(Box::new(case)),
+            });
+        }
+    }
+    jobs
+}
+
+/// Only the DroidBench apps (plus InsecureBank) — the Android subset.
+pub fn droidbench_corpus() -> Vec<CorpusJob> {
+    full_corpus().into_iter().filter(|j| !j.name.starts_with("securibench/")).collect()
+}
+
+/// The outcome of analyzing one corpus entry.
+pub struct AppRun {
+    /// The job's name.
+    pub name: String,
+    /// Leaks reported.
+    pub leaks: usize,
+    /// Deterministic per-app leak report (header + sorted leak lines).
+    pub report: String,
+    /// Forward path-edge propagations.
+    pub forward_propagations: u64,
+    /// Backward (alias) path-edge propagations.
+    pub backward_propagations: u64,
+    /// Distinct facts interned (0 when interning is off).
+    pub distinct_facts: usize,
+    /// Distinct access paths interned (0 when interning is off).
+    pub distinct_aps: usize,
+    /// Whole-pipeline duration for this app (parse + model + call
+    /// graph + data flow).
+    pub total: Duration,
+    /// Data-flow (solver) phase duration only.
+    pub dataflow: Duration,
+}
+
+/// Renders the deterministic per-app leak report: one header line plus
+/// one sorted line per leak (`source line -> sink line  taint`).
+fn leak_report(name: &str, results: &InfoflowResults, p: &Program) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "== {name}: {} leak(s)", results.leak_count()).unwrap();
+    let mut lines: Vec<String> = results
+        .leaks
+        .iter()
+        .map(|l| format!("  {} -> {}  {}", l.source_line(p), l.sink_line(p), l.taint))
+        .collect();
+    lines.sort();
+    for line in lines {
+        writeln!(out, "{line}").unwrap();
+    }
+    out
+}
+
+fn run_job(job: &CorpusJob, config: &InfoflowConfig) -> AppRun {
+    let start = Instant::now();
+    let (results, report) = match &job.kind {
+        JobKind::Droid(app) => {
+            let mut p = Program::new();
+            let platform = install_platform(&mut p);
+            let loaded = app.load(&mut p).expect("suite app parses");
+            let sources = SourceSinkManager::default_android();
+            let wrapper = TaintWrapper::default_rules();
+            let analysis = Infoflow::new(&sources, &wrapper, config)
+                .analyze_app(&mut p, &platform, &loaded, "corpus");
+            let report = leak_report(&job.name, &analysis.results, &p);
+            (analysis.results, report)
+        }
+        JobKind::Micro(case) => {
+            let mut p = Program::new();
+            install_platform(&mut p);
+            let rt = ResourceTable::new();
+            parse_jasm(&mut p, &rt, MICRO_ENV).expect("micro env parses");
+            parse_jasm(&mut p, &rt, &case.code).expect("micro case parses");
+            let sources = SourceSinkManager::parse(MICRO_DEFS).expect("micro defs parse");
+            let wrapper = TaintWrapper::default_rules();
+            let entry = p.find_method(&case.entry_class, "main").expect("micro entry");
+            let results = Infoflow::new(&sources, &wrapper, config).run(&p, &[entry]);
+            let report = leak_report(&job.name, &results, &p);
+            (results, report)
+        }
+    };
+    AppRun {
+        name: job.name.clone(),
+        leaks: results.leak_count(),
+        report,
+        forward_propagations: results.forward_propagations,
+        backward_propagations: results.backward_propagations,
+        distinct_facts: results.distinct_facts,
+        distinct_aps: results.distinct_aps,
+        total: start.elapsed(),
+        dataflow: results.duration,
+    }
+}
+
+/// The outcome of one corpus run.
+pub struct CorpusRun {
+    /// Per-app outcomes, sorted by app name.
+    pub apps: Vec<AppRun>,
+    /// Wall-clock time of the whole fan-out.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl CorpusRun {
+    /// Total leaks across the corpus.
+    pub fn total_leaks(&self) -> usize {
+        self.apps.iter().map(|a| a.leaks).sum()
+    }
+
+    /// Total (forward, backward) propagations across the corpus.
+    pub fn total_propagations(&self) -> (u64, u64) {
+        let fw = self.apps.iter().map(|a| a.forward_propagations).sum();
+        let bw = self.apps.iter().map(|a| a.backward_propagations).sum();
+        (fw, bw)
+    }
+
+    /// Sum of per-app whole-pipeline durations (CPU-ish time; with one
+    /// thread this approximates [`CorpusRun::wall`]).
+    pub fn total_app_time(&self) -> Duration {
+        self.apps.iter().map(|a| a.total).sum()
+    }
+
+    /// Sum of per-app data-flow phase durations.
+    pub fn total_dataflow_time(&self) -> Duration {
+        self.apps.iter().map(|a| a.dataflow).sum()
+    }
+
+    /// Total distinct facts interned across the corpus.
+    pub fn total_distinct_facts(&self) -> usize {
+        self.apps.iter().map(|a| a.distinct_facts).sum()
+    }
+
+    /// Total distinct access paths interned across the corpus.
+    pub fn total_distinct_aps(&self) -> usize {
+        self.apps.iter().map(|a| a.distinct_aps).sum()
+    }
+}
+
+/// Analyzes every job of `jobs` with `config`, fanning apps across
+/// `threads` workers (work is claimed from a shared counter, so large
+/// apps don't serialize behind one worker). Results come back sorted
+/// by app name regardless of completion order.
+pub fn run_corpus(jobs: &[CorpusJob], config: &InfoflowConfig, threads: usize) -> CorpusRun {
+    let threads = threads.max(1);
+    let start = Instant::now();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<AppRun>> = Mutex::new(Vec::with_capacity(jobs.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    local.push(run_job(&jobs[i], config));
+                }
+                results.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let mut apps = results.into_inner().unwrap();
+    apps.sort_by(|a, b| a.name.cmp(&b.name));
+    CorpusRun { apps, wall: start.elapsed(), threads }
+}
+
+/// Concatenates the per-app leak reports (already name-sorted):
+/// byte-for-byte identical across thread counts and repeat runs.
+pub fn corpus_report(run: &CorpusRun) -> String {
+    run.apps.iter().map(|a| a.report.as_str()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_unique_sorted_names_after_run() {
+        let jobs = full_corpus();
+        let mut names: Vec<&str> = jobs.iter().map(|j| j.name.as_str()).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before, "corpus job names must be unique");
+        assert!(before > 100, "corpus should cover both suites, got {before}");
+    }
+
+    #[test]
+    fn single_thread_run_reports_leaks() {
+        // A tiny slice keeps this unit test fast; the full-corpus
+        // determinism sweep lives in tests/determinism.rs.
+        let jobs: Vec<CorpusJob> =
+            full_corpus().into_iter().filter(|j| j.name.contains("Basic1")).collect();
+        assert!(!jobs.is_empty());
+        let run = run_corpus(&jobs, &InfoflowConfig::default(), 1);
+        assert_eq!(run.apps.len(), jobs.len());
+        let report = corpus_report(&run);
+        assert!(report.contains("leak(s)"));
+    }
+}

@@ -6,13 +6,18 @@
 //! * [`corpus`] — the seeded synthetic app generator standing in for
 //!   the paper's Google Play and VirusShare corpora (RQ3), which are
 //!   not redistributable (see DESIGN.md §3);
+//! * [`driver`] — the parallel corpus driver fanning DroidBench /
+//!   SecuriBench apps across a thread pool with deterministic,
+//!   name-sorted leak reports (backs the `solver_stats` binary);
 //! * [`eval`] — runners and table printers for Table 1, Table 2, RQ2,
 //!   RQ3 and the ablations.
 
 pub mod corpus;
+pub mod driver;
 pub mod eval;
 
 pub use corpus::{generate_app, AppProfile, GeneratedApp};
+pub use driver::{corpus_report, droidbench_corpus, full_corpus, run_corpus, AppRun, CorpusJob, CorpusRun};
 pub use eval::{
     run_ablation_access_path, run_ablation_alias, run_ablation_callbacks, run_rq2, run_rq3,
     run_rq3_parallel, run_table1, run_table2, Rq3Stats, Table1Row,

@@ -1,8 +1,8 @@
 //! Call-graph construction by reachability from entry points.
 
 use crate::hierarchy::Hierarchy;
-use flowdroid_ir::{ClassId, InvokeKind, MethodId, Program, Rvalue, Stmt, StmtRef};
-use std::collections::{HashMap, HashSet, VecDeque};
+use flowdroid_ir::{ClassId, FxHashMap, FxHashSet, InvokeKind, MethodId, Program, Rvalue, Stmt, StmtRef};
+use std::collections::VecDeque;
 
 /// Call-graph construction algorithm.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -26,12 +26,12 @@ pub enum CgAlgorithm {
 #[derive(Debug, Default)]
 pub struct CallGraph {
     entry_points: Vec<MethodId>,
-    callees_at: HashMap<StmtRef, Vec<MethodId>>,
-    stub_callees_at: HashMap<StmtRef, Vec<MethodId>>,
-    callers_of: HashMap<MethodId, Vec<StmtRef>>,
+    callees_at: FxHashMap<StmtRef, Vec<MethodId>>,
+    stub_callees_at: FxHashMap<StmtRef, Vec<MethodId>>,
+    callers_of: FxHashMap<MethodId, Vec<StmtRef>>,
     reachable: Vec<MethodId>,
-    reachable_set: HashSet<MethodId>,
-    instantiated: HashSet<ClassId>,
+    reachable_set: FxHashSet<MethodId>,
+    instantiated: FxHashSet<ClassId>,
 }
 
 impl CallGraph {
@@ -53,7 +53,7 @@ impl CallGraph {
             CgAlgorithm::Rta => {
                 // Iterate: the instantiated-class set and the reachable
                 // set are mutually dependent.
-                let mut instantiated: HashSet<ClassId> = HashSet::new();
+                let mut instantiated: FxHashSet<ClassId> = FxHashSet::default();
                 loop {
                     let cg =
                         Self::build_once(program, hierarchy, entry_points, Some(&instantiated));
@@ -71,7 +71,7 @@ impl CallGraph {
         program: &Program,
         hierarchy: &Hierarchy,
         entry_points: &[MethodId],
-        instantiated: Option<&HashSet<ClassId>>,
+        instantiated: Option<&FxHashSet<ClassId>>,
     ) -> Self {
         let mut cg = CallGraph { entry_points: entry_points.to_vec(), ..Default::default() };
         let mut queue: VecDeque<MethodId> = VecDeque::new();
@@ -121,8 +121,8 @@ impl CallGraph {
         cg
     }
 
-    fn collect_instantiated(&self, program: &Program) -> HashSet<ClassId> {
-        let mut out = HashSet::new();
+    fn collect_instantiated(&self, program: &Program) -> FxHashSet<ClassId> {
+        let mut out = FxHashSet::default();
         for &m in &self.reachable {
             if let Some(body) = program.method(m).body() {
                 for stmt in body.stmts() {
@@ -166,7 +166,7 @@ impl CallGraph {
     }
 
     /// Classes instantiated in reachable code.
-    pub fn instantiated_classes(&self) -> &HashSet<ClassId> {
+    pub fn instantiated_classes(&self) -> &FxHashSet<ClassId> {
         &self.instantiated
     }
 
@@ -178,7 +178,7 @@ impl CallGraph {
     /// Returns `true` if a (transitive) call path exists from `from` to
     /// `to`, following only body-having edges.
     pub fn can_reach(&self, from: MethodId, to: MethodId) -> bool {
-        let mut seen = HashSet::new();
+        let mut seen = FxHashSet::default();
         let mut stack = vec![from];
         while let Some(m) = stack.pop() {
             if m == to {

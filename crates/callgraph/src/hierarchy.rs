@@ -1,7 +1,6 @@
 //! Class-hierarchy indexes and virtual-dispatch resolution.
 
-use flowdroid_ir::{ClassId, MethodId, MethodRef, Program, SubSig};
-use std::collections::{HashMap, HashSet};
+use flowdroid_ir::{ClassId, FxHashMap, FxHashSet, MethodId, MethodRef, Program, SubSig};
 
 /// Precomputed subtype indexes over a program's class hierarchy.
 ///
@@ -10,16 +9,16 @@ use std::collections::{HashMap, HashSet};
 #[derive(Debug)]
 pub struct Hierarchy {
     /// Direct subclasses (and direct subinterfaces) per class.
-    direct_subs: HashMap<ClassId, Vec<ClassId>>,
+    direct_subs: FxHashMap<ClassId, Vec<ClassId>>,
     /// Direct implementers per interface.
-    direct_impls: HashMap<ClassId, Vec<ClassId>>,
+    direct_impls: FxHashMap<ClassId, Vec<ClassId>>,
 }
 
 impl Hierarchy {
     /// Builds the hierarchy indexes for `program`.
     pub fn build(program: &Program) -> Self {
-        let mut direct_subs: HashMap<ClassId, Vec<ClassId>> = HashMap::new();
-        let mut direct_impls: HashMap<ClassId, Vec<ClassId>> = HashMap::new();
+        let mut direct_subs: FxHashMap<ClassId, Vec<ClassId>> = FxHashMap::default();
+        let mut direct_impls: FxHashMap<ClassId, Vec<ClassId>> = FxHashMap::default();
         for c in program.classes() {
             if let Some(s) = c.superclass() {
                 direct_subs.entry(s).or_default().push(c.id());
@@ -35,7 +34,7 @@ impl Hierarchy {
     /// Covers both `extends` and `implements` edges.
     pub fn subtypes_of(&self, class: ClassId) -> Vec<ClassId> {
         let mut out = Vec::new();
-        let mut seen = HashSet::new();
+        let mut seen = FxHashSet::default();
         let mut stack = vec![class];
         while let Some(c) = stack.pop() {
             if !seen.insert(c) {
@@ -82,10 +81,10 @@ impl Hierarchy {
         &self,
         program: &Program,
         mref: &MethodRef,
-        instantiated: Option<&HashSet<ClassId>>,
+        instantiated: Option<&FxHashSet<ClassId>>,
     ) -> Vec<MethodId> {
         let mut out = Vec::new();
-        let mut seen = HashSet::new();
+        let mut seen = FxHashSet::default();
         for sub in self.subtypes_of(mref.class) {
             let cd = program.class(sub);
             if cd.is_interface() {
@@ -160,7 +159,7 @@ mod tests {
         let h = Hierarchy::build(&p);
         let subsig = p.method(run_a).subsig().clone();
         let mref = MethodRef { class: i, subsig };
-        let mut inst = HashSet::new();
+        let mut inst = FxHashSet::default();
         inst.insert(p.find_class("B").unwrap());
         let targets = h.virtual_targets(&p, &mref, Some(&inst));
         assert_eq!(targets, vec![run_b]);

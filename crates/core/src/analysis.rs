@@ -8,6 +8,7 @@
 //! bidirectional taint analysis.
 
 use crate::config::InfoflowConfig;
+use crate::intern::{DirectDomain, InternedDomain};
 use crate::results::InfoflowResults;
 use crate::solver::BiSolver;
 use crate::sourcesink::SourceSinkManager;
@@ -71,8 +72,23 @@ impl<'a> Infoflow<'a> {
     pub fn run(&self, program: &Program, entry_points: &[MethodId]) -> InfoflowResults {
         let cg = CallGraph::build(program, entry_points, self.config.cg_algorithm);
         let icfg = Icfg::new(program, &cg);
-        let solver = BiSolver::new(icfg, self.sources, self.wrapper, self.config);
-        solver.solve(entry_points)
+        self.solve_with_domain(icfg, self.sources, entry_points)
+    }
+
+    /// Dispatches on the configured fact-key representation.
+    fn solve_with_domain(
+        &self,
+        icfg: Icfg<'_>,
+        sources: &SourceSinkManager,
+        entry_points: &[MethodId],
+    ) -> InfoflowResults {
+        if self.config.intern_facts {
+            BiSolver::<InternedDomain>::new(icfg, sources, self.wrapper, self.config)
+                .solve(entry_points)
+        } else {
+            BiSolver::<DirectDomain>::new(icfg, sources, self.wrapper, self.config)
+                .solve(entry_points)
+        }
     }
 
     /// Runs the full Android pipeline on an already-loaded [`App`]
@@ -116,8 +132,7 @@ impl<'a> Infoflow<'a> {
         let dummy_main = generate_dummy_main(program, platform, &model, tag);
         let cg = CallGraph::build(program, &[dummy_main], self.config.cg_algorithm);
         let icfg = Icfg::new(program, &cg);
-        let solver = BiSolver::new(icfg, sources, self.wrapper, self.config);
-        let results = solver.solve(&[dummy_main]);
+        let results = self.solve_with_domain(icfg, sources, &[dummy_main]);
         AppAnalysis { dummy_main, model, results }
     }
 }

@@ -38,6 +38,11 @@ pub struct InfoflowConfig {
     /// Hard cap on forward path-edge propagations (0 = unlimited);
     /// protects harness runs against pathological inputs.
     pub max_propagations: u64,
+    /// Hash-cons facts and access paths into `u32` ids so the solver
+    /// tables key on `Copy` ids (default). Disabling keys tables on
+    /// whole facts instead; results are identical, only speed and
+    /// memory differ (kept for the benchmark comparison).
+    pub intern_facts: bool,
 }
 
 impl Default for InfoflowConfig {
@@ -52,6 +57,7 @@ impl Default for InfoflowConfig {
             cg_algorithm: CgAlgorithm::Cha,
             callback_association: CallbackAssociation::PerComponent,
             max_propagations: 0,
+            intern_facts: true,
         }
     }
 }
@@ -91,6 +97,12 @@ impl InfoflowConfig {
     /// Builder-style setter for callback association.
     pub fn with_callback_association(mut self, a: CallbackAssociation) -> Self {
         self.callback_association = a;
+        self
+    }
+
+    /// Builder-style setter for fact interning.
+    pub fn with_fact_interning(mut self, on: bool) -> Self {
+        self.intern_facts = on;
         self
     }
 }

@@ -1,0 +1,304 @@
+//! Hash-consing of access paths and facts into dense `u32` ids.
+//!
+//! The solver's hot tables (path edges, end summaries, incoming sets,
+//! predecessor links) are keyed on facts. A [`crate::taint::Fact`] owns
+//! a heap-allocated field vector, so keying tables on it directly means
+//! cloning and re-hashing nested structs millions of times per run.
+//! The [`Interner`] maps each distinct [`AccessPath`] and [`Fact`] to a
+//! `u32` id exactly once ([`ApId`], [`FactId`]); tables then key on
+//! `Copy` ids, hashing a single word.
+//!
+//! Ids are assigned in **first-encounter order**: the same program
+//! analyzed by the same (sequential) driver always produces the same id
+//! assignment, which keeps downstream artifacts byte-for-byte
+//! deterministic.
+//!
+//! The [`FactDomain`] trait abstracts the solver over the key choice:
+//! [`InternedDomain`] (id keys, default) and [`DirectDomain`] (the
+//! pre-interning behavior, keeping whole facts as keys) share all
+//! transfer-function code, which is what lets the benchmark driver
+//! compare the two modes on identical inputs.
+
+use crate::access_path::AccessPath;
+use crate::taint::{Fact, Taint};
+use flowdroid_ir::{FxHashMap, StmtRef};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Id of an interned [`AccessPath`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ApId(u32);
+
+impl ApId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Id of an interned [`Fact`]. Id 0 is always [`Fact::Zero`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct FactId(u32);
+
+impl FactId {
+    /// The id of [`Fact::Zero`].
+    pub const ZERO: FactId = FactId(0);
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The compact, arena-internal form of a fact: the access path replaced
+/// by its id. This is what the fact dedup table hashes, so interning a
+/// fact whose path is already interned costs a single-word hash.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum FactRepr {
+    Zero,
+    T { ap: ApId, active: bool, activation: Option<StmtRef> },
+}
+
+/// Hash-consing arenas for access paths and facts.
+#[derive(Debug, Default)]
+pub struct Interner {
+    aps: Vec<AccessPath>,
+    ap_ids: FxHashMap<AccessPath, ApId>,
+    facts: Vec<FactRepr>,
+    fact_ids: FxHashMap<FactRepr, FactId>,
+}
+
+impl Interner {
+    /// Creates an interner with [`Fact::Zero`] pre-interned as id 0.
+    pub fn new() -> Self {
+        let mut i = Interner::default();
+        let zero = i.intern_repr(FactRepr::Zero);
+        debug_assert_eq!(zero, FactId::ZERO);
+        i
+    }
+
+    /// Interns an access path, returning its id (assigning the next id
+    /// on first encounter).
+    pub fn intern_ap(&mut self, ap: &AccessPath) -> ApId {
+        if let Some(&id) = self.ap_ids.get(ap) {
+            return id;
+        }
+        let id = ApId(u32::try_from(self.aps.len()).expect("access-path arena overflow"));
+        self.aps.push(ap.clone());
+        self.ap_ids.insert(ap.clone(), id);
+        id
+    }
+
+    /// The access path behind `id`.
+    pub fn resolve_ap(&self, id: ApId) -> &AccessPath {
+        &self.aps[id.index()]
+    }
+
+    fn intern_repr(&mut self, repr: FactRepr) -> FactId {
+        if let Some(&id) = self.fact_ids.get(&repr) {
+            return id;
+        }
+        let id = FactId(u32::try_from(self.facts.len()).expect("fact arena overflow"));
+        self.facts.push(repr);
+        self.fact_ids.insert(repr, id);
+        id
+    }
+
+    /// Interns a fact, returning its id.
+    pub fn intern_fact(&mut self, f: &Fact) -> FactId {
+        let repr = match f {
+            Fact::Zero => FactRepr::Zero,
+            Fact::T(t) => FactRepr::T {
+                ap: self.intern_ap(&t.ap),
+                active: t.active,
+                activation: t.activation,
+            },
+        };
+        self.intern_repr(repr)
+    }
+
+    /// Reconstructs the fact behind `id` (clones the access path out of
+    /// the arena).
+    pub fn resolve_fact(&self, id: FactId) -> Fact {
+        match self.facts[id.index()] {
+            FactRepr::Zero => Fact::Zero,
+            FactRepr::T { ap, active, activation } => Fact::T(Taint {
+                ap: self.resolve_ap(ap).clone(),
+                active,
+                activation,
+            }),
+        }
+    }
+
+    /// Number of distinct facts interned (including `Zero`).
+    pub fn fact_count(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Number of distinct access paths interned.
+    pub fn ap_count(&self) -> usize {
+        self.aps.len()
+    }
+}
+
+/// The solver's key choice: how facts are represented in its tables.
+///
+/// `intern` is the only way keys are produced and `resolve` the only way
+/// they are read back, so an implementation either hands facts through
+/// unchanged ([`DirectDomain`]) or hash-conses them ([`InternedDomain`]).
+pub trait FactDomain {
+    /// The table key type.
+    type Key: Clone + Eq + Hash + Debug;
+
+    /// Creates the domain.
+    fn new() -> Self;
+    /// Maps a fact to its key.
+    fn intern(&mut self, f: &Fact) -> Self::Key;
+    /// Maps a key back to its fact.
+    fn resolve(&self, k: &Self::Key) -> Fact;
+    /// The key of [`Fact::Zero`].
+    fn zero(&self) -> Self::Key;
+    /// Returns `true` if `k` is the key of [`Fact::Zero`].
+    fn is_zero(&self, k: &Self::Key) -> bool;
+    /// `(distinct facts, distinct access paths)` seen, when tracked.
+    fn stats(&self) -> Option<(usize, usize)>;
+}
+
+/// Keys tables on whole [`Fact`] values (the pre-interning behavior,
+/// kept for the benchmark comparison).
+#[derive(Debug, Default)]
+pub struct DirectDomain;
+
+impl FactDomain for DirectDomain {
+    type Key = Fact;
+
+    fn new() -> Self {
+        DirectDomain
+    }
+
+    fn intern(&mut self, f: &Fact) -> Fact {
+        f.clone()
+    }
+
+    fn resolve(&self, k: &Fact) -> Fact {
+        k.clone()
+    }
+
+    fn zero(&self) -> Fact {
+        Fact::Zero
+    }
+
+    fn is_zero(&self, k: &Fact) -> bool {
+        k.is_zero()
+    }
+
+    fn stats(&self) -> Option<(usize, usize)> {
+        None
+    }
+}
+
+/// Keys tables on [`FactId`]s via an [`Interner`] (the default).
+#[derive(Debug, Default)]
+pub struct InternedDomain {
+    interner: Interner,
+}
+
+impl FactDomain for InternedDomain {
+    type Key = FactId;
+
+    fn new() -> Self {
+        InternedDomain { interner: Interner::new() }
+    }
+
+    fn intern(&mut self, f: &Fact) -> FactId {
+        self.interner.intern_fact(f)
+    }
+
+    fn resolve(&self, k: &FactId) -> Fact {
+        self.interner.resolve_fact(*k)
+    }
+
+    fn zero(&self) -> FactId {
+        FactId::ZERO
+    }
+
+    fn is_zero(&self, k: &FactId) -> bool {
+        *k == FactId::ZERO
+    }
+
+    fn stats(&self) -> Option<(usize, usize)> {
+        Some((self.interner.fact_count(), self.interner.ap_count()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowdroid_ir::{FieldId, Local, MethodId};
+
+    fn ap(l: u32, fields: &[usize]) -> AccessPath {
+        let mut a = AccessPath::local(Local(l));
+        for &f in fields {
+            a = a.append(FieldId::from_index(f), 5);
+        }
+        a
+    }
+
+    #[test]
+    fn ap_round_trip_and_dedup() {
+        let mut i = Interner::new();
+        let a = ap(0, &[1, 2]);
+        let b = ap(0, &[1, 2]);
+        let c = ap(0, &[2, 1]);
+        let ia = i.intern_ap(&a);
+        assert_eq!(i.intern_ap(&b), ia);
+        assert_ne!(i.intern_ap(&c), ia);
+        assert_eq!(i.resolve_ap(ia), &a);
+        assert_eq!(i.ap_count(), 2);
+    }
+
+    #[test]
+    fn zero_is_id_zero() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern_fact(&Fact::Zero), FactId::ZERO);
+        assert_eq!(i.resolve_fact(FactId::ZERO), Fact::Zero);
+    }
+
+    #[test]
+    fn fact_round_trip_distinguishes_activation() {
+        let mut i = Interner::new();
+        let act = StmtRef::new(MethodId::from_index(0), 3);
+        let active = Fact::T(Taint::active(ap(1, &[0])));
+        let inactive = Fact::T(Taint::inactive(ap(1, &[0]), act));
+        let ia = i.intern_fact(&active);
+        let ii = i.intern_fact(&inactive);
+        assert_ne!(ia, ii);
+        assert_eq!(i.resolve_fact(ia), active);
+        assert_eq!(i.resolve_fact(ii), inactive);
+        // Same access path arena entry backs both facts.
+        assert_eq!(i.ap_count(), 1);
+    }
+
+    #[test]
+    fn first_encounter_order_is_dense() {
+        let mut i = Interner::new();
+        let ids: Vec<FactId> = (0..5)
+            .map(|l| i.intern_fact(&Fact::T(Taint::active(ap(l, &[])))))
+            .collect();
+        let idx: Vec<usize> = ids.iter().map(|d| d.index()).collect();
+        assert_eq!(idx, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn domains_agree_on_zero() {
+        let mut d = DirectDomain::new();
+        let mut n = InternedDomain::new();
+        let z1 = d.intern(&Fact::Zero);
+        let z2 = n.intern(&Fact::Zero);
+        assert!(d.is_zero(&z1) && n.is_zero(&z2));
+        assert_eq!(d.zero(), z1);
+        assert_eq!(n.zero(), z2);
+        assert!(d.stats().is_none());
+        assert_eq!(n.stats(), Some((1, 0)));
+    }
+}

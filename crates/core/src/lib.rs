@@ -33,6 +33,7 @@ pub mod access_path;
 pub mod analysis;
 pub mod config;
 pub mod icc;
+pub mod intern;
 pub mod results;
 pub mod solver;
 pub mod sourcesink;
@@ -43,6 +44,7 @@ pub use access_path::{AccessPath, ApBase};
 pub use analysis::{AppAnalysis, Infoflow};
 pub use config::InfoflowConfig;
 pub use icc::{analyze_app_linked, IccResults};
+pub use intern::{ApId, DirectDomain, FactDomain, FactId, InternedDomain, Interner};
 pub use results::{InfoflowResults, Leak};
 pub use sourcesink::{SourceSinkManager, SourceSinkParseError};
 pub use taint::{Fact, Taint};

@@ -46,6 +46,12 @@ pub struct InfoflowResults {
     pub backward_propagations: u64,
     /// Methods reachable from the entry points.
     pub reachable_methods: usize,
+    /// Distinct facts hash-consed by the solver's interner (0 when
+    /// interning is disabled).
+    pub distinct_facts: usize,
+    /// Distinct access paths hash-consed by the solver's interner (0
+    /// when interning is disabled).
+    pub distinct_aps: usize,
     /// Wall-clock duration of the data-flow phase.
     pub duration: std::time::Duration,
     /// Set when the propagation budget
@@ -88,6 +94,14 @@ impl InfoflowResults {
             self.duration
         )
         .unwrap();
+        if self.distinct_facts > 0 {
+            writeln!(
+                out,
+                "  ({} distinct facts, {} distinct access paths interned)",
+                self.distinct_facts, self.distinct_aps
+            )
+            .unwrap();
+        }
         for (i, leak) in self.leaks.iter().enumerate() {
             let sink_m = program.signature(leak.sink.method);
             writeln!(out, "  [{}] sink {} (line {}):", i + 1, sink_m, leak.sink_line(program))

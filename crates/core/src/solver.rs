@@ -11,9 +11,19 @@
 //! Fact conventions: a forward edge `(d1, n, d2)` means `d2` holds
 //! *before* `n`; a backward edge `(d1, n, d)` means `d` holds *after*
 //! `n` and the solver is searching upward for its aliases.
+//!
+//! The solver is generic over a [`FactDomain`]: with the default
+//! [`InternedDomain`](crate::intern::InternedDomain) every table keys on
+//! `u32` fact ids (hash-consed by the domain's interner), popped edges
+//! are resolved to real [`Fact`]s once per statement visit, and each
+//! produced fact is interned once before fan-out to successors /
+//! return sites. [`DirectDomain`](crate::intern::DirectDomain) keys on
+//! whole facts instead, preserving the pre-interning behavior for
+//! benchmark comparison.
 
 use crate::access_path::{AccessPath, ApBase};
 use crate::config::InfoflowConfig;
+use crate::intern::FactDomain;
 use crate::results::{InfoflowResults, Leak};
 use crate::sourcesink::SourceSinkManager;
 use crate::taint::{Fact, Taint};
@@ -21,29 +31,29 @@ use crate::wrappers::{Pos, TaintWrapper};
 use flowdroid_callgraph::Icfg;
 use flowdroid_ifds::Tabulator;
 use flowdroid_ir::{
-    InvokeExpr, Local, MethodId, Operand, Place, Program, Rvalue, Stmt, StmtRef,
+    FxHashMap, InvokeExpr, Local, MethodId, Operand, Place, Program, Rvalue, Stmt, StmtRef,
 };
-use std::collections::HashMap;
 
-/// The bidirectional solver.
-pub struct BiSolver<'a> {
+/// The bidirectional solver, generic over the fact-key representation.
+pub struct BiSolver<'a, D: FactDomain> {
     icfg: Icfg<'a>,
     sources: &'a SourceSinkManager,
     wrapper: &'a TaintWrapper,
     config: &'a InfoflowConfig,
-    fw: Tabulator<Fact>,
-    bw: Tabulator<Fact>,
+    dom: D,
+    fw: Tabulator<D::Key>,
+    bw: Tabulator<D::Key>,
     leaks: Vec<(StmtRef, Taint)>,
     /// (stmt, fact) → predecessor (stmt, fact), for path reconstruction.
-    preds: HashMap<(StmtRef, Fact), (StmtRef, Fact)>,
+    preds: FxHashMap<(StmtRef, D::Key), (StmtRef, D::Key)>,
     /// (stmt, fact) → source statement that generated the fact.
-    gen_source: HashMap<(StmtRef, Fact), StmtRef>,
+    gen_source: FxHashMap<(StmtRef, D::Key), StmtRef>,
     /// Memoized "call site can transitively reach method" queries.
-    reach_cache: HashMap<(StmtRef, MethodId), bool>,
+    reach_cache: FxHashMap<(StmtRef, MethodId), bool>,
     aborted: bool,
 }
 
-impl<'a> BiSolver<'a> {
+impl<'a, D: FactDomain> BiSolver<'a, D> {
     /// Creates a solver.
     pub fn new(
         icfg: Icfg<'a>,
@@ -56,12 +66,13 @@ impl<'a> BiSolver<'a> {
             sources,
             wrapper,
             config,
+            dom: D::new(),
             fw: Tabulator::new(),
             bw: Tabulator::new(),
             leaks: Vec::new(),
-            preds: HashMap::new(),
-            gen_source: HashMap::new(),
-            reach_cache: HashMap::new(),
+            preds: FxHashMap::default(),
+            gen_source: FxHashMap::default(),
+            reach_cache: FxHashMap::default(),
             aborted: false,
         }
     }
@@ -78,9 +89,10 @@ impl<'a> BiSolver<'a> {
     /// results.
     pub fn solve(mut self, entry_points: &[MethodId]) -> InfoflowResults {
         let start = std::time::Instant::now();
+        let zero = self.dom.zero();
         for &ep in entry_points {
             for sp in self.icfg.start_points_of(ep) {
-                self.fw.propagate(Fact::Zero, sp, Fact::Zero);
+                self.fw.propagate(zero.clone(), sp, zero.clone());
             }
         }
         loop {
@@ -111,7 +123,13 @@ impl<'a> BiSolver<'a> {
 
     /// Records a forward path edge with provenance for path
     /// reconstruction.
-    fn fw_propagate(&mut self, d1: Fact, n: StmtRef, d2: Fact, from: Option<(StmtRef, Fact)>) {
+    fn fw_propagate(
+        &mut self,
+        d1: D::Key,
+        n: StmtRef,
+        d2: D::Key,
+        from: Option<(StmtRef, D::Key)>,
+    ) {
         let is_new = self.fw.propagate(d1, n, d2.clone());
         if is_new {
             self.record_pred(n, d2, from);
@@ -120,14 +138,20 @@ impl<'a> BiSolver<'a> {
 
     /// Records a backward path edge with provenance (provenance links
     /// from both solvers share one map so alias detours stay walkable).
-    fn bw_propagate(&mut self, d1: Fact, n: StmtRef, d2: Fact, from: Option<(StmtRef, Fact)>) {
+    fn bw_propagate(
+        &mut self,
+        d1: D::Key,
+        n: StmtRef,
+        d2: D::Key,
+        from: Option<(StmtRef, D::Key)>,
+    ) {
         let is_new = self.bw.propagate(d1, n, d2.clone());
         if is_new {
             self.record_pred(n, d2, from);
         }
     }
 
-    fn record_pred(&mut self, n: StmtRef, d2: Fact, from: Option<(StmtRef, Fact)>) {
+    fn record_pred(&mut self, n: StmtRef, d2: D::Key, from: Option<(StmtRef, D::Key)>) {
         if self.config.track_paths {
             if let Some(origin) = from {
                 if origin != (n, d2.clone()) {
@@ -138,7 +162,7 @@ impl<'a> BiSolver<'a> {
     }
 
     /// Marks `fact` at `n` as generated by the source statement `src`.
-    fn mark_source(&mut self, n: StmtRef, fact: &Fact, src: StmtRef) {
+    fn mark_source(&mut self, n: StmtRef, fact: &D::Key, src: StmtRef) {
         if self.config.track_paths {
             self.gen_source.entry((n, fact.clone())).or_insert(src);
         }
@@ -203,7 +227,7 @@ impl<'a> BiSolver<'a> {
     /// Injects an alias query for taint `g` (which holds after the heap
     /// write / wrapper call `n`) into the backward solver, with context
     /// injection of `d1` (Algorithm 1, line 16).
-    fn inject_alias_query(&mut self, d1: &Fact, n: StmtRef, g: &Taint) {
+    fn inject_alias_query(&mut self, d1: &D::Key, n: StmtRef, g: &Taint) {
         if !self.config.enable_alias_analysis {
             return;
         }
@@ -217,29 +241,32 @@ impl<'a> BiSolver<'a> {
         } else {
             g.activated()
         };
-        let ctx = if self.config.enable_context_injection { d1.clone() } else { Fact::Zero };
-        self.bw_propagate(ctx, n, Fact::T(q), Some((n, Fact::T(g.clone()))));
+        let ctx = if self.config.enable_context_injection { d1.clone() } else { self.dom.zero() };
+        let origin = self.dom.intern(&Fact::T(g.clone()));
+        let qk = self.dom.intern(&Fact::T(q));
+        self.bw_propagate(ctx, n, qk, Some((n, origin)));
     }
 
     // ================= forward solver =================
 
-    fn process_forward(&mut self, d1: Fact, n: StmtRef, d2: Fact) {
+    fn process_forward(&mut self, d1: D::Key, n: StmtRef, d2: D::Key) {
+        let d2f = self.dom.resolve(&d2);
         let stmt = self.stmt(n);
         let has_body_callees = !self.icfg.callees_of_call(n).is_empty();
         if stmt.is_call() && has_body_callees {
-            self.forward_call(&d1, n, &d2);
-            self.forward_call_to_return(&d1, n, &d2);
+            self.forward_call(n, &d2, &d2f);
+            self.forward_call_to_return(&d1, n, &d2, &d2f);
         } else if stmt.is_call() {
-            self.forward_call_to_return(&d1, n, &d2);
+            self.forward_call_to_return(&d1, n, &d2, &d2f);
         } else if stmt.is_exit() {
             self.forward_exit(&d1, n, &d2);
         } else {
-            self.forward_normal(&d1, n, &d2);
+            self.forward_normal(&d1, n, &d2, &d2f);
         }
     }
 
-    fn forward_normal(&mut self, d1: &Fact, n: StmtRef, d2: &Fact) {
-        let out = match (self.stmt(n).clone(), d2) {
+    fn forward_normal(&mut self, d1: &D::Key, n: StmtRef, d2: &D::Key, d2f: &Fact) {
+        let out = match (self.stmt(n).clone(), d2f) {
             (Stmt::Assign { lhs, rhs }, Fact::T(t)) => {
                 let (facts, alias_gens) = self.forward_assign(&lhs, &rhs, t);
                 for g in alias_gens {
@@ -247,15 +274,22 @@ impl<'a> BiSolver<'a> {
                 }
                 facts
             }
-            _ => vec![d2.clone()],
+            _ => vec![d2f.clone()],
         };
+        // Activation and interning depend only on `n`, so intern each
+        // output fact once and fan the keys out to all successors.
+        let mut keys = Vec::with_capacity(out.len());
+        for f in &out {
+            let f = match f {
+                Fact::T(t) => Fact::T(self.maybe_activate(n, t)),
+                z => z.clone(),
+            };
+            keys.push(self.dom.intern(&f));
+        }
+        let origin = Some((n, d2.clone()));
         for succ in self.icfg.succs_of(n) {
-            for f in &out {
-                let f = match f {
-                    Fact::T(t) => Fact::T(self.maybe_activate(n, t)),
-                    z => z.clone(),
-                };
-                self.fw_propagate(d1.clone(), succ, f, Some((n, d2.clone())));
+            for k in &keys {
+                self.fw_propagate(d1.clone(), succ, k.clone(), origin.clone());
             }
         }
     }
@@ -320,13 +354,14 @@ impl<'a> BiSolver<'a> {
         (out, alias_gens)
     }
 
-    fn forward_call(&mut self, _d1: &Fact, n: StmtRef, d2: &Fact) {
+    fn forward_call(&mut self, n: StmtRef, d2: &D::Key, d2f: &Fact) {
         let Stmt::Invoke { call, .. } = self.stmt(n) else { return };
         let call = call.clone();
         for &callee in self.icfg.callees_of_call(n) {
             let starts = self.icfg.start_points_of(callee);
-            let entry_facts = self.call_flow(&call, callee, d2);
-            for (d3, src_mark) in entry_facts {
+            let entry_facts = self.call_flow(&call, callee, d2f);
+            for (d3f, src_mark) in entry_facts {
+                let d3 = self.dom.intern(&d3f);
                 self.fw.add_incoming(callee, d3.clone(), n, d2.clone());
                 for &sp in &starts {
                     self.fw_propagate(d3.clone(), sp, d3.clone(), Some((n, d2.clone())));
@@ -398,7 +433,7 @@ impl<'a> BiSolver<'a> {
         }
     }
 
-    fn forward_exit(&mut self, d1: &Fact, n: StmtRef, d2: &Fact) {
+    fn forward_exit(&mut self, d1: &D::Key, n: StmtRef, d2: &D::Key) {
         let callee = self.icfg.method_of(n);
         self.fw.install_summary(callee, d1.clone(), n, d2.clone());
         for (call_site, d4) in self.fw.incoming_for(callee, d1) {
@@ -408,7 +443,14 @@ impl<'a> BiSolver<'a> {
 
     /// Applies return flow for a known summary at a call site where the
     /// caller fact `d4` entered.
-    fn apply_return(&mut self, call_site: StmtRef, callee: MethodId, exit: StmtRef, exit_fact: &Fact, d4: &Fact) {
+    fn apply_return(
+        &mut self,
+        call_site: StmtRef,
+        callee: MethodId,
+        exit: StmtRef,
+        exit_fact: &D::Key,
+        d4: &D::Key,
+    ) {
         self.apply_return_for_context(call_site, callee, exit, exit_fact, d4);
     }
 
@@ -417,10 +459,11 @@ impl<'a> BiSolver<'a> {
         call_site: StmtRef,
         callee: MethodId,
         exit: StmtRef,
-        exit_fact: &Fact,
-        d4: &Fact,
+        exit_key: &D::Key,
+        d4: &D::Key,
     ) {
-        let mapped = self.return_flow(call_site, callee, exit, exit_fact);
+        let exit_fact = self.dom.resolve(exit_key);
+        let mapped = self.return_flow(call_site, callee, exit, &exit_fact);
         if mapped.is_empty() {
             return;
         }
@@ -431,21 +474,27 @@ impl<'a> BiSolver<'a> {
         if d3s.is_empty() {
             d3s = self.bw.d1s_at(call_site, d4);
         }
+        // Activation depends only on the call site; intern once per
+        // mapped taint, not per (return site × context).
+        let mut acts = Vec::with_capacity(mapped.len());
+        for t in &mapped {
+            let t = self.maybe_activate(call_site, t);
+            let k = self.dom.intern(&Fact::T(t.clone()));
+            acts.push((t, k));
+        }
         for ret_site in self.icfg.return_sites_of_call(call_site) {
-            for t in &mapped {
-                let t = self.maybe_activate(call_site, t);
-                let fact = Fact::T(t.clone());
+            for (t, fk) in &acts {
                 for d3 in &d3s {
                     self.fw_propagate(
                         d3.clone(),
                         ret_site,
-                        fact.clone(),
-                        Some((exit, exit_fact.clone())),
+                        fk.clone(),
+                        Some((exit, exit_key.clone())),
                     );
                     // Heap taints returning to the caller spawn a new
                     // alias search there (paper §4.2).
                     if !t.ap.is_empty() && t.ap.base_local().is_some() {
-                        self.inject_alias_query(d3, call_site, &t);
+                        self.inject_alias_query(d3, call_site, t);
                     }
                 }
             }
@@ -502,12 +551,12 @@ impl<'a> BiSolver<'a> {
         out
     }
 
-    fn forward_call_to_return(&mut self, d1: &Fact, n: StmtRef, d2: &Fact) {
+    fn forward_call_to_return(&mut self, d1: &D::Key, n: StmtRef, d2: &D::Key, d2f: &Fact) {
         let Stmt::Invoke { result, call } = self.stmt(n).clone() else { return };
         let program = self.program();
         let mut out: Vec<Fact> = Vec::new();
         let mut alias_gens: Vec<Taint> = Vec::new();
-        match d2 {
+        match d2f {
             Fact::Zero => {
                 out.push(Fact::Zero);
                 // Source calls generate fresh active taints.
@@ -582,31 +631,39 @@ impl<'a> BiSolver<'a> {
         for g in alias_gens {
             self.inject_alias_query(d1, n, &g);
         }
-        let src_mark = matches!(d2, Fact::Zero) && self.sources.is_source_call(program, &call);
+        let src_mark = d2f.is_zero() && self.sources.is_source_call(program, &call);
+        // Intern each output fact once; fan keys out to return sites.
+        let mut keys = Vec::with_capacity(out.len());
+        for f in &out {
+            let f = match f {
+                Fact::T(t) => Fact::T(self.maybe_activate(n, t)),
+                z => z.clone(),
+            };
+            let non_zero = !f.is_zero();
+            keys.push((self.dom.intern(&f), non_zero));
+        }
+        let origin = Some((n, d2.clone()));
         for ret_site in self.icfg.return_sites_of_call(n) {
-            for f in &out {
-                let f = match f {
-                    Fact::T(t) => Fact::T(self.maybe_activate(n, t)),
-                    z => z.clone(),
-                };
-                if src_mark && !f.is_zero() {
-                    self.mark_source(ret_site, &f, n);
+            for (k, non_zero) in &keys {
+                if src_mark && *non_zero {
+                    self.mark_source(ret_site, k, n);
                 }
-                self.fw_propagate(d1.clone(), ret_site, f, Some((n, d2.clone())));
+                self.fw_propagate(d1.clone(), ret_site, k.clone(), origin.clone());
             }
         }
     }
 
     // ================= backward (alias) solver =================
 
-    fn process_backward(&mut self, d1: Fact, n: StmtRef, d2: Fact) {
+    fn process_backward(&mut self, d1: D::Key, n: StmtRef, d2: D::Key) {
+        let d2f = self.dom.resolve(&d2);
         let stmt = self.stmt(n).clone();
         match stmt {
             Stmt::Invoke { result, call } => {
-                self.backward_call(&d1, n, &d2, result, &call);
+                self.backward_call(&d1, n, &d2, &d2f, result, &call);
             }
             Stmt::Assign { lhs, rhs } => {
-                self.backward_assign(&d1, n, &d2, &lhs, &rhs);
+                self.backward_assign(&d1, n, &d2, &d2f, &lhs, &rhs);
             }
             _ => {
                 // Control flow and exits are transparent to aliasing.
@@ -621,16 +678,16 @@ impl<'a> BiSolver<'a> {
     /// summary, hand the fact to the forward solver (with the backward
     /// solver's calling contexts, so returns stay realizable), and
     /// stop; the backward analysis never returns into callers itself.
-    fn bw_to_preds(&mut self, d1: &Fact, n: StmtRef, d: &Fact) {
+    fn bw_to_preds(&mut self, d1: &D::Key, n: StmtRef, d: &D::Key) {
         self.bw_to_preds_from(d1, n, d, Some((n, d.clone())));
     }
 
     fn bw_to_preds_from(
         &mut self,
-        d1: &Fact,
+        d1: &D::Key,
         n: StmtRef,
-        d: &Fact,
-        origin: Option<(StmtRef, Fact)>,
+        d: &D::Key,
+        origin: Option<(StmtRef, D::Key)>,
     ) {
         let preds = self.icfg.preds_of(n);
         if preds.is_empty() {
@@ -649,8 +706,16 @@ impl<'a> BiSolver<'a> {
         }
     }
 
-    fn backward_assign(&mut self, d1: &Fact, n: StmtRef, d2: &Fact, lhs: &Place, rhs: &Rvalue) {
-        let Fact::T(t) = d2 else { return };
+    fn backward_assign(
+        &mut self,
+        d1: &D::Key,
+        n: StmtRef,
+        d2: &D::Key,
+        d2f: &Fact,
+        lhs: &Place,
+        rhs: &Rvalue,
+    ) {
+        let Fact::T(t) = d2f else { return };
         let lhs_ap = AccessPath::of_place(lhs);
         let rhs_ap = Self::readable_rvalue(rhs);
         let mut back: Vec<Taint> = Vec::new();
@@ -707,27 +772,31 @@ impl<'a> BiSolver<'a> {
 
         let origin = Some((n, d2.clone()));
         for g in back {
-            self.bw_to_preds_from(d1, n, &Fact::T(g), origin.clone());
+            let k = self.dom.intern(&Fact::T(g));
+            self.bw_to_preds_from(d1, n, &k, origin.clone());
         }
         for g in fwd_at_n {
-            self.fw_propagate(d1.clone(), n, Fact::T(g), origin.clone());
+            let k = self.dom.intern(&Fact::T(g));
+            self.fw_propagate(d1.clone(), n, k, origin.clone());
         }
         for g in fwd_after {
+            let k = self.dom.intern(&Fact::T(g));
             for succ in self.icfg.succs_of(n) {
-                self.fw_propagate(d1.clone(), succ, Fact::T(g.clone()), origin.clone());
+                self.fw_propagate(d1.clone(), succ, k.clone(), origin.clone());
             }
         }
     }
 
     fn backward_call(
         &mut self,
-        d1: &Fact,
+        d1: &D::Key,
         n: StmtRef,
-        d2: &Fact,
+        d2: &D::Key,
+        d2f: &Fact,
         result: Option<Local>,
         call: &InvokeExpr,
     ) {
-        let Fact::T(t) = d2 else { return };
+        let Fact::T(t) = d2f else { return };
         // Pass over the call unless the traced value is its result.
         let rooted_at_result = result.is_some() && t.ap.base_local() == result;
         if !rooted_at_result {
@@ -751,11 +820,12 @@ impl<'a> BiSolver<'a> {
                             {
                                 let ap = t.ap.rebase(ApBase::Local(*v), &[], self.k());
                                 let g = t.with_ap(ap);
-                                self.bw.add_incoming(callee, Fact::T(g.clone()), n, d2.clone());
+                                let gk = self.dom.intern(&Fact::T(g));
+                                self.bw.add_incoming(callee, gk.clone(), n, d2.clone());
                                 self.bw_propagate(
-                                    Fact::T(g.clone()),
+                                    gk.clone(),
                                     exit,
-                                    Fact::T(g),
+                                    gk,
                                     Some((n, d2.clone())),
                                 );
                             }
@@ -778,7 +848,7 @@ impl<'a> BiSolver<'a> {
                 }
             }
             for g in entry {
-                let f = Fact::T(g);
+                let f = self.dom.intern(&Fact::T(g));
                 self.bw.add_incoming(callee, f.clone(), n, d2.clone());
                 for exit in self.icfg.exit_stmts_of(callee) {
                     self.bw_propagate(f.clone(), exit, f.clone(), Some((n, d2.clone())));
@@ -789,11 +859,12 @@ impl<'a> BiSolver<'a> {
 
     // ================= results =================
 
-    fn collect_results(self, duration: std::time::Duration) -> InfoflowResults {
+    fn collect_results(mut self, duration: std::time::Duration) -> InfoflowResults {
         let program = self.program();
         let mut seen = std::collections::HashSet::new();
         let mut leaks = Vec::new();
-        for (sink, taint) in &self.leaks {
+        let recorded = std::mem::take(&mut self.leaks);
+        for (sink, taint) in &recorded {
             let (source, path) = self.attribute(*sink, taint);
             let key = (*sink, source);
             if !seen.insert(key) {
@@ -807,11 +878,14 @@ impl<'a> BiSolver<'a> {
             });
         }
         leaks.sort_by_key(|l| (l.sink, l.source));
+        let (distinct_facts, distinct_aps) = self.dom.stats().unwrap_or((0, 0));
         InfoflowResults {
             leaks,
             forward_propagations: self.fw.propagation_count(),
             backward_propagations: self.bw.propagation_count(),
             reachable_methods: self.icfg.callgraph().reachable_methods().len(),
+            distinct_facts,
+            distinct_aps,
             duration,
             aborted: self.aborted,
         }
@@ -819,11 +893,12 @@ impl<'a> BiSolver<'a> {
 
     /// Walks the provenance links back from a leak to the source that
     /// generated the taint.
-    fn attribute(&self, sink: StmtRef, taint: &Taint) -> (Option<StmtRef>, Vec<StmtRef>) {
+    fn attribute(&mut self, sink: StmtRef, taint: &Taint) -> (Option<StmtRef>, Vec<StmtRef>) {
         if !self.config.track_paths {
             return (None, Vec::new());
         }
-        let mut cur = (sink, Fact::T(taint.clone()));
+        let sink_key = self.dom.intern(&Fact::T(taint.clone()));
+        let mut cur = (sink, sink_key);
         let mut path = vec![sink];
         let mut steps = 0;
         loop {
@@ -831,28 +906,7 @@ impl<'a> BiSolver<'a> {
                 path.reverse();
                 return (Some(src), path);
             }
-            // Activation-state variants share provenance.
-            if let Fact::T(t) = &cur.1 {
-                if t.active {
-                    for alt in self.alt_facts(t) {
-                        let key = (cur.0, alt);
-                        if let Some(&src) = self.gen_source.get(&key) {
-                            path.reverse();
-                            return (Some(src), path);
-                        }
-                    }
-                }
-            }
-            let next = self.preds.get(&cur).cloned().or_else(|| {
-                if let Fact::T(t) = &cur.1 {
-                    self.alt_facts(t)
-                        .into_iter()
-                        .find_map(|alt| self.preds.get(&(cur.0, alt)).cloned())
-                } else {
-                    None
-                }
-            });
-            match next {
+            match self.preds.get(&cur).cloned() {
                 Some(p) => {
                     path.push(p.0);
                     cur = p;
@@ -867,16 +921,5 @@ impl<'a> BiSolver<'a> {
                 return (None, Vec::new());
             }
         }
-    }
-
-    /// Alternative fact encodings of the same taint (inactive variants)
-    /// used during provenance walks.
-    fn alt_facts(&self, t: &Taint) -> Vec<Fact> {
-        // We cannot know the activation statement that an inactive
-        // variant carried, so enumerate none; provenance simply stops at
-        // the alias spawn point, which is still inside the recorded
-        // path.
-        let _ = t;
-        Vec::new()
     }
 }

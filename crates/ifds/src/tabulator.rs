@@ -1,8 +1,8 @@
 //! The path-edge / summary / incoming-set state machine underlying the
 //! IFDS tabulation algorithm.
 
-use flowdroid_ir::{MethodId, StmtRef};
-use std::collections::{HashMap, HashSet, VecDeque};
+use flowdroid_ir::{FxHashMap, FxHashSet, MethodId, StmtRef};
+use std::collections::VecDeque;
 use std::hash::Hash;
 
 /// A path edge `⟨sp, d1⟩ → ⟨n, d2⟩`.
@@ -24,18 +24,23 @@ pub struct PathEdge<F> {
 /// Worklist, path-edge table, end summaries and incoming sets for one
 /// IFDS solver instance.
 ///
+/// All tables are nested maps (`stmt → fact → …`) hashed with the Fx
+/// hasher, so lookups borrow their key parts instead of cloning facts
+/// into tuple keys, and the per-operation hash cost stays proportional
+/// to the small outer key.
+///
 /// [`crate::Solver`] drives a `Tabulator` automatically; the FlowDroid
 /// bidirectional analysis drives two of them manually so it can hand
 /// edges from one to the other (context injection).
 #[derive(Debug)]
 pub struct Tabulator<F> {
     worklist: VecDeque<PathEdge<F>>,
-    /// (n, d2) → set of d1 for all recorded path edges.
-    edges: HashMap<(StmtRef, F), HashSet<F>>,
-    /// (callee, d1-at-entry) → exit facts (exit stmt, d2-at-exit).
-    end_summaries: HashMap<(MethodId, F), Vec<(StmtRef, F)>>,
-    /// (callee, d3-at-entry) → call contexts (call site, d2-at-call).
-    incoming: HashMap<(MethodId, F), Vec<(StmtRef, F)>>,
+    /// n → d2 → set of d1 for all recorded path edges.
+    edges: FxHashMap<StmtRef, FxHashMap<F, FxHashSet<F>>>,
+    /// callee → d1-at-entry → exit facts (exit stmt, d2-at-exit).
+    end_summaries: FxHashMap<MethodId, FxHashMap<F, Vec<(StmtRef, F)>>>,
+    /// callee → d3-at-entry → call contexts (call site, d2-at-call).
+    incoming: FxHashMap<MethodId, FxHashMap<F, Vec<(StmtRef, F)>>>,
     /// Number of path edges ever propagated (for statistics).
     propagation_count: u64,
 }
@@ -51,9 +56,9 @@ impl<F: Clone + Eq + Hash> Tabulator<F> {
     pub fn new() -> Self {
         Self {
             worklist: VecDeque::new(),
-            edges: HashMap::new(),
-            end_summaries: HashMap::new(),
-            incoming: HashMap::new(),
+            edges: FxHashMap::default(),
+            end_summaries: FxHashMap::default(),
+            incoming: FxHashMap::default(),
             propagation_count: 0,
         }
     }
@@ -61,8 +66,13 @@ impl<F: Clone + Eq + Hash> Tabulator<F> {
     /// Records the path edge `⟨·, d1⟩ → ⟨n, d2⟩` and schedules it if it
     /// is new. Returns `true` if the edge was new.
     pub fn propagate(&mut self, d1: F, n: StmtRef, d2: F) -> bool {
-        let key = (n, d2.clone());
-        let inserted = self.edges.entry(key).or_default().insert(d1.clone());
+        let inserted = self
+            .edges
+            .entry(n)
+            .or_default()
+            .entry(d2.clone())
+            .or_default()
+            .insert(d1.clone());
         if inserted {
             self.propagation_count += 1;
             self.worklist.push_back(PathEdge { d1, n, d2 });
@@ -80,10 +90,12 @@ impl<F: Clone + Eq + Hash> Tabulator<F> {
         self.worklist.is_empty()
     }
 
-    /// All source facts `d1` of path edges targeting `(n, d2)`.
+    /// All source facts `d1` of path edges targeting `(n, d2)`. The
+    /// lookup borrows `d2`; only the returned facts are cloned.
     pub fn d1s_at(&self, n: StmtRef, d2: &F) -> Vec<F> {
         self.edges
-            .get(&(n, d2.clone()))
+            .get(&n)
+            .and_then(|by_fact| by_fact.get(d2))
             .map(|s| s.iter().cloned().collect())
             .unwrap_or_default()
     }
@@ -91,14 +103,15 @@ impl<F: Clone + Eq + Hash> Tabulator<F> {
     /// Returns `true` if the edge `⟨·, d1⟩ → ⟨n, d2⟩` has been recorded.
     pub fn has_edge(&self, d1: &F, n: StmtRef, d2: &F) -> bool {
         self.edges
-            .get(&(n, d2.clone()))
+            .get(&n)
+            .and_then(|by_fact| by_fact.get(d2))
             .is_some_and(|s| s.contains(d1))
     }
 
     /// Records a call context: the callee was entered with `d3` from
     /// `call_site` where `d2` held. Returns `true` if new.
     pub fn add_incoming(&mut self, callee: MethodId, d3: F, call_site: StmtRef, d2: F) -> bool {
-        let v = self.incoming.entry((callee, d3)).or_default();
+        let v = self.incoming.entry(callee).or_default().entry(d3).or_default();
         let entry = (call_site, d2);
         if v.contains(&entry) {
             false
@@ -111,7 +124,8 @@ impl<F: Clone + Eq + Hash> Tabulator<F> {
     /// The call contexts recorded for `(callee, d3)`.
     pub fn incoming_for(&self, callee: MethodId, d3: &F) -> Vec<(StmtRef, F)> {
         self.incoming
-            .get(&(callee, d3.clone()))
+            .get(&callee)
+            .and_then(|by_fact| by_fact.get(d3))
             .cloned()
             .unwrap_or_default()
     }
@@ -127,7 +141,7 @@ impl<F: Clone + Eq + Hash> Tabulator<F> {
     /// Installs the end summary `⟨callee, d1⟩ → (exit, d2)`. Returns
     /// `true` if new.
     pub fn install_summary(&mut self, callee: MethodId, d1: F, exit: StmtRef, d2: F) -> bool {
-        let v = self.end_summaries.entry((callee, d1)).or_default();
+        let v = self.end_summaries.entry(callee).or_default().entry(d1).or_default();
         let entry = (exit, d2);
         if v.contains(&entry) {
             false
@@ -140,7 +154,8 @@ impl<F: Clone + Eq + Hash> Tabulator<F> {
     /// The end summaries recorded for `(callee, d1)`.
     pub fn summaries_for(&self, callee: MethodId, d1: &F) -> Vec<(StmtRef, F)> {
         self.end_summaries
-            .get(&(callee, d1.clone()))
+            .get(&callee)
+            .and_then(|by_fact| by_fact.get(d1))
             .cloned()
             .unwrap_or_default()
     }
@@ -148,15 +163,14 @@ impl<F: Clone + Eq + Hash> Tabulator<F> {
     /// All facts recorded as holding before `n` (ignoring source facts).
     pub fn facts_at(&self, n: StmtRef) -> Vec<F> {
         self.edges
-            .keys()
-            .filter(|(s, _)| *s == n)
-            .map(|(_, d2)| d2.clone())
-            .collect()
+            .get(&n)
+            .map(|by_fact| by_fact.keys().cloned().collect())
+            .unwrap_or_default()
     }
 
     /// Iterates over all `(n, d2)` pairs with at least one path edge.
     pub fn reached(&self) -> impl Iterator<Item = (&StmtRef, &F)> {
-        self.edges.keys().map(|(n, d)| (n, d))
+        self.edges.iter().flat_map(|(n, by_fact)| by_fact.keys().map(move |d| (n, d)))
     }
 
     /// Number of `propagate` calls that inserted a new edge.
@@ -213,5 +227,17 @@ mod tests {
         let mut facts = t.facts_at(sr(2));
         facts.sort_unstable();
         assert_eq!(facts, vec![5, 6]);
+    }
+
+    #[test]
+    fn has_edge_borrows_and_matches() {
+        let mut t: Tabulator<u32> = Tabulator::new();
+        t.propagate(0, sr(2), 5);
+        assert!(t.has_edge(&0, sr(2), &5));
+        assert!(!t.has_edge(&1, sr(2), &5));
+        assert!(!t.has_edge(&0, sr(3), &5));
+        let mut reached: Vec<(StmtRef, u32)> = t.reached().map(|(n, d)| (*n, *d)).collect();
+        reached.sort();
+        assert_eq!(reached, vec![(sr(2), 5)]);
     }
 }

@@ -35,6 +35,7 @@
 mod body;
 mod builder;
 mod class;
+pub mod fxhash;
 mod pretty;
 mod program;
 mod stmt;
@@ -42,6 +43,7 @@ mod symbols;
 mod types;
 
 pub use body::{Body, Cfg, LocalDecl, StmtIdx, StmtRef};
+pub use fxhash::{fxhash64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use builder::{Label, MethodBuilder};
 pub use class::{Class, ClassId, Field, FieldId, Method, MethodId, MethodRef, SubSig};
 pub use pretty::ProgramPrinter;

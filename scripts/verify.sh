@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate plus solver statistics.
+#
+# Usage: scripts/verify.sh [--full]
+#   default : tier-1 gate (release build + root tests) + solver stats
+#   --full  : additionally runs the whole workspace test suite
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release"
+cargo build --release
+
+echo "== tier-1: cargo test -q"
+cargo test -q
+
+if [[ "${1:-}" == "--full" ]]; then
+    echo "== full workspace test suite"
+    cargo test --workspace -q
+fi
+
+echo "== solver stats (writes BENCH_solver.json)"
+cargo run --release -p flowdroid-bench --bin solver_stats -- BENCH_solver.json >/dev/null
+
+echo "== BENCH_solver.json comparison block"
+sed -n '/"comparison"/,$p' BENCH_solver.json
+
+echo "verify: OK"

@@ -1,0 +1,303 @@
+//! The `Strategy` trait and the built-in strategies the repo's tests
+//! use: integer ranges, regex-literal strings, tuples, `Just`, unions
+//! and mapping.
+
+use crate::test_runner::TestRng;
+
+/// Generates values of one type from random bits.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Maps another strategy's output through a function.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among type-erased strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given arms (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Types with a canonical strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(!self.is_empty(), "empty range strategy");
+                let span = self.end.abs_diff(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = hi.abs_diff(lo) as u64;
+                let off = if span == u64::MAX { rng.next_u64() } else { rng.below(span + 1) };
+                lo.wrapping_add(off as $t)
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($s:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// String-literal strategies interpret a small regex subset: a sequence
+/// of atoms (`.` = printable ASCII, `[a-z0-9_]` character classes with
+/// ranges, or a literal character), each with an optional `{m}` /
+/// `{m,n}` repetition.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+enum Atom {
+    AnyPrintable,
+    Class(Vec<(char, char)>),
+    Literal(char),
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::AnyPrintable
+            }
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                let inner = &chars[i + 1..i + close];
+                i += close + 1;
+                let mut ranges = Vec::new();
+                let mut j = 0;
+                while j < inner.len() {
+                    if j + 2 < inner.len() && inner[j + 1] == '-' {
+                        ranges.push((inner[j], inner[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((inner[j], inner[j]));
+                        j += 1;
+                    }
+                }
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                let c = chars.get(i).copied().unwrap_or('\\');
+                i += 1;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+            let spec: String = chars[i + 1..i + close].iter().collect();
+            i += close + 1;
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().expect("repetition min"),
+                    n.trim().parse::<usize>().expect("repetition max"),
+                ),
+                None => {
+                    let m = spec.trim().parse::<usize>().expect("repetition count");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let n = min + rng.below((max - min + 1) as u64) as usize;
+        for _ in 0..n {
+            out.push(match &atom {
+                Atom::AnyPrintable => char::from(32 + rng.below(95) as u8),
+                Atom::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                    char::from_u32(lo as u32 + rng.below((hi as u32 - lo as u32 + 1) as u64) as u32)
+                        .unwrap_or(lo)
+                }
+                Atom::Literal(c) => *c,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_generate_matching_strings() {
+        let mut rng = TestRng::from_name("patterns");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+
+            let d = Strategy::generate(&"[0-9]{1,4}", &mut rng);
+            assert!((1..=4).contains(&d.len()));
+            assert!(d.chars().all(|c| c.is_ascii_digit()));
+
+            let p = Strategy::generate(&".{0,256}", &mut rng);
+            assert!(p.len() <= 256);
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..500 {
+            let v = (0u32..4, 1usize..6).generate(&mut rng);
+            assert!(v.0 < 4 && (1..6).contains(&v.1));
+        }
+    }
+
+    #[test]
+    fn union_hits_every_arm() {
+        let u = crate::prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = TestRng::from_name("union");
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[u.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+}
