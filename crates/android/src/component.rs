@@ -4,8 +4,7 @@ use crate::platform::PlatformInfo;
 use flowdroid_callgraph::{CallGraph, CgAlgorithm, Hierarchy};
 use flowdroid_frontend::manifest::ComponentKind;
 use flowdroid_frontend::App;
-use flowdroid_ir::{ClassId, Constant, MethodId, Operand, Program};
-use std::collections::HashSet;
+use flowdroid_ir::{ClassId, Constant, FxHashSet, MethodId, Operand, Program};
 
 /// How callbacks are associated with components.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -202,7 +201,7 @@ fn discover_component(
     hierarchy: &Hierarchy,
     comp: &mut ComponentModel,
 ) {
-    let mut known: HashSet<CallbackInfo> = HashSet::new();
+    let mut known: FxHashSet<CallbackInfo> = FxHashSet::default();
     // Overridden non-lifecycle framework methods are callbacks from the
     // start (MethodOverride-style tests).
     for cb in overridden_framework_methods(program, platform, comp) {
@@ -274,7 +273,7 @@ fn overridden_framework_methods(
             stack.push(s);
         }
         stack.extend(class.interfaces().iter().copied());
-        let mut seen = HashSet::new();
+        let mut seen = FxHashSet::default();
         while let Some(c) = stack.pop() {
             if !seen.insert(c) {
                 continue;

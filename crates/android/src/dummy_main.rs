@@ -14,9 +14,8 @@ use crate::component::{CallbackReceiver, ComponentModel, EntryPointModel};
 use crate::platform::PlatformInfo;
 use flowdroid_frontend::manifest::ComponentKind;
 use flowdroid_ir::{
-    ClassId, Constant, Local, MethodBuilder, MethodId, Operand, Program, Type,
+    ClassId, Constant, FxHashMap, Local, MethodBuilder, MethodId, Operand, Program, Type,
 };
-use std::collections::HashMap;
 
 /// Generates the dummy main for `model` into `program`.
 ///
@@ -104,7 +103,7 @@ fn alloc_instance(b: &mut MethodBuilder<'_>, cls: ClassId, name_hint: &str) -> L
 fn emit_lifecycle_call(
     b: &mut MethodBuilder<'_>,
     comp: &ComponentModel,
-    by_name: &HashMap<String, MethodId>,
+    by_name: &FxHashMap<String, MethodId>,
     instance: Local,
     name: &str,
 ) {
@@ -122,7 +121,7 @@ fn emit_lifecycle_call(
     b.call_virtual(None, instance, &cname, name, params, ret, args);
 }
 
-fn lifecycle_by_name(b: &mut MethodBuilder<'_>, comp: &ComponentModel) -> HashMap<String, MethodId> {
+fn lifecycle_by_name(b: &mut MethodBuilder<'_>, comp: &ComponentModel) -> FxHashMap<String, MethodId> {
     let p = b.program();
     comp.lifecycle
         .iter()
@@ -137,7 +136,7 @@ fn emit_callback_loop(b: &mut MethodBuilder<'_>, comp: &ComponentModel, instance
         return;
     }
     // Fresh listener instances are allocated once per component visit.
-    let mut fresh: HashMap<ClassId, Local> = HashMap::new();
+    let mut fresh: FxHashMap<ClassId, Local> = FxHashMap::default();
     for cb in &comp.callbacks {
         if let CallbackReceiver::Fresh(cls) = cb.receiver {
             if !fresh.contains_key(&cls) {

@@ -5,8 +5,7 @@
 //! through these methods is modeled by taint-wrapper and native-call
 //! rules in the core crate.
 
-use flowdroid_ir::{ClassId, MethodId, Program, SubSig, Type};
-use std::collections::HashSet;
+use flowdroid_ir::{ClassId, FxHashSet, MethodId, Program, SubSig, Type};
 
 /// Lifecycle methods of an Activity, in lifecycle order.
 pub const ACTIVITY_LIFECYCLE: &[&str] = &[
@@ -58,7 +57,7 @@ pub struct PlatformInfo {
     pub callback_interfaces: Vec<ClassId>,
     /// All method ids declared by the platform (used to recognize
     /// overridden framework methods).
-    pub stub_methods: HashSet<MethodId>,
+    pub stub_methods: FxHashSet<MethodId>,
 }
 
 impl PlatformInfo {
@@ -88,7 +87,7 @@ impl PlatformInfo {
 /// Idempotent per program only in the sense that it must be called
 /// exactly once (declaring twice panics).
 pub fn install_platform(program: &mut Program) -> PlatformInfo {
-    let mut stub_methods = HashSet::new();
+    let mut stub_methods = FxHashSet::default();
     let p = program;
 
     // ----- core Java -----------------------------------------------------
@@ -107,7 +106,7 @@ pub fn install_platform(program: &mut Program) -> PlatformInfo {
     let editor_ty0 = p.ref_type("android.content.SharedPreferences$Editor");
 
     let stub = |p: &mut Program,
-                    stubs: &mut HashSet<MethodId>,
+                    stubs: &mut FxHashSet<MethodId>,
                     class: ClassId,
                     name: &str,
                     params: Vec<Type>,

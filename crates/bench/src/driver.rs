@@ -13,6 +13,7 @@ use flowdroid_android::install_platform;
 use flowdroid_core::{Infoflow, InfoflowConfig, InfoflowResults, SourceSinkManager, TaintWrapper};
 use flowdroid_droidbench::{all_apps, insecurebank, BenchApp};
 use flowdroid_frontend::layout::ResourceTable;
+use flowdroid_core::SchedulerStats;
 use flowdroid_frontend::parse_jasm;
 use flowdroid_ir::Program;
 use flowdroid_securibench::{cases_in, Group, MicroCase, MICRO_DEFS, MICRO_ENV};
@@ -89,6 +90,8 @@ pub struct AppRun {
     pub total: Duration,
     /// Data-flow (solver) phase duration only.
     pub dataflow: Duration,
+    /// Work-stealing scheduler counters (parallel taint engine only).
+    pub scheduler: Option<SchedulerStats>,
 }
 
 /// Renders the deterministic per-app leak report: one header line plus
@@ -147,6 +150,7 @@ fn run_job(job: &CorpusJob, config: &InfoflowConfig) -> AppRun {
         distinct_aps: results.distinct_aps,
         total: start.elapsed(),
         dataflow: results.duration,
+        scheduler: results.scheduler.clone(),
     }
 }
 
@@ -192,6 +196,30 @@ impl CorpusRun {
     /// Total distinct access paths interned across the corpus.
     pub fn total_distinct_aps(&self) -> usize {
         self.apps.iter().map(|a| a.distinct_aps).sum()
+    }
+
+    /// Work-stealing scheduler counters summed across the corpus
+    /// (`None` when no app ran the parallel taint engine). Per-shard
+    /// pushes are added element-wise, so shard occupancy aggregates
+    /// too.
+    pub fn scheduler_totals(&self) -> Option<SchedulerStats> {
+        let mut total: Option<SchedulerStats> = None;
+        for s in self.apps.iter().filter_map(|a| a.scheduler.as_ref()) {
+            let t = total.get_or_insert_with(|| SchedulerStats {
+                shards: s.shards,
+                ..SchedulerStats::default()
+            });
+            t.pushed += s.pushed;
+            t.steals += s.steals;
+            t.claims += s.claims;
+            if t.pushed_per_shard.len() < s.pushed_per_shard.len() {
+                t.pushed_per_shard.resize(s.pushed_per_shard.len(), 0);
+            }
+            for (i, c) in s.pushed_per_shard.iter().enumerate() {
+                t.pushed_per_shard[i] += c;
+            }
+        }
+        total
     }
 }
 

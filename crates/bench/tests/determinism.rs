@@ -29,6 +29,22 @@ fn corpus_driver_report_identical_across_thread_counts() {
     assert_eq!(again, baseline, "corpus report not stable across repeat runs");
 }
 
+/// The parallel bidirectional taint engine (forward + backward
+/// propagation as interleaved jobs over the work-stealing scheduler)
+/// produces byte-for-byte identical leak reports to the sequential
+/// solver on every DroidBench app, at every worker count.
+#[test]
+fn parallel_taint_engine_matches_sequential_on_droidbench() {
+    let jobs = droidbench_corpus();
+    let sequential = corpus_report(&run_corpus(&jobs, &InfoflowConfig::default(), 1));
+    assert!(sequential.contains("leak(s)"));
+    for threads in [1usize, 2, 4, 8] {
+        let config = InfoflowConfig::default().with_taint_threads(threads);
+        let report = corpus_report(&run_corpus(&jobs, &config, 1));
+        assert_eq!(report, sequential, "parallel taint report diverged at {threads} threads");
+    }
+}
+
 /// Interned and whole-fact keys find the same leaks on the whole
 /// Android corpus (interning is a pure representation change).
 #[test]

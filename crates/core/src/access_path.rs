@@ -6,7 +6,21 @@
 //! which over-approximates soundly because an access path implicitly
 //! covers every extension of itself (`x.f` subsumes `x.f.g`, `x.f.g.h`,
 //! …).
+//!
+//! Field sequences are **arena-interned** (see
+//! [`crate::intern::intern_fields`]): every distinct `[FieldId]`
+//! sequence is stored exactly once and an `AccessPath` holds a stable
+//! `&'static` slice into that arena. This makes `AccessPath` (and the
+//! [`crate::taint::Taint`]/[`crate::taint::Fact`] types built on it)
+//! `Copy`: the solver's inner loops — [`AccessPath::read_remainder`],
+//! [`AccessPath::append`], [`AccessPath::rebase`], fact resolution —
+//! stop allocating per call, and copies of facts across worker threads
+//! are single-word-per-field-free. Equality, hashing and ordering
+//! compare slice *contents*, so behavior is independent of arena
+//! addresses and therefore deterministic across runs and thread
+//! counts.
 
+use crate::intern::intern_fields;
 use flowdroid_ir::{FieldId, Local, Place, Program};
 
 /// The root of an access path.
@@ -18,11 +32,19 @@ pub enum ApBase {
     Static(FieldId),
 }
 
+/// Stack buffer size for building short field sequences without heap
+/// allocation (the default bound is 5; ablations go a little higher).
+const STACK_FIELDS: usize = 16;
+
 /// A bounded access path.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+///
+/// `Copy`: the field sequence is an interned `&'static` slice, not an
+/// owned vector. Derived `PartialEq`/`Hash`/`Ord` compare the slice by
+/// content (length + elements), never by address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct AccessPath {
     base: ApBase,
-    fields: Vec<FieldId>,
+    fields: &'static [FieldId],
     /// Set when fields were dropped due to the length bound; the path
     /// then stands for *everything* reachable from its prefix.
     truncated: bool,
@@ -31,19 +53,17 @@ pub struct AccessPath {
 impl AccessPath {
     /// A path rooted at a local with no fields.
     pub fn local(l: Local) -> AccessPath {
-        AccessPath { base: ApBase::Local(l), fields: Vec::new(), truncated: false }
+        AccessPath { base: ApBase::Local(l), fields: &[], truncated: false }
     }
 
     /// A path rooted at a static field.
     pub fn static_field(f: FieldId) -> AccessPath {
-        AccessPath { base: ApBase::Static(f), fields: Vec::new(), truncated: false }
+        AccessPath { base: ApBase::Static(f), fields: &[], truncated: false }
     }
 
     /// A path with explicit parts, truncating to `max_len` fields.
     pub fn new(base: ApBase, fields: Vec<FieldId>, max_len: usize) -> AccessPath {
-        let mut ap = AccessPath { base, fields, truncated: false };
-        ap.truncate(max_len);
-        ap
+        Self::make(base, &fields, &[], false, max_len)
     }
 
     /// The access path a [`Place`] *writes to / reads from*:
@@ -54,7 +74,7 @@ impl AccessPath {
             Place::Local(l) => AccessPath::local(*l),
             Place::InstanceField(b, f) => AccessPath {
                 base: ApBase::Local(*b),
-                fields: vec![*f],
+                fields: intern_fields(&[*f]),
                 truncated: false,
             },
             Place::StaticField(f) => AccessPath::static_field(*f),
@@ -62,14 +82,45 @@ impl AccessPath {
         }
     }
 
+    /// Builds `base.(a ++ b)` truncated to `max_len`, interning the
+    /// resulting field sequence. Short sequences (the overwhelmingly
+    /// common case) are assembled on the stack; only a first encounter
+    /// of a distinct sequence allocates, inside the arena.
+    fn make(
+        base: ApBase,
+        a: &[FieldId],
+        b: &[FieldId],
+        already_truncated: bool,
+        max_len: usize,
+    ) -> AccessPath {
+        let total = a.len() + b.len();
+        let take = total.min(max_len);
+        let truncated = already_truncated || total > max_len;
+        let fields = if take == a.len() && b.is_empty() {
+            // Fast path: `a` is already an interned slice when called
+            // from append/rebase on an existing path.
+            intern_fields(a)
+        } else if take <= STACK_FIELDS {
+            let mut buf = [FieldId::from_index(0); STACK_FIELDS];
+            for (slot, f) in buf.iter_mut().zip(a.iter().chain(b).take(take)) {
+                *slot = *f;
+            }
+            intern_fields(&buf[..take])
+        } else {
+            let v: Vec<FieldId> = a.iter().chain(b).take(take).copied().collect();
+            intern_fields(&v)
+        };
+        AccessPath { base, fields, truncated }
+    }
+
     /// The root.
     pub fn base(&self) -> ApBase {
         self.base
     }
 
-    /// The field chain.
-    pub fn fields(&self) -> &[FieldId] {
-        &self.fields
+    /// The field chain (a stable slice into the field-sequence arena).
+    pub fn fields(&self) -> &'static [FieldId] {
+        self.fields
     }
 
     /// Whether fields were dropped due to the length bound.
@@ -95,24 +146,22 @@ impl AccessPath {
         }
     }
 
-    fn truncate(&mut self, max_len: usize) {
-        if self.fields.len() > max_len {
-            self.fields.truncate(max_len);
-            self.truncated = true;
-        }
-    }
-
     /// Appends `field`, truncating at `max_len`. A truncated path
     /// absorbs appends (it already covers all suffixes).
     pub fn append(&self, field: FieldId, max_len: usize) -> AccessPath {
         if self.truncated {
-            return self.clone();
+            return *self;
         }
-        let mut fields = self.fields.clone();
-        fields.push(field);
-        let mut ap = AccessPath { base: self.base, fields, truncated: false };
-        ap.truncate(max_len);
-        ap
+        Self::make(self.base, self.fields, &[field], false, max_len)
+    }
+
+    /// The path `self.fields ++ suffix` (same base), truncated to
+    /// `max_len`. A truncated path absorbs suffixes.
+    pub fn with_suffix(&self, suffix: &[FieldId], max_len: usize) -> AccessPath {
+        if self.truncated || suffix.is_empty() {
+            return *self;
+        }
+        Self::make(self.base, self.fields, suffix, false, max_len)
     }
 
     /// Prepends `prefix_fields` after replacing the base: the path
@@ -123,38 +172,33 @@ impl AccessPath {
         prefix_fields: &[FieldId],
         max_len: usize,
     ) -> AccessPath {
-        let mut fields = prefix_fields.to_vec();
-        fields.extend(self.fields.iter().copied());
-        let mut ap = AccessPath { base: new_base, fields, truncated: self.truncated };
-        ap.truncate(max_len);
-        ap
+        Self::make(new_base, prefix_fields, self.fields, self.truncated, max_len)
     }
 
     /// If `self` *covers a read* of `prefix` (paper: a path denotes the
     /// whole object it reaches), returns the remainder of `self` beyond
-    /// `prefix`:
+    /// `prefix` — as a borrowed subslice of `self`'s interned field
+    /// sequence, so the call never allocates:
     ///
-    /// * `self = x`, `prefix = x.f` → `Some([])` (whole `x` tainted, so
-    ///   the value read from `x.f` is tainted);
-    /// * `self = x.f.g`, `prefix = x.f` → `Some([g])`;
+    /// * `self = x`, `prefix = x.f` → `Some(&[])` (whole `x` tainted,
+    ///   so the value read from `x.f` is tainted);
+    /// * `self = x.f.g`, `prefix = x.f` → `Some(&[g])`;
     /// * `self = x.g`, `prefix = x.f` → `None`.
-    pub fn read_remainder(&self, prefix: &AccessPath) -> Option<Vec<FieldId>> {
+    pub fn read_remainder(&self, prefix: &AccessPath) -> Option<&'static [FieldId]> {
         if self.base != prefix.base {
             return None;
         }
         if self.fields.len() <= prefix.fields.len() {
             // self must be a prefix of `prefix` (whole-object coverage).
             if prefix.fields[..self.fields.len()] == self.fields[..] {
-                Some(Vec::new())
+                Some(&[])
             } else {
                 None
             }
+        } else if self.fields[..prefix.fields.len()] == prefix.fields[..] {
+            Some(&self.fields[prefix.fields.len()..])
         } else {
-            if self.fields[..prefix.fields.len()] == prefix.fields[..] {
-                Some(self.fields[prefix.fields.len()..].to_vec())
-            } else {
-                None
-            }
+            None
         }
     }
 
@@ -183,7 +227,7 @@ impl AccessPath {
                 format!("{}.{}", program.class_name(fd.class()), program.str(fd.name()))
             }
         };
-        for &f in &self.fields {
+        for &f in self.fields {
             s.push('.');
             s.push_str(program.str(program.field(f).name()));
         }
@@ -221,10 +265,10 @@ mod tests {
         let x = AccessPath::local(Local(1));
         let xf = x.append(f(0), 5);
         // x tainted, reading x.f → tainted with no extra fields.
-        assert_eq!(x.read_remainder(&xf), Some(vec![]));
+        assert_eq!(x.read_remainder(&xf), Some(&[][..]));
         // x.f tainted, reading x → remainder is [f]? No: reading the
         // local x yields the whole object, of which .f is tainted.
-        assert_eq!(xf.read_remainder(&x), Some(vec![f(0)]));
+        assert_eq!(xf.read_remainder(&x), Some(&[f(0)][..]));
     }
 
     #[test]
@@ -242,7 +286,19 @@ mod tests {
         let x = AccessPath::local(Local(1));
         let xfg = x.append(f(0), 5).append(f(1), 5);
         let xf = x.append(f(0), 5);
-        assert_eq!(xfg.read_remainder(&xf), Some(vec![f(1)]));
+        assert_eq!(xfg.read_remainder(&xf), Some(&[f(1)][..]));
+    }
+
+    #[test]
+    fn read_remainder_borrows_interned_slice() {
+        // The remainder is a subslice of the taint's interned fields —
+        // no allocation, stable address.
+        let x = AccessPath::local(Local(1));
+        let xfg = x.append(f(0), 5).append(f(1), 5);
+        let xf = x.append(f(0), 5);
+        let rem = xfg.read_remainder(&xf).unwrap();
+        let whole = xfg.fields();
+        assert!(std::ptr::eq(rem.as_ptr(), whole[1..].as_ptr()));
     }
 
     #[test]
@@ -259,6 +315,16 @@ mod tests {
         let rebased = deep.rebase(ApBase::Local(Local(1)), &[f(3), f(4), f(5)], 5);
         assert_eq!(rebased.len(), 5);
         assert!(rebased.is_truncated());
+    }
+
+    #[test]
+    fn with_suffix_concats_and_truncates() {
+        let xf = AccessPath::local(Local(0)).append(f(0), 5);
+        let ext = xf.with_suffix(&[f(1), f(2)], 5);
+        assert_eq!(ext.fields(), &[f(0), f(1), f(2)]);
+        let bounded = xf.with_suffix(&[f(1), f(2), f(3), f(4), f(5)], 5);
+        assert_eq!(bounded.len(), 5);
+        assert!(bounded.is_truncated());
     }
 
     #[test]
@@ -283,6 +349,15 @@ mod tests {
         let b = AccessPath::static_field(f(1));
         assert_ne!(a, b);
         assert_eq!(a.base_local(), None);
-        assert_eq!(a.read_remainder(&a), Some(vec![]));
+        assert_eq!(a.read_remainder(&a), Some(&[][..]));
+    }
+
+    #[test]
+    fn equal_paths_share_one_arena_slice() {
+        let a = AccessPath::new(ApBase::Local(Local(0)), vec![f(3), f(4)], 5);
+        let b = AccessPath::local(Local(0)).append(f(3), 5).append(f(4), 5);
+        assert_eq!(a, b);
+        // Content-equal sequences intern to the same slice.
+        assert!(std::ptr::eq(a.fields().as_ptr(), b.fields().as_ptr()));
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::config::InfoflowConfig;
 use crate::intern::{DirectDomain, InternedDomain};
+use crate::par_solver::ParBiSolver;
 use crate::results::InfoflowResults;
 use crate::solver::BiSolver;
 use crate::sourcesink::SourceSinkManager;
@@ -75,14 +76,20 @@ impl<'a> Infoflow<'a> {
         self.solve_with_domain(icfg, self.sources, entry_points)
     }
 
-    /// Dispatches on the configured fact-key representation.
+    /// Dispatches on the configured engine: the parallel work-stealing
+    /// engine when `taint_threads > 0` (its tables key on whole `Copy`
+    /// facts, so `intern_facts` does not apply), else the sequential
+    /// solver with the configured fact-key representation.
     fn solve_with_domain(
         &self,
         icfg: Icfg<'_>,
         sources: &SourceSinkManager,
         entry_points: &[MethodId],
     ) -> InfoflowResults {
-        if self.config.intern_facts {
+        if self.config.taint_threads > 0 {
+            ParBiSolver::new(icfg, sources, self.wrapper, self.config, self.config.taint_threads)
+                .solve(entry_points)
+        } else if self.config.intern_facts {
             BiSolver::<InternedDomain>::new(icfg, sources, self.wrapper, self.config)
                 .solve(entry_points)
         } else {

@@ -43,6 +43,12 @@ pub struct InfoflowConfig {
     /// whole facts instead; results are identical, only speed and
     /// memory differ (kept for the benchmark comparison).
     pub intern_facts: bool,
+    /// Worker threads for the parallel bidirectional taint engine.
+    /// `0` (default) runs the sequential solver; `n > 0` runs forward
+    /// and backward propagation as interleaved jobs over a work-stealing
+    /// scheduler with `n` workers. Results are bit-identical to the
+    /// sequential solver at any thread count.
+    pub taint_threads: usize,
 }
 
 impl Default for InfoflowConfig {
@@ -58,6 +64,7 @@ impl Default for InfoflowConfig {
             callback_association: CallbackAssociation::PerComponent,
             max_propagations: 0,
             intern_facts: true,
+            taint_threads: 0,
         }
     }
 }
@@ -103,6 +110,13 @@ impl InfoflowConfig {
     /// Builder-style setter for fact interning.
     pub fn with_fact_interning(mut self, on: bool) -> Self {
         self.intern_facts = on;
+        self
+    }
+
+    /// Builder-style setter for the parallel taint worker count
+    /// (0 = sequential).
+    pub fn with_taint_threads(mut self, threads: usize) -> Self {
+        self.taint_threads = threads;
         self
     }
 }

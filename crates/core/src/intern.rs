@@ -21,9 +21,63 @@
 
 use crate::access_path::AccessPath;
 use crate::taint::{Fact, Taint};
-use flowdroid_ir::{FxHashMap, StmtRef};
+use flowdroid_ir::{fxhash64, FieldId, FxHashMap, FxHashSet, StmtRef};
 use std::fmt::Debug;
 use std::hash::Hash;
+use std::sync::{Mutex, OnceLock};
+
+// ================= field-sequence arena =================
+
+/// Number of independently locked shards of the field-sequence arena
+/// (power of two). Sharding keeps the arena usable from the parallel
+/// taint workers without a single global lock.
+const FIELD_SHARDS: usize = 16;
+
+struct FieldArena {
+    shards: Vec<Mutex<FxHashSet<&'static [FieldId]>>>,
+}
+
+fn field_arena() -> &'static FieldArena {
+    static ARENA: OnceLock<FieldArena> = OnceLock::new();
+    ARENA.get_or_init(|| FieldArena {
+        shards: (0..FIELD_SHARDS).map(|_| Mutex::new(FxHashSet::default())).collect(),
+    })
+}
+
+/// Interns a field sequence into the process-wide arena, returning a
+/// stable `'static` slice. The same content always returns the same
+/// slice (pointer-identical), so [`AccessPath`] values can hold
+/// borrowed field chains and stay `Copy`.
+///
+/// Only the *first* encounter of a distinct sequence allocates (the
+/// arena entry itself); every later intern of the same content is a
+/// hash lookup borrowing the probe slice. The empty sequence is free.
+/// Arena entries are deliberately leaked: they live for the process,
+/// which is what makes the returned borrows `'static` — the set of
+/// distinct bounded field sequences a run touches is small (reported as
+/// `distinct_aps` in the solver stats).
+pub fn intern_fields(fields: &[FieldId]) -> &'static [FieldId] {
+    if fields.is_empty() {
+        return &[];
+    }
+    let arena = field_arena();
+    // Fx mixes the low bits last; take high bits for the shard index.
+    let shard_idx =
+        (fxhash64(&fields) as usize >> (64 - FIELD_SHARDS.trailing_zeros())) & (FIELD_SHARDS - 1);
+    let mut shard = arena.shards[shard_idx].lock().unwrap();
+    if let Some(&interned) = shard.get(fields) {
+        return interned;
+    }
+    let leaked: &'static [FieldId] = Box::leak(fields.to_vec().into_boxed_slice());
+    shard.insert(leaked);
+    leaked
+}
+
+/// Number of distinct non-empty field sequences interned process-wide
+/// (diagnostic; monotone over the process lifetime).
+pub fn interned_field_seq_count() -> usize {
+    field_arena().shards.iter().map(|s| s.lock().unwrap().len()).sum()
+}
 
 /// Id of an interned [`AccessPath`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -84,8 +138,8 @@ impl Interner {
             return id;
         }
         let id = ApId(u32::try_from(self.aps.len()).expect("access-path arena overflow"));
-        self.aps.push(ap.clone());
-        self.ap_ids.insert(ap.clone(), id);
+        self.aps.push(*ap);
+        self.ap_ids.insert(*ap, id);
         id
     }
 
@@ -117,13 +171,14 @@ impl Interner {
         self.intern_repr(repr)
     }
 
-    /// Reconstructs the fact behind `id` (clones the access path out of
-    /// the arena).
+    /// Reconstructs the fact behind `id`. Since access paths hold
+    /// arena-interned field slices, this is a plain `Copy` — no
+    /// allocation.
     pub fn resolve_fact(&self, id: FactId) -> Fact {
         match self.facts[id.index()] {
             FactRepr::Zero => Fact::Zero,
             FactRepr::T { ap, active, activation } => Fact::T(Taint {
-                ap: self.resolve_ap(ap).clone(),
+                ap: *self.resolve_ap(ap),
                 active,
                 activation,
             }),

@@ -32,8 +32,10 @@
 pub mod access_path;
 pub mod analysis;
 pub mod config;
+mod flows;
 pub mod icc;
 pub mod intern;
+mod par_solver;
 pub mod results;
 pub mod solver;
 pub mod sourcesink;
@@ -45,6 +47,7 @@ pub use analysis::{AppAnalysis, Infoflow};
 pub use config::InfoflowConfig;
 pub use icc::{analyze_app_linked, IccResults};
 pub use intern::{ApId, DirectDomain, FactDomain, FactId, InternedDomain, Interner};
+pub use flowdroid_ifds::SchedulerStats;
 pub use results::{InfoflowResults, Leak};
 pub use sourcesink::{SourceSinkManager, SourceSinkParseError};
 pub use taint::{Fact, Taint};

@@ -58,6 +58,9 @@ pub struct InfoflowResults {
     /// ([`crate::InfoflowConfig::max_propagations`]) was exhausted; the
     /// reported leaks are then a lower bound.
     pub aborted: bool,
+    /// Work-stealing scheduler counters, present when the parallel taint
+    /// engine ran ([`crate::InfoflowConfig::taint_threads`] > 0).
+    pub scheduler: Option<flowdroid_ifds::SchedulerStats>,
 }
 
 impl InfoflowResults {

@@ -12,6 +12,21 @@
 //! *before* `n`; a backward edge `(d1, n, d)` means `d` holds *after*
 //! `n` and the solver is searching upward for its aliases.
 //!
+//! The transfer functions live in [`Flows`] and are shared with the
+//! parallel engine ([`crate::par_solver`]); this driver owns only the
+//! tabulation state. Every cross-solver handshake (summaries ×
+//! incoming contexts, forward × backward caller facts) is written so
+//! each side first records its own half and then reads the other's —
+//! the "covered pair" discipline that makes the computed fixpoint
+//! independent of processing order, which in turn is what lets the
+//! parallel engine produce bit-identical results.
+//!
+//! Provenance (for leak-path reconstruction) is also canonical: every
+//! propagation offers its origin and *all* distinct origins are kept,
+//! so the provenance graph — over which attribution runs a
+//! deterministic breadth-first search — does not depend on discovery
+//! order.
+//!
 //! The solver is generic over a [`FactDomain`]: with the default
 //! [`InternedDomain`](crate::intern::InternedDomain) every table keys on
 //! `u32` fact ids (hash-consed by the domain's interner), popped edges
@@ -21,35 +36,32 @@
 //! whole facts instead, preserving the pre-interning behavior for
 //! benchmark comparison.
 
-use crate::access_path::{AccessPath, ApBase};
 use crate::config::InfoflowConfig;
+use crate::flows::{Flows, ReachCache};
 use crate::intern::FactDomain;
 use crate::results::{InfoflowResults, Leak};
 use crate::sourcesink::SourceSinkManager;
 use crate::taint::{Fact, Taint};
-use crate::wrappers::{Pos, TaintWrapper};
+use crate::wrappers::TaintWrapper;
 use flowdroid_callgraph::Icfg;
 use flowdroid_ifds::Tabulator;
-use flowdroid_ir::{
-    FxHashMap, InvokeExpr, Local, MethodId, Operand, Place, Program, Rvalue, Stmt, StmtRef,
-};
+use flowdroid_ir::{FxHashMap, MethodId, Program, Stmt, StmtRef};
 
 /// The bidirectional solver, generic over the fact-key representation.
 pub struct BiSolver<'a, D: FactDomain> {
-    icfg: Icfg<'a>,
-    sources: &'a SourceSinkManager,
-    wrapper: &'a TaintWrapper,
-    config: &'a InfoflowConfig,
+    flows: Flows<'a>,
     dom: D,
     fw: Tabulator<D::Key>,
     bw: Tabulator<D::Key>,
     leaks: Vec<(StmtRef, Taint)>,
-    /// (stmt, fact) → predecessor (stmt, fact), for path reconstruction.
-    preds: FxHashMap<(StmtRef, D::Key), (StmtRef, D::Key)>,
+    /// (stmt, fact) → all offered predecessor (stmt, fact) origins, for
+    /// path reconstruction. The *set* of offers at the fixpoint is
+    /// order-independent.
+    preds: FxHashMap<(StmtRef, D::Key), Vec<(StmtRef, D::Key)>>,
     /// (stmt, fact) → source statement that generated the fact.
     gen_source: FxHashMap<(StmtRef, D::Key), StmtRef>,
     /// Memoized "call site can transitively reach method" queries.
-    reach_cache: FxHashMap<(StmtRef, MethodId), bool>,
+    reach_cache: ReachCache,
     aborted: bool,
 }
 
@@ -62,27 +74,24 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
         config: &'a InfoflowConfig,
     ) -> Self {
         BiSolver {
-            icfg,
-            sources,
-            wrapper,
-            config,
+            flows: Flows { icfg, sources, wrapper, config },
             dom: D::new(),
             fw: Tabulator::new(),
             bw: Tabulator::new(),
             leaks: Vec::new(),
             preds: FxHashMap::default(),
             gen_source: FxHashMap::default(),
-            reach_cache: FxHashMap::default(),
+            reach_cache: ReachCache::default(),
             aborted: false,
         }
     }
 
     fn program(&self) -> &'a Program {
-        self.icfg.program()
+        self.flows.program()
     }
 
-    fn k(&self) -> usize {
-        self.config.max_access_path_length
+    fn config(&self) -> &'a InfoflowConfig {
+        self.flows.config
     }
 
     /// Runs the analysis from the given entry methods and collects
@@ -91,13 +100,13 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
         let start = std::time::Instant::now();
         let zero = self.dom.zero();
         for &ep in entry_points {
-            for sp in self.icfg.start_points_of(ep) {
+            for sp in self.flows.icfg.start_points_of(ep) {
                 self.fw.propagate(zero.clone(), sp, zero.clone());
             }
         }
         loop {
-            if self.config.max_propagations > 0
-                && self.fw.propagation_count() > self.config.max_propagations
+            if self.config().max_propagations > 0
+                && self.fw.propagation_count() > self.config().max_propagations
             {
                 self.aborted = true;
                 break;
@@ -118,7 +127,7 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
     // ================= shared helpers =================
 
     fn stmt(&self, n: StmtRef) -> &'a Stmt {
-        self.icfg.stmt(n)
+        self.flows.stmt(n)
     }
 
     /// Records a forward path edge with provenance for path
@@ -130,10 +139,8 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
         d2: D::Key,
         from: Option<(StmtRef, D::Key)>,
     ) {
-        let is_new = self.fw.propagate(d1, n, d2.clone());
-        if is_new {
-            self.record_pred(n, d2, from);
-        }
+        self.fw.propagate(d1, n, d2.clone());
+        self.record_pred(n, d2, from);
     }
 
     /// Records a backward path edge with provenance (provenance links
@@ -145,104 +152,53 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
         d2: D::Key,
         from: Option<(StmtRef, D::Key)>,
     ) {
-        let is_new = self.bw.propagate(d1, n, d2.clone());
-        if is_new {
-            self.record_pred(n, d2, from);
+        self.bw.propagate(d1, n, d2.clone());
+        self.record_pred(n, d2, from);
+    }
+
+    /// Offers a provenance link for `(n, d2)`. Every propagation offers
+    /// its origin (not just the edge-inserting one), and *all* distinct
+    /// origins are kept: the set of propagation calls at the fixpoint is
+    /// the same whatever the processing order, so the resulting
+    /// provenance graph — and hence the deterministic walk in
+    /// [`BiSolver::attribute`] — is independent of it.
+    fn record_pred(&mut self, n: StmtRef, d2: D::Key, from: Option<(StmtRef, D::Key)>) {
+        if !self.config().track_paths {
+            return;
+        }
+        let Some(origin) = from else { return };
+        if origin == (n, d2.clone()) {
+            return;
+        }
+        let v = self.preds.entry((n, d2)).or_default();
+        if !v.contains(&origin) {
+            v.push(origin);
         }
     }
 
-    fn record_pred(&mut self, n: StmtRef, d2: D::Key, from: Option<(StmtRef, D::Key)>) {
-        if self.config.track_paths {
-            if let Some(origin) = from {
-                if origin != (n, d2.clone()) {
-                    self.preds.entry((n, d2)).or_insert(origin);
-                }
+    /// Marks `fact` at `n` as generated by the source statement `src`
+    /// (least source statement wins, for order independence).
+    fn mark_source(&mut self, n: StmtRef, fact: &D::Key, src: StmtRef) {
+        if self.config().track_paths {
+            let e = self.gen_source.entry((n, fact.clone())).or_insert(src);
+            if src < *e {
+                *e = src;
             }
         }
     }
 
-    /// Marks `fact` at `n` as generated by the source statement `src`.
-    fn mark_source(&mut self, n: StmtRef, fact: &D::Key, src: StmtRef) {
-        if self.config.track_paths {
-            self.gen_source.entry((n, fact.clone())).or_insert(src);
-        }
-    }
-
-    /// Does the call at `call` transitively reach `target` (used for
-    /// activation-statement call-tree lookup, paper §4.2)?
-    fn call_reaches(&mut self, call: StmtRef, target: MethodId) -> bool {
-        if let Some(&r) = self.reach_cache.get(&(call, target)) {
-            return r;
-        }
-        let cg = self.icfg.callgraph();
-        let r = self
-            .icfg
-            .callees_of_call(call)
-            .iter()
-            .any(|&c| c == target || cg.can_reach(c, target));
-        self.reach_cache.insert((call, target), r);
-        r
-    }
-
-    /// Activates an inactive taint whose activation statement is `n`
-    /// itself or transitively inside a call at `n`.
     fn maybe_activate(&mut self, n: StmtRef, t: &Taint) -> Taint {
-        if t.active {
-            return t.clone();
-        }
-        let Some(act) = t.activation else { return t.clone() };
-        if act == n {
-            return t.activated();
-        }
-        if self.stmt(n).is_call() && self.call_reaches(n, act.method) {
-            return t.activated();
-        }
-        t.clone()
-    }
-
-    /// The access path written by / read from a rvalue, when it is a
-    /// plain place read or reference cast.
-    fn readable_rvalue(rhs: &Rvalue) -> Option<AccessPath> {
-        match rhs {
-            Rvalue::Read(p) => Some(AccessPath::of_place(p)),
-            Rvalue::Cast(_, Operand::Local(l)) => Some(AccessPath::local(*l)),
-            _ => None,
-        }
-    }
-
-    /// Extends the lhs place's access path with `rest` (array writes
-    /// collapse to the whole array, dropping `rest`).
-    fn lhs_ap_with(&self, lhs: &Place, rest: &[flowdroid_ir::FieldId]) -> AccessPath {
-        let base = AccessPath::of_place(lhs);
-        if matches!(lhs, Place::ArrayElem(..)) {
-            return base;
-        }
-        let mut ap = base;
-        for &f in rest {
-            ap = ap.append(f, self.k());
-        }
-        ap
+        self.flows.maybe_activate(&mut self.reach_cache, n, t)
     }
 
     /// Injects an alias query for taint `g` (which holds after the heap
     /// write / wrapper call `n`) into the backward solver, with context
     /// injection of `d1` (Algorithm 1, line 16).
     fn inject_alias_query(&mut self, d1: &D::Key, n: StmtRef, g: &Taint) {
-        if !self.config.enable_alias_analysis {
-            return;
-        }
-        let q = if self.config.enable_activation_statements {
-            if g.active {
-                Taint::inactive(g.ap.clone(), n)
-            } else {
-                // Alias chains keep their original activation point.
-                g.clone()
-            }
-        } else {
-            g.activated()
-        };
-        let ctx = if self.config.enable_context_injection { d1.clone() } else { self.dom.zero() };
-        let origin = self.dom.intern(&Fact::T(g.clone()));
+        let Some(q) = self.flows.alias_query_taint(n, g) else { return };
+        let ctx =
+            if self.config().enable_context_injection { d1.clone() } else { self.dom.zero() };
+        let origin = self.dom.intern(&Fact::T(*g));
         let qk = self.dom.intern(&Fact::T(q));
         self.bw_propagate(ctx, n, qk, Some((n, origin)));
     }
@@ -252,7 +208,7 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
     fn process_forward(&mut self, d1: D::Key, n: StmtRef, d2: D::Key) {
         let d2f = self.dom.resolve(&d2);
         let stmt = self.stmt(n);
-        let has_body_callees = !self.icfg.callees_of_call(n).is_empty();
+        let has_body_callees = !self.flows.icfg.callees_of_call(n).is_empty();
         if stmt.is_call() && has_body_callees {
             self.forward_call(n, &d2, &d2f);
             self.forward_call_to_return(&d1, n, &d2, &d2f);
@@ -266,15 +222,15 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
     }
 
     fn forward_normal(&mut self, d1: &D::Key, n: StmtRef, d2: &D::Key, d2f: &Fact) {
-        let out = match (self.stmt(n).clone(), d2f) {
+        let out = match (self.stmt(n), d2f) {
             (Stmt::Assign { lhs, rhs }, Fact::T(t)) => {
-                let (facts, alias_gens) = self.forward_assign(&lhs, &rhs, t);
+                let (facts, alias_gens) = self.flows.forward_assign(lhs, rhs, t);
                 for g in alias_gens {
                     self.inject_alias_query(d1, n, &g);
                 }
                 facts
             }
-            _ => vec![d2f.clone()],
+            _ => vec![*d2f],
         };
         // Activation and interning depend only on `n`, so intern each
         // output fact once and fan the keys out to all successors.
@@ -282,84 +238,24 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
         for f in &out {
             let f = match f {
                 Fact::T(t) => Fact::T(self.maybe_activate(n, t)),
-                z => z.clone(),
+                z => *z,
             };
             keys.push(self.dom.intern(&f));
         }
         let origin = Some((n, d2.clone()));
-        for succ in self.icfg.succs_of(n) {
+        for succ in self.flows.icfg.succs_of(n) {
             for k in &keys {
                 self.fw_propagate(d1.clone(), succ, k.clone(), origin.clone());
             }
         }
     }
 
-    /// The forward transfer function for assignments (paper §4.1).
-    /// Returns (output facts, taints requiring an alias query).
-    fn forward_assign(&mut self, lhs: &Place, rhs: &Rvalue, t: &Taint) -> (Vec<Fact>, Vec<Taint>) {
-        let mut out = Vec::new();
-        let mut alias_gens = Vec::new();
-        let lhs_is_local = matches!(lhs, Place::Local(_));
-        // Strong update on locals only; `x = new` kills taints rooted at
-        // `x`; heap locations are never strongly updated (paper §6.1:
-        // the Button2 false positive comes exactly from this).
-        let killed = match lhs {
-            Place::Local(l) => t.ap.base_local() == Some(*l),
-            _ => false,
-        };
-        if !killed {
-            out.push(Fact::T(t.clone()));
-        }
-        // Generation.
-        let gen_rest: Option<Vec<flowdroid_ir::FieldId>> = match rhs {
-            Rvalue::Read(p) => {
-                let rp = AccessPath::of_place(p);
-                t.ap.read_remainder(&rp)
-            }
-            Rvalue::Cast(_, Operand::Local(l)) => {
-                let rp = AccessPath::local(*l);
-                t.ap.read_remainder(&rp)
-            }
-            Rvalue::BinOp(_, a, b) => {
-                let matches_op = |o: &Operand| {
-                    matches!(o, Operand::Local(l) if t.ap.base_local() == Some(*l) && t.ap.is_empty())
-                };
-                if matches_op(a) || matches_op(b) {
-                    Some(Vec::new())
-                } else {
-                    None
-                }
-            }
-            Rvalue::UnOp(_, a) => match a {
-                Operand::Local(l) if t.ap.base_local() == Some(*l) && t.ap.is_empty() => {
-                    Some(Vec::new())
-                }
-                _ => None,
-            },
-            Rvalue::Const(_) | Rvalue::New(_) | Rvalue::NewArray(..) | Rvalue::InstanceOf(..) => {
-                None
-            }
-            Rvalue::Cast(_, _) => None,
-        };
-        if let Some(rest) = gen_rest {
-            let ap = self.lhs_ap_with(lhs, &rest);
-            let g = t.with_ap(ap);
-            // Heap writes spawn the backward alias search; statics have
-            // no aliases; array writes alias through the array object.
-            if !lhs_is_local && !matches!(lhs, Place::StaticField(_)) {
-                alias_gens.push(g.clone());
-            }
-            out.push(Fact::T(g));
-        }
-        (out, alias_gens)
-    }
-
     fn forward_call(&mut self, n: StmtRef, d2: &D::Key, d2f: &Fact) {
         let Stmt::Invoke { call, .. } = self.stmt(n) else { return };
         let call = call.clone();
-        for &callee in self.icfg.callees_of_call(n) {
-            let starts = self.icfg.start_points_of(callee);
-            let entry_facts = self.call_flow(&call, callee, d2f);
+        for &callee in self.flows.icfg.callees_of_call(n) {
+            let starts = self.flows.icfg.start_points_of(callee);
+            let entry_facts = self.flows.call_flow(&call, callee, d2f);
             for (d3f, src_mark) in entry_facts {
                 let d3 = self.dom.intern(&d3f);
                 self.fw.add_incoming(callee, d3.clone(), n, d2.clone());
@@ -369,89 +265,22 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
                         self.mark_source(sp, &d3, src);
                     }
                 }
-                // Apply existing summaries.
+                // Apply existing summaries (recorded *after* the
+                // incoming context above: a concurrent exit either sees
+                // the context or its summary is visible here).
                 for (exit, d4) in self.fw.summaries_for(callee, &d3) {
-                    self.apply_return(n, callee, exit, &d4, d2);
+                    self.apply_return_for_context(n, callee, exit, &d4, d2);
                 }
-            }
-        }
-    }
-
-    /// Facts entering a callee, each with an optional source-statement
-    /// mark (for parameter sources).
-    fn call_flow(
-        &mut self,
-        call: &InvokeExpr,
-        callee: MethodId,
-        d2: &Fact,
-    ) -> Vec<(Fact, Option<StmtRef>)> {
-        let program = self.program();
-        let m = program.method(callee);
-        match d2 {
-            Fact::Zero => {
-                let mut out = vec![(Fact::Zero, None)];
-                // Parameter sources: methods overriding framework
-                // callback signatures receive tainted data (locations,
-                // intents) from the framework.
-                let param_sources = self.sources.entry_param_sources(program, callee);
-                let starts = self.icfg.start_points_of(callee);
-                for i in param_sources {
-                    if i < m.param_count() {
-                        let ap = AccessPath::local(m.param_local(i));
-                        let f = Fact::T(Taint::active(ap));
-                        out.push((f, starts.first().copied()));
-                    }
-                }
-                out
-            }
-            Fact::T(t) => {
-                let mut out = Vec::new();
-                if let Some(base) = t.ap.base_local() {
-                    for (i, arg) in call.args.iter().enumerate() {
-                        if arg.as_local() == Some(base) && i < m.param_count() {
-                            let ap = t.ap.rebase(
-                                ApBase::Local(m.param_local(i)),
-                                &[],
-                                self.k(),
-                            );
-                            out.push((Fact::T(t.with_ap(ap)), None));
-                        }
-                    }
-                    if call.base == Some(base) {
-                        if let Some(this) = m.this_local() {
-                            let ap = t.ap.rebase(ApBase::Local(this), &[], self.k());
-                            out.push((Fact::T(t.with_ap(ap)), None));
-                        }
-                    }
-                } else {
-                    // Static-field-rooted taints flow into callees
-                    // unchanged (globals).
-                    out.push((Fact::T(t.clone()), None));
-                }
-                out
             }
         }
     }
 
     fn forward_exit(&mut self, d1: &D::Key, n: StmtRef, d2: &D::Key) {
-        let callee = self.icfg.method_of(n);
+        let callee = self.flows.icfg.method_of(n);
         self.fw.install_summary(callee, d1.clone(), n, d2.clone());
         for (call_site, d4) in self.fw.incoming_for(callee, d1) {
             self.apply_return_for_context(call_site, callee, n, d2, &d4);
         }
-    }
-
-    /// Applies return flow for a known summary at a call site where the
-    /// caller fact `d4` entered.
-    fn apply_return(
-        &mut self,
-        call_site: StmtRef,
-        callee: MethodId,
-        exit: StmtRef,
-        exit_fact: &D::Key,
-        d4: &D::Key,
-    ) {
-        self.apply_return_for_context(call_site, callee, exit, exit_fact, d4);
     }
 
     fn apply_return_for_context(
@@ -463,26 +292,31 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
         d4: &D::Key,
     ) {
         let exit_fact = self.dom.resolve(exit_key);
-        let mapped = self.return_flow(call_site, callee, exit, &exit_fact);
+        let mapped = self.flows.return_flow(call_site, callee, exit, &exit_fact);
         if mapped.is_empty() {
             return;
         }
-        // Caller contexts: forward path edges at the call site; for
-        // contexts injected by the backward solver the caller fact may
-        // only be known to the backward tabulator.
+        // Caller contexts: the union of both solvers' path edges at the
+        // call site — for contexts injected by the backward solver the
+        // caller fact may only be known to the backward tabulator, and
+        // the same fact may surface in both; taking the union (rather
+        // than a time-sensitive fallback) keeps the result independent
+        // of processing order.
         let mut d3s = self.fw.d1s_at(call_site, d4);
-        if d3s.is_empty() {
-            d3s = self.bw.d1s_at(call_site, d4);
+        for d in self.bw.d1s_at(call_site, d4) {
+            if !d3s.contains(&d) {
+                d3s.push(d);
+            }
         }
         // Activation depends only on the call site; intern once per
         // mapped taint, not per (return site × context).
         let mut acts = Vec::with_capacity(mapped.len());
         for t in &mapped {
             let t = self.maybe_activate(call_site, t);
-            let k = self.dom.intern(&Fact::T(t.clone()));
+            let k = self.dom.intern(&Fact::T(t));
             acts.push((t, k));
         }
-        for ret_site in self.icfg.return_sites_of_call(call_site) {
+        for ret_site in self.flows.icfg.return_sites_of_call(call_site) {
             for (t, fk) in &acts {
                 for d3 in &d3s {
                     self.fw_propagate(
@@ -501,151 +335,28 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
         }
     }
 
-    /// Maps a taint at a callee exit back into the caller.
-    fn return_flow(
-        &mut self,
-        call_site: StmtRef,
-        callee: MethodId,
-        exit: StmtRef,
-        exit_fact: &Fact,
-    ) -> Vec<Taint> {
-        let Fact::T(t) = exit_fact else { return Vec::new() };
-        let Stmt::Invoke { result, call } = self.stmt(call_site) else { return Vec::new() };
-        let program = self.program();
-        let m = program.method(callee);
-        let mut out = Vec::new();
-        match t.ap.base_local() {
-            None => out.push(t.clone()), // statics flow back unchanged
-            Some(base) => {
-                // Parameters: heap side effects flow back through
-                // reference-typed parameters; a reassigned primitive
-                // parameter does not affect the caller.
-                for i in 0..m.param_count() {
-                    if m.param_local(i) == base {
-                        let is_ref = m.subsig().params[i].is_reference();
-                        if !t.ap.is_empty() || is_ref {
-                            if let Some(Operand::Local(arg)) = call.args.get(i) {
-                                let ap = t.ap.rebase(ApBase::Local(*arg), &[], self.k());
-                                out.push(t.with_ap(ap));
-                            }
-                        }
-                    }
-                }
-                if m.this_local() == Some(base) {
-                    if let Some(b) = call.base {
-                        let ap = t.ap.rebase(ApBase::Local(b), &[], self.k());
-                        out.push(t.with_ap(ap));
-                    }
-                }
-                // Returned value.
-                if let Stmt::Return { value: Some(Operand::Local(v)) } = self.stmt(exit) {
-                    if *v == base {
-                        if let Some(res) = result {
-                            let ap = t.ap.rebase(ApBase::Local(*res), &[], self.k());
-                            out.push(t.with_ap(ap));
-                        }
-                    }
-                }
-            }
-        }
-        out
-    }
-
     fn forward_call_to_return(&mut self, d1: &D::Key, n: StmtRef, d2: &D::Key, d2f: &Fact) {
-        let Stmt::Invoke { result, call } = self.stmt(n).clone() else { return };
-        let program = self.program();
-        let mut out: Vec<Fact> = Vec::new();
-        let mut alias_gens: Vec<Taint> = Vec::new();
-        match d2f {
-            Fact::Zero => {
-                out.push(Fact::Zero);
-                // Source calls generate fresh active taints.
-                if self.sources.is_source_call(program, &call) {
-                    if let Some(res) = result {
-                        let g = Taint::active(AccessPath::local(res));
-                        out.push(Fact::T(g));
-                    }
-                }
-            }
-            Fact::T(t) => {
-                // Sink check happens on the incoming (pre-call) taint.
-                if t.active {
-                    let sink_args = self.sources.sink_args(program, &call);
-                    for i in sink_args {
-                        if let Some(Operand::Local(a)) = call.args.get(i) {
-                            if t.ap.base_local() == Some(*a) {
-                                self.leaks.push((n, t.clone()));
-                            }
-                        }
-                    }
-                }
-                // Kill the result local (overwritten by the call).
-                let killed = result.is_some() && t.ap.base_local() == result;
-                if !killed {
-                    out.push(Fact::T(t.clone()));
-                }
-                // Sanitizers return clean data: suppress every rule that
-                // would taint the result (extension; the paper lacks
-                // sanitizer support).
-                let sanitized = self.sources.is_sanitizer_call(program, &call);
-                // Wrapper rules ("shortcut rules", paper §5).
-                let covers = |pos: Pos| -> bool {
-                    TaintWrapper::pos_local(&call, result, pos)
-                        .is_some_and(|l| t.ap.base_local() == Some(l))
-                };
-                let targets = self.wrapper.apply(program, &call, &covers);
-                let has_rule = self.wrapper.has_rule(program, &call);
-                for pos in targets {
-                    if sanitized && matches!(pos, Pos::Ret) {
-                        continue;
-                    }
-                    if let Some(l) = TaintWrapper::pos_local(&call, result, pos) {
-                        let g = t.with_ap(AccessPath::local(l));
-                        if !matches!(pos, Pos::Ret) {
-                            alias_gens.push(g.clone());
-                        }
-                        out.push(Fact::T(g));
-                    }
-                }
-                // Native-call fallback: no explicit rule, body-less
-                // target → the return value inherits taint from the
-                // receiver or any argument (paper §5).
-                if !has_rule
-                    && !sanitized
-                    && self.config.stub_default_taints_return
-                    && self.icfg.callees_of_call(n).is_empty()
-                {
-                    let base_tainted =
-                        call.base.is_some_and(|b| t.ap.base_local() == Some(b));
-                    let arg_tainted = call.args.iter().any(
-                        |a| matches!(a, Operand::Local(l) if t.ap.base_local() == Some(*l)),
-                    );
-                    if base_tainted || arg_tainted {
-                        if let Some(res) = result {
-                            out.push(Fact::T(t.with_ap(AccessPath::local(res))));
-                        }
-                    }
-                }
-            }
+        let ctr = self.flows.call_to_return(n, d2f);
+        for t in &ctr.leaks {
+            self.leaks.push((n, *t));
         }
-        for g in alias_gens {
+        for g in ctr.alias_gens {
             self.inject_alias_query(d1, n, &g);
         }
-        let src_mark = d2f.is_zero() && self.sources.is_source_call(program, &call);
         // Intern each output fact once; fan keys out to return sites.
-        let mut keys = Vec::with_capacity(out.len());
-        for f in &out {
+        let mut keys = Vec::with_capacity(ctr.out.len());
+        for f in &ctr.out {
             let f = match f {
                 Fact::T(t) => Fact::T(self.maybe_activate(n, t)),
-                z => z.clone(),
+                z => *z,
             };
             let non_zero = !f.is_zero();
             keys.push((self.dom.intern(&f), non_zero));
         }
         let origin = Some((n, d2.clone()));
-        for ret_site in self.icfg.return_sites_of_call(n) {
+        for ret_site in self.flows.icfg.return_sites_of_call(n) {
             for (k, non_zero) in &keys {
-                if src_mark && *non_zero {
+                if ctr.src_mark && *non_zero {
                     self.mark_source(ret_site, k, n);
                 }
                 self.fw_propagate(d1.clone(), ret_site, k.clone(), origin.clone());
@@ -657,12 +368,12 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
 
     fn process_backward(&mut self, d1: D::Key, n: StmtRef, d2: D::Key) {
         let d2f = self.dom.resolve(&d2);
-        let stmt = self.stmt(n).clone();
-        match stmt {
-            Stmt::Invoke { result, call } => {
-                self.backward_call(&d1, n, &d2, &d2f, result, &call);
+        match self.stmt(n) {
+            Stmt::Invoke { .. } => {
+                self.backward_call(&d1, n, &d2, &d2f);
             }
             Stmt::Assign { lhs, rhs } => {
+                let (lhs, rhs) = (lhs.clone(), rhs.clone());
                 self.backward_assign(&d1, n, &d2, &d2f, &lhs, &rhs);
             }
             _ => {
@@ -689,15 +400,26 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
         d: &D::Key,
         origin: Option<(StmtRef, D::Key)>,
     ) {
-        let preds = self.icfg.preds_of(n);
+        let preds = self.flows.icfg.preds_of(n);
         if preds.is_empty() {
-            let m = self.icfg.method_of(n);
+            let m = self.flows.icfg.method_of(n);
             let sp = StmtRef::new(m, 0);
             self.bw.install_summary(m, d1.clone(), sp, d.clone());
             self.fw_propagate(d1.clone(), sp, d.clone(), origin);
             let contexts = self.bw.incoming_for(m, d1);
             if !contexts.is_empty() {
-                self.fw.inject_incoming(m, d1.clone(), contexts);
+                self.fw.inject_incoming(m, d1.clone(), contexts.clone());
+                // The forward solver may already hold summaries for
+                // (m, d1) from an earlier handoff or a real forward
+                // call; apply them to every context known now. Contexts
+                // recorded later are covered by the call side
+                // ([`Self::backward_call`] re-injects after its
+                // `add_incoming`).
+                for (exit, d2x) in self.fw.summaries_for(m, d1) {
+                    for (site, d4) in &contexts {
+                        self.apply_return_for_context(*site, m, exit, &d2x, d4);
+                    }
+                }
             }
             return;
         }
@@ -712,90 +434,31 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
         n: StmtRef,
         d2: &D::Key,
         d2f: &Fact,
-        lhs: &Place,
-        rhs: &Rvalue,
+        lhs: &flowdroid_ir::Place,
+        rhs: &flowdroid_ir::Rvalue,
     ) {
         let Fact::T(t) = d2f else { return };
-        let lhs_ap = AccessPath::of_place(lhs);
-        let rhs_ap = Self::readable_rvalue(rhs);
-        let mut back: Vec<Taint> = Vec::new();
-        let mut fwd_at_n: Vec<Taint> = Vec::new();
-        let mut fwd_after: Vec<Taint> = Vec::new();
-
-        // Case A (Algorithm 2, line 16: replace lhs by rhs): the traced
-        // value was written here.
-        let rooted_at_lhs = t.ap.has_prefix(&lhs_ap);
-        if rooted_at_lhs {
-            if let Some(r) = &rhs_ap {
-                let rest = t.ap.fields()[lhs_ap.len()..].to_vec();
-                let ap = AccessPath::new(
-                    r.base(),
-                    r.fields().iter().copied().chain(rest).collect(),
-                    self.k(),
-                );
-                let g = t.with_ap(ap);
-                if g != *t {
-                    fwd_at_n.push(g.clone());
-                }
-                back.push(g);
-            }
-            // rhs not readable (new/const/arith): the value was born
-            // here; nothing to trace further.
-        }
-        // Keep the original taint flowing upward unless the assignment
-        // strongly defines it (local lhs).
-        let strongly_defined = matches!(lhs, Place::Local(l) if t.ap.base_local() == Some(*l));
-        if !strongly_defined {
-            back.push(t.clone());
-        }
-        // Case B: the rhs is (part of) the tainted object — the lhs is
-        // an alias *below* this statement. The alias also continues
-        // upward (aliases of aliases, e.g. `a.b.c.s` from `b.c.s` at
-        // `a.b = b`) unless this statement strongly defines its root;
-        // activation statements keep this flow-sensitive.
-        if let Some(r) = &rhs_ap {
-            if let Some(rest) = t.ap.read_remainder(r) {
-                let ap = self.lhs_ap_with(lhs, &rest);
-                let g = t.with_ap(ap);
-                if g != *t {
-                    fwd_after.push(g.clone());
-                    let strongly_defines_alias = matches!(
-                        lhs,
-                        Place::Local(l) if g.ap.base_local() == Some(*l)
-                    );
-                    if !strongly_defines_alias {
-                        back.push(g);
-                    }
-                }
-            }
-        }
-
+        let flows = self.flows.backward_assign(t, lhs, rhs);
         let origin = Some((n, d2.clone()));
-        for g in back {
+        for g in flows.back {
             let k = self.dom.intern(&Fact::T(g));
             self.bw_to_preds_from(d1, n, &k, origin.clone());
         }
-        for g in fwd_at_n {
+        for g in flows.fwd_at_n {
             let k = self.dom.intern(&Fact::T(g));
             self.fw_propagate(d1.clone(), n, k, origin.clone());
         }
-        for g in fwd_after {
+        for g in flows.fwd_after {
             let k = self.dom.intern(&Fact::T(g));
-            for succ in self.icfg.succs_of(n) {
+            for succ in self.flows.icfg.succs_of(n) {
                 self.fw_propagate(d1.clone(), succ, k.clone(), origin.clone());
             }
         }
     }
 
-    fn backward_call(
-        &mut self,
-        d1: &D::Key,
-        n: StmtRef,
-        d2: &D::Key,
-        d2f: &Fact,
-        result: Option<Local>,
-        call: &InvokeExpr,
-    ) {
+    fn backward_call(&mut self, d1: &D::Key, n: StmtRef, d2: &D::Key, d2f: &Fact) {
+        let Stmt::Invoke { result, call } = self.stmt(n) else { return };
+        let (result, call) = (*result, call.clone());
         let Fact::T(t) = d2f else { return };
         // Pass over the call unless the traced value is its result.
         let rooted_at_result = result.is_some() && t.ap.base_local() == result;
@@ -804,54 +467,27 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
         }
         // Descend into body-having callees (aliases may be created
         // inside).
-        let callees: Vec<MethodId> = self.icfg.callees_of_call(n).to_vec();
+        let callees: Vec<MethodId> = self.flows.icfg.callees_of_call(n).to_vec();
         for callee in callees {
-            let program = self.program();
-            let m = program.method(callee);
-            let mut entry: Vec<Taint> = Vec::new();
-            match t.ap.base_local() {
-                None => entry.push(t.clone()), // statics
-                Some(base) => {
-                    if result == Some(base) {
-                        // Trace the returned value.
-                        for exit in self.icfg.exit_stmts_of(callee) {
-                            if let Stmt::Return { value: Some(Operand::Local(v)) } =
-                                self.stmt(exit)
-                            {
-                                let ap = t.ap.rebase(ApBase::Local(*v), &[], self.k());
-                                let g = t.with_ap(ap);
-                                let gk = self.dom.intern(&Fact::T(g));
-                                self.bw.add_incoming(callee, gk.clone(), n, d2.clone());
-                                self.bw_propagate(
-                                    gk.clone(),
-                                    exit,
-                                    gk,
-                                    Some((n, d2.clone())),
-                                );
-                            }
-                        }
-                        continue;
-                    }
-                    for (i, arg) in call.args.iter().enumerate() {
-                        if arg.as_local() == Some(base) && i < m.param_count() {
-                            let ap =
-                                t.ap.rebase(ApBase::Local(m.param_local(i)), &[], self.k());
-                            entry.push(t.with_ap(ap));
-                        }
-                    }
-                    if call.base == Some(base) {
-                        if let Some(this) = m.this_local() {
-                            let ap = t.ap.rebase(ApBase::Local(this), &[], self.k());
-                            entry.push(t.with_ap(ap));
-                        }
-                    }
+            for (g, exits) in self.flows.backward_call_entries(t, result, &call, callee) {
+                let gk = self.dom.intern(&Fact::T(g));
+                self.bw.add_incoming(callee, gk.clone(), n, d2.clone());
+                for exit in exits {
+                    self.bw_propagate(gk.clone(), exit, gk.clone(), Some((n, d2.clone())));
                 }
-            }
-            for g in entry {
-                let f = self.dom.intern(&Fact::T(g));
-                self.bw.add_incoming(callee, f.clone(), n, d2.clone());
-                for exit in self.icfg.exit_stmts_of(callee) {
-                    self.bw_propagate(f.clone(), exit, f.clone(), Some((n, d2.clone())));
+                // If the backward search already reached this callee's
+                // start with entry fact `g` (a backward start-summary
+                // exists), the forward handoff for `g` has run and did
+                // not see this context: inject it now and apply any
+                // forward summaries so returns reach this caller too.
+                // Together with the handoff side (which injects all
+                // contexts known at handoff time) every (context,
+                // summary) pair is applied regardless of order.
+                if !self.bw.summaries_for(callee, &gk).is_empty() {
+                    self.fw.inject_incoming(callee, gk.clone(), vec![(n, d2.clone())]);
+                    for (exit, d2x) in self.fw.summaries_for(callee, &gk) {
+                        self.apply_return_for_context(n, callee, exit, &d2x, d2);
+                    }
                 }
             }
         }
@@ -861,9 +497,14 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
 
     fn collect_results(mut self, duration: std::time::Duration) -> InfoflowResults {
         let program = self.program();
+        // Canonical order before (sink, source) dedup: recorded leaks
+        // are sorted by (sink, taint value) so which representative
+        // survives never depends on discovery order.
+        let mut recorded = std::mem::take(&mut self.leaks);
+        recorded.sort();
+        recorded.dedup();
         let mut seen = std::collections::HashSet::new();
         let mut leaks = Vec::new();
-        let recorded = std::mem::take(&mut self.leaks);
         for (sink, taint) in &recorded {
             let (source, path) = self.attribute(*sink, taint);
             let key = (*sink, source);
@@ -883,43 +524,56 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
             leaks,
             forward_propagations: self.fw.propagation_count(),
             backward_propagations: self.bw.propagation_count(),
-            reachable_methods: self.icfg.callgraph().reachable_methods().len(),
+            reachable_methods: self.flows.icfg.callgraph().reachable_methods().len(),
             distinct_facts,
             distinct_aps,
             duration,
             aborted: self.aborted,
+            scheduler: None,
         }
     }
 
-    /// Walks the provenance links back from a leak to the source that
+    /// Walks the provenance graph back from a leak to the source that
     /// generated the taint.
+    ///
+    /// Breadth-first search with the origin sets expanded in (statement,
+    /// fact *value*) order: the provenance graph is order-independent
+    /// (see [`BiSolver::record_pred`]), so the first generating source
+    /// this walk reaches — and the parent chain behind it — is the same
+    /// whatever order the solver discovered the edges in. Cycles in the
+    /// graph are harmless: the visited set skips them and the search
+    /// continues through the remaining origins.
     fn attribute(&mut self, sink: StmtRef, taint: &Taint) -> (Option<StmtRef>, Vec<StmtRef>) {
-        if !self.config.track_paths {
+        if !self.config().track_paths {
             return (None, Vec::new());
         }
-        let sink_key = self.dom.intern(&Fact::T(taint.clone()));
-        let mut cur = (sink, sink_key);
-        let mut path = vec![sink];
-        let mut steps = 0;
-        loop {
+        let sink_key = self.dom.intern(&Fact::T(*taint));
+        let start = (sink, sink_key);
+        let mut visited = std::collections::HashSet::new();
+        visited.insert(start.clone());
+        let mut parent: FxHashMap<(StmtRef, D::Key), (StmtRef, D::Key)> = FxHashMap::default();
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(cur) = queue.pop_front() {
             if let Some(&src) = self.gen_source.get(&cur) {
-                path.reverse();
+                // Parents lead from the generation point back to the
+                // sink, so the collected path is already source-first.
+                let mut path = vec![cur.0];
+                let mut walk = cur;
+                while let Some(p) = parent.get(&walk) {
+                    path.push(p.0);
+                    walk = p.clone();
+                }
                 return (Some(src), path);
             }
-            match self.preds.get(&cur).cloned() {
-                Some(p) => {
-                    path.push(p.0);
-                    cur = p;
+            let mut origins = self.preds.get(&cur).cloned().unwrap_or_default();
+            origins.sort_by_cached_key(|(s, k)| (*s, self.dom.resolve(k)));
+            for o in origins {
+                if visited.insert(o.clone()) {
+                    parent.insert(o.clone(), cur.clone());
+                    queue.push_back(o);
                 }
-                None => {
-                    path.reverse();
-                    return (None, path);
-                }
-            }
-            steps += 1;
-            if steps > 100_000 {
-                return (None, Vec::new());
             }
         }
+        (None, vec![sink])
     }
 }

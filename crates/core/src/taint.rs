@@ -10,7 +10,10 @@ use flowdroid_ir::StmtRef;
 /// write that spawned the alias search as their **activation
 /// statement**; they only report at sinks after forward propagation has
 /// crossed that statement (or a call transitively containing it).
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+/// `Copy` (the access path holds an arena-interned field slice) and
+/// `Ord` (value-based, used for canonical tie-breaking in provenance
+/// and leak collection so results are independent of discovery order).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct Taint {
     /// The tainted access path.
     pub ap: AccessPath,
@@ -45,7 +48,7 @@ impl Taint {
 }
 
 /// The IFDS fact: the tautological zero or a taint.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub enum Fact {
     /// The always-true fact threaded through the whole supergraph.
     Zero,

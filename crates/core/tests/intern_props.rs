@@ -5,7 +5,7 @@
 //! driver's byte-identical reports rely on).
 
 use flowdroid_core::access_path::{AccessPath, ApBase};
-use flowdroid_core::intern::{FactDomain, Interner, InternedDomain};
+use flowdroid_core::intern::{intern_fields, FactDomain, Interner, InternedDomain};
 use flowdroid_core::taint::{Fact, Taint};
 use flowdroid_ir::{FieldId, Local, MethodId, StmtRef};
 use proptest::prelude::*;
@@ -93,5 +93,42 @@ proptest! {
         let ids_b: Vec<_> = facts.iter().map(|f| b.intern(f)).collect();
         prop_assert_eq!(ids_a, ids_b);
         prop_assert_eq!(a.stats(), b.stats());
+    }
+
+    /// The field-sequence arena round-trips content exactly.
+    #[test]
+    fn field_slice_interning_round_trips(
+        fields in proptest::collection::vec(field_strategy(), 0..6)
+    ) {
+        let interned = intern_fields(&fields);
+        prop_assert_eq!(interned, &fields[..]);
+    }
+
+    /// Equal field sequences intern to the *same* arena slice (pointer
+    /// identity), and distinct sequences never do — the property that
+    /// makes access-path equality a pointer-plus-length compare.
+    #[test]
+    fn field_slice_interning_canonicalizes(
+        a in proptest::collection::vec(field_strategy(), 0..6),
+        b in proptest::collection::vec(field_strategy(), 0..6),
+    ) {
+        let ia = intern_fields(&a);
+        let ib = intern_fields(&b);
+        let same = ia.as_ptr() == ib.as_ptr() && ia.len() == ib.len();
+        prop_assert_eq!(same, a == b);
+    }
+
+    /// Access paths built independently from equal components share an
+    /// interned fields slice, so `read_remainder` can hand out borrowed
+    /// subslices without allocating.
+    #[test]
+    fn equal_access_paths_share_arena_storage(
+        l in 0u32..4,
+        fields in proptest::collection::vec(field_strategy(), 0..5),
+    ) {
+        let a = AccessPath::new(ApBase::Local(Local(l)), fields.clone(), 5);
+        let b = AccessPath::new(ApBase::Local(Local(l)), fields, 5);
+        prop_assert_eq!(a, b);
+        prop_assert!(a.fields().as_ptr() == b.fields().as_ptr());
     }
 }

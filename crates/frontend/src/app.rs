@@ -6,8 +6,7 @@ use crate::manifest::Manifest;
 use crate::rpk::{Archive, ArchiveError};
 use crate::sdex::{self, SdexError};
 use crate::xml::XmlError;
-use flowdroid_ir::{ClassId, Program};
-use std::collections::HashMap;
+use flowdroid_ir::{ClassId, FxHashMap, Program};
 use std::fmt;
 
 /// Errors raised while loading an app.
@@ -84,7 +83,7 @@ pub struct App {
     /// The parsed manifest.
     pub manifest: Manifest,
     /// Parsed layouts by resource name.
-    pub layouts: HashMap<String, Layout>,
+    pub layouts: FxHashMap<String, Layout>,
     /// The app's resource-id table.
     pub resources: ResourceTable,
     /// Ids of the classes the app contributed to the program.
@@ -107,7 +106,7 @@ impl App {
         jasm_src: &str,
     ) -> Result<App, AppError> {
         let manifest = Manifest::parse(manifest_xml)?;
-        let mut parsed = HashMap::new();
+        let mut parsed = FxHashMap::default();
         for (name, xml) in layouts {
             parsed.insert((*name).to_owned(), Layout::parse(name, xml)?);
         }
@@ -131,7 +130,7 @@ impl App {
             .get_str("AndroidManifest.xml")
             .ok_or_else(|| AppError::Missing("AndroidManifest.xml".to_owned()))?;
         let manifest = Manifest::parse(manifest_xml)?;
-        let mut parsed = HashMap::new();
+        let mut parsed = FxHashMap::default();
         let layout_paths: Vec<String> =
             archive.paths_under("res/layout/").map(str::to_owned).collect();
         for path in layout_paths {

@@ -8,7 +8,7 @@ use flowdroid_ir::{
     ClassId, Constant, Cond, InvokeExpr, InvokeKind, Local, MethodId, Operand, Place, Program,
     Rvalue, Stmt, UnOp,
 };
-use std::collections::{HashMap, HashSet};
+use flowdroid_ir::{FxHashMap, FxHashSet};
 use std::fmt::Write;
 
 /// Emits the given classes as a `jasm` compilation unit.
@@ -58,7 +58,7 @@ fn emit_class(p: &Program, cid: ClassId, out: &mut String) {
 fn local_names(p: &Program, mid: MethodId) -> Vec<String> {
     let m = p.method(mid);
     let Some(body) = m.body() else { return Vec::new() };
-    let mut used: HashSet<String> = HashSet::new();
+    let mut used: FxHashSet<String> = FxHashSet::default();
     let mut names = Vec::with_capacity(body.locals().len());
     for (i, decl) in body.locals().iter().enumerate() {
         let base = sanitize(&decl.name, i);
@@ -144,7 +144,7 @@ fn emit_method(p: &Program, mid: MethodId, out: &mut String) {
         writeln!(out, "    let {}: {}", names[i], p.type_name(&decl.ty)).unwrap();
     }
     // Branch targets need labels.
-    let mut targets: HashMap<usize, String> = HashMap::new();
+    let mut targets: FxHashMap<usize, String> = FxHashMap::default();
     for s in body.stmts() {
         match s {
             Stmt::If { target, .. } | Stmt::Goto { target } => {
@@ -167,7 +167,7 @@ fn emit_method(p: &Program, mid: MethodId, out: &mut String) {
 struct Cx<'a> {
     p: &'a Program,
     names: &'a [String],
-    targets: &'a HashMap<usize, String>,
+    targets: &'a FxHashMap<usize, String>,
 }
 
 impl Cx<'_> {

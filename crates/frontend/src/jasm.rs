@@ -39,10 +39,9 @@
 
 use crate::layout::ResourceTable;
 use flowdroid_ir::{
-    BinOp, ClassId, CmpOp, Constant, InvokeKind, Label, Local, MethodBuilder, Operand, Place,
-    Program, Rvalue, Type, UnOp,
+    BinOp, ClassId, CmpOp, Constant, FxHashMap, FxHashSet, InvokeKind, Label, Local,
+    MethodBuilder, Operand, Place, Program, Rvalue, Type, UnOp,
 };
-use std::collections::HashMap;
 use std::fmt;
 
 /// A parse or lowering error with source line.
@@ -1041,9 +1040,9 @@ fn lower_type(program: &mut Program, t: &AstType) -> Type {
 }
 
 struct BodyCx<'a> {
-    locals: HashMap<String, (Local, Type)>,
-    labels: HashMap<String, Label>,
-    bound_labels: std::collections::HashSet<String>,
+    locals: FxHashMap<String, (Local, Type)>,
+    labels: FxHashMap<String, Label>,
+    bound_labels: FxHashSet<String>,
     resources: &'a ResourceTable,
 }
 
@@ -1170,9 +1169,9 @@ fn lower_body(
 ) -> Result<(), ParseError> {
     let mut b = MethodBuilder::for_method(program, mid);
     let mut cx = BodyCx {
-        locals: HashMap::new(),
-        labels: HashMap::new(),
-        bound_labels: std::collections::HashSet::new(),
+        locals: FxHashMap::default(),
+        labels: FxHashMap::default(),
+        bound_labels: FxHashSet::default(),
         resources,
     };
     // Pre-register `this` and parameters.

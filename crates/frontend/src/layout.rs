@@ -11,7 +11,7 @@
 //!   constants in code refer to.
 
 use crate::xml::{self, XmlElement, XmlError};
-use std::collections::HashMap;
+use flowdroid_ir::FxHashMap;
 
 /// Base value for layout resource ids (mirrors aapt's `0x7f03____`).
 pub const LAYOUT_ID_BASE: i64 = 0x7f03_0000;
@@ -100,10 +100,10 @@ fn widget_of(e: &XmlElement) -> Widget {
 /// `R` class).
 #[derive(Clone, Debug, Default)]
 pub struct ResourceTable {
-    layout_ids: HashMap<String, i64>,
-    widget_ids: HashMap<String, i64>,
-    layouts_by_id: HashMap<i64, String>,
-    widgets_by_id: HashMap<i64, String>,
+    layout_ids: FxHashMap<String, i64>,
+    widget_ids: FxHashMap<String, i64>,
+    layouts_by_id: FxHashMap<i64, String>,
+    widgets_by_id: FxHashMap<i64, String>,
 }
 
 impl ResourceTable {

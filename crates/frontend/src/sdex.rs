@@ -30,10 +30,9 @@
 //! (dots kept, not slashes) and `[` prefixes for arrays.
 
 use flowdroid_ir::{
-    BinOp, Body, ClassId, CmpOp, Cond, Constant, InvokeExpr, InvokeKind, Local, MethodRef,
-    Operand, Place, Program, Rvalue, Stmt, SubSig, Type, UnOp,
+    BinOp, Body, ClassId, CmpOp, Cond, Constant, FxHashMap, InvokeExpr, InvokeKind, Local,
+    MethodRef, Operand, Place, Program, Rvalue, Stmt, SubSig, Type, UnOp,
 };
-use std::collections::HashMap;
 use std::fmt;
 
 /// Current format version.
@@ -63,7 +62,7 @@ impl std::error::Error for SdexError {}
 struct Encoder<'p> {
     program: &'p Program,
     strings: Vec<String>,
-    string_idx: HashMap<String, u64>,
+    string_idx: FxHashMap<String, u64>,
     body: Vec<u8>,
 }
 
@@ -131,7 +130,7 @@ pub fn encode(program: &Program, classes: &[ClassId]) -> Vec<u8> {
     let mut enc = Encoder {
         program,
         strings: Vec::new(),
-        string_idx: HashMap::new(),
+        string_idx: FxHashMap::default(),
         body: Vec::new(),
     };
     let mut body = Vec::new();

@@ -1,0 +1,250 @@
+//! The concurrent counterpart of [`Tabulator`](crate::Tabulator):
+//! path-edge, end-summary and incoming tables behind independently
+//! locked shards, usable from many worker threads.
+//!
+//! Extracted from the parallel IFDS solver so the bidirectional taint
+//! engine can drive two of them (forward + backward) over the same
+//! work-stealing scheduler. Shards are addressed by the Fx hash of the
+//! outer key (statement for edges, callee for summaries/incoming);
+//! workers touching different statements or callees never contend.
+//! Within a shard the maps are nested (`stmt → fact → …`), so lookups
+//! borrow instead of cloning facts into tuple keys.
+//!
+//! The cross-table handshake discipline (register your own half, then
+//! read the other's) works across threads because each shard is a
+//! mutex: a release on the incoming shard followed by an acquire on the
+//! summary shard orders the accesses such that of two racing
+//! (call-side, exit-side) updates at least one side observes the other.
+
+use flowdroid_ir::{fxhash64, FxHashMap, FxHashSet, MethodId, StmtRef};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of independently locked shards per table (power of two).
+const SHARD_COUNT: usize = 16;
+
+/// `callee → fact → (statement, fact)` pairs, one shard's worth.
+type MethodFactMap<F> = FxHashMap<MethodId, FxHashMap<F, Vec<(StmtRef, F)>>>;
+
+/// A table split into independently locked shards, addressed by the Fx
+/// hash of a chosen outer key.
+struct Shards<T> {
+    shards: Vec<Mutex<T>>,
+}
+
+impl<T: Default> Shards<T> {
+    fn new() -> Self {
+        Shards { shards: (0..SHARD_COUNT).map(|_| Mutex::new(T::default())).collect() }
+    }
+
+    /// The shard holding `key`'s entries.
+    fn for_key<K: Hash>(&self, key: &K) -> &Mutex<T> {
+        debug_assert!(self.shards.len().is_power_of_two());
+        let h = fxhash64(key) as usize;
+        // Fx mixes the low bits last; take high bits for the index.
+        &self.shards[(h >> (64 - SHARD_COUNT.trailing_zeros())) & (self.shards.len() - 1)]
+    }
+}
+
+/// Sharded path-edge / end-summary / incoming tables for one direction
+/// of a parallel tabulation.
+pub struct ConcurrentTabulator<F> {
+    /// n → d2 → d1 set, sharded by n.
+    edges: Shards<FxHashMap<StmtRef, FxHashMap<F, FxHashSet<F>>>>,
+    /// callee → d1 → exit facts, sharded by callee.
+    summaries: Shards<MethodFactMap<F>>,
+    /// callee → d3 → call contexts, sharded by callee.
+    incoming: Shards<MethodFactMap<F>>,
+    propagations: AtomicU64,
+}
+
+impl<F: Clone + Eq + Hash> Default for ConcurrentTabulator<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<F: Clone + Eq + Hash> ConcurrentTabulator<F> {
+    /// Creates empty tables.
+    pub fn new() -> Self {
+        ConcurrentTabulator {
+            edges: Shards::new(),
+            summaries: Shards::new(),
+            incoming: Shards::new(),
+            propagations: AtomicU64::new(0),
+        }
+    }
+
+    /// Records the path edge `⟨·, d1⟩ → ⟨n, d2⟩`; returns `true` if it
+    /// was new (the caller then schedules it).
+    pub fn record_edge(&self, d1: &F, n: StmtRef, d2: &F) -> bool {
+        let inserted = self
+            .edges
+            .for_key(&n)
+            .lock()
+            .unwrap()
+            .entry(n)
+            .or_default()
+            .entry(d2.clone())
+            .or_default()
+            .insert(d1.clone());
+        if inserted {
+            self.propagations.fetch_add(1, Ordering::Relaxed);
+        }
+        inserted
+    }
+
+    /// All `d1` contexts recorded for `(n, d2)`. The lookup borrows
+    /// `d2`; only the found facts are cloned, under the shard lock.
+    pub fn d1s_at(&self, n: StmtRef, d2: &F) -> Vec<F> {
+        self.edges
+            .for_key(&n)
+            .lock()
+            .unwrap()
+            .get(&n)
+            .and_then(|by_fact| by_fact.get(d2))
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Records a call context: the callee was entered with `d3` from
+    /// `call_site` where `d2` held. Returns `true` if new.
+    pub fn add_incoming(&self, callee: MethodId, d3: &F, call_site: StmtRef, d2: &F) -> bool {
+        let mut shard = self.incoming.for_key(&callee).lock().unwrap();
+        let v = shard.entry(callee).or_default().entry(d3.clone()).or_default();
+        let entry = (call_site, d2.clone());
+        if v.contains(&entry) {
+            false
+        } else {
+            v.push(entry);
+            true
+        }
+    }
+
+    /// The call contexts recorded for `(callee, d1)`.
+    pub fn incoming_for(&self, callee: MethodId, d1: &F) -> Vec<(StmtRef, F)> {
+        self.incoming
+            .for_key(&callee)
+            .lock()
+            .unwrap()
+            .get(&callee)
+            .and_then(|by_fact| by_fact.get(d1))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Installs `(exit, d2)` as an end summary; returns `true` if new.
+    pub fn install_summary(&self, callee: MethodId, d1: &F, exit: StmtRef, d2: &F) -> bool {
+        let mut shard = self.summaries.for_key(&callee).lock().unwrap();
+        let v = shard.entry(callee).or_default().entry(d1.clone()).or_default();
+        let entry = (exit, d2.clone());
+        if v.contains(&entry) {
+            false
+        } else {
+            v.push(entry);
+            true
+        }
+    }
+
+    /// The end summaries recorded for `(callee, d1)`.
+    pub fn summaries_for(&self, callee: MethodId, d1: &F) -> Vec<(StmtRef, F)> {
+        self.summaries
+            .for_key(&callee)
+            .lock()
+            .unwrap()
+            .get(&callee)
+            .and_then(|by_fact| by_fact.get(d1))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Returns `true` if at least one end summary exists for
+    /// `(callee, d1)` (cheaper than cloning them out).
+    pub fn has_summaries(&self, callee: MethodId, d1: &F) -> bool {
+        self.summaries
+            .for_key(&callee)
+            .lock()
+            .unwrap()
+            .get(&callee)
+            .and_then(|by_fact| by_fact.get(d1))
+            .is_some_and(|v| !v.is_empty())
+    }
+
+    /// Number of `record_edge` calls that inserted a new edge.
+    pub fn propagation_count(&self) -> u64 {
+        self.propagations.load(Ordering::Relaxed)
+    }
+
+    /// Consumes the tables into `n → facts-at-n` (the result shape of
+    /// the generic IFDS solver).
+    pub fn into_facts(self) -> HashMap<StmtRef, Vec<F>> {
+        let mut facts: HashMap<StmtRef, Vec<F>> = HashMap::new();
+        for shard in self.edges.shards {
+            for (n, by_fact) in shard.into_inner().unwrap() {
+                facts.entry(n).or_default().extend(by_fact.into_keys());
+            }
+        }
+        facts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sr(i: usize) -> StmtRef {
+        StmtRef::new(MethodId::from_index(0), i)
+    }
+
+    #[test]
+    fn record_edge_dedupes_across_threads() {
+        let t: ConcurrentTabulator<u32> = ConcurrentTabulator::new();
+        let news = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let t = &t;
+                let news = &news;
+                scope.spawn(move || {
+                    for i in 0..100u32 {
+                        if t.record_edge(&(i % 3), sr(i as usize % 7), &i) {
+                            news.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        // 100 distinct (d1, n, d2) triples regardless of thread count.
+        assert_eq!(news.load(Ordering::Relaxed), 100);
+        assert_eq!(t.propagation_count(), 100);
+    }
+
+    #[test]
+    fn incoming_and_summaries_dedupe() {
+        let m = MethodId::from_index(3);
+        let t: ConcurrentTabulator<u32> = ConcurrentTabulator::new();
+        assert!(t.add_incoming(m, &1, sr(4), &5));
+        assert!(!t.add_incoming(m, &1, sr(4), &5));
+        assert_eq!(t.incoming_for(m, &1), vec![(sr(4), 5)]);
+        assert!(t.install_summary(m, &1, sr(9), &2));
+        assert!(!t.install_summary(m, &1, sr(9), &2));
+        assert_eq!(t.summaries_for(m, &1), vec![(sr(9), 2)]);
+        assert!(t.has_summaries(m, &1));
+        assert!(!t.has_summaries(m, &0));
+    }
+
+    #[test]
+    fn into_facts_collects_by_statement() {
+        let t: ConcurrentTabulator<u32> = ConcurrentTabulator::new();
+        t.record_edge(&0, sr(2), &5);
+        t.record_edge(&0, sr(2), &6);
+        t.record_edge(&1, sr(2), &5);
+        t.record_edge(&0, sr(3), &7);
+        let facts = t.into_facts();
+        let mut at2 = facts[&sr(2)].clone();
+        at2.sort_unstable();
+        assert_eq!(at2, vec![5, 6]);
+        assert_eq!(facts[&sr(3)], vec![7]);
+    }
+}

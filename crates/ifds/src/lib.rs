@@ -24,14 +24,18 @@
 //! from it) by every flow function; the solver gives it no special
 //! treatment beyond seeding.
 
+mod concurrent;
 pub mod ide;
 mod parallel;
 mod problem;
+mod scheduler;
 mod solver;
 mod tabulator;
 
+pub use concurrent::ConcurrentTabulator;
 pub use ide::{EdgeTransfer, IdeProblem, IdeResults, IdeSolver};
 pub use parallel::ParallelSolver;
 pub use problem::IfdsProblem;
+pub use scheduler::{SchedulerStats, WorkStealScheduler, DEFAULT_BATCH, DEFAULT_SHARDS};
 pub use solver::{IfdsResults, Solver};
 pub use tabulator::{PathEdge, Tabulator};

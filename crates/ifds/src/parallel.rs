@@ -4,162 +4,31 @@
 //! The tabulation algorithm is monotone — path edges, summaries and
 //! incoming sets only grow — so edges can be processed in any order and
 //! concurrently, as long as the table updates are atomic with respect
-//! to each other. Two mechanisms keep lock contention low:
+//! to each other. The solver composes two reusable pieces:
 //!
-//! * **Sharded tables.** Path edges, end summaries and incoming sets
-//!   each live in [`SHARD_COUNT`] independently locked shards, selected
-//!   by the Fx hash of the outer key (statement for edges, callee for
-//!   summaries/incoming). Workers touching different statements or
-//!   callees never contend. Within a shard the maps are nested
-//!   (`stmt → fact → …`), so lookups borrow instead of cloning facts
-//!   into tuple keys.
-//! * **Work batching.** Each worker pops up to [`BATCH`] edges from the
-//!   shared worklist per lock acquisition, processes them, and buffers
-//!   newly discovered edges locally, flushing them back in a single
-//!   lock acquisition. The in-flight counter covers the whole batch, so
-//!   termination (list empty *and* nobody processing) stays exact.
+//! * [`ConcurrentTabulator`] — path-edge, end-summary and incoming
+//!   tables behind independently locked shards;
+//! * [`WorkStealScheduler`] — a per-method-sharded, work-stealing job
+//!   queue with exact termination detection (replacing the single
+//!   global worklist lock of the first implementation). Edges are
+//!   sharded by their target statement's method, so one method's edges
+//!   cluster on one queue and stay cache-warm on one worker; idle
+//!   workers steal batches from other shards.
 //!
 //! Determinism note: the *result set* equals the sequential solver's
 //! (the fixed point is unique); only discovery order differs. The
-//! FlowDroid core keeps its deterministic sequential driver for
-//! reproducible leak reports; this solver parallelizes the generic
-//! problems (and demonstrates the Heros property).
+//! FlowDroid core's parallel taint engine builds on the same two pieces
+//! and additionally canonicalizes provenance for bit-identical reports.
 
+use crate::concurrent::ConcurrentTabulator;
 use crate::problem::IfdsProblem;
+use crate::scheduler::{WorkStealScheduler, DEFAULT_BATCH, DEFAULT_SHARDS};
 use crate::solver::IfdsResults;
 use flowdroid_callgraph::Icfg;
-use flowdroid_ir::{fxhash64, FxHashMap, FxHashSet, MethodId, StmtRef};
-use std::collections::{HashMap, VecDeque};
-use std::hash::Hash;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
-
-/// Number of independently locked shards per table (power of two).
-const SHARD_COUNT: usize = 16;
-
-/// Maximal number of worklist edges a worker claims per lock
-/// acquisition.
-const BATCH: usize = 32;
+use flowdroid_ir::StmtRef;
 
 /// A pending path edge `(d1, n, d2)`.
 type Job<F> = (F, StmtRef, F);
-
-/// `callee → fact → (statement, fact)` pairs, one shard's worth.
-type MethodFactMap<F> = FxHashMap<MethodId, FxHashMap<F, Vec<(StmtRef, F)>>>;
-
-/// A table split into independently locked shards, addressed by the Fx
-/// hash of a chosen outer key.
-struct Shards<T> {
-    shards: Vec<Mutex<T>>,
-}
-
-impl<T: Default> Shards<T> {
-    fn new() -> Self {
-        Shards { shards: (0..SHARD_COUNT).map(|_| Mutex::new(T::default())).collect() }
-    }
-
-    /// The shard holding `key`'s entries.
-    fn for_key<K: Hash>(&self, key: &K) -> &Mutex<T> {
-        debug_assert!(self.shards.len().is_power_of_two());
-        let h = fxhash64(key) as usize;
-        // Fx mixes the low bits last; take high bits for the index.
-        &self.shards[(h >> (64 - SHARD_COUNT.trailing_zeros())) & (self.shards.len() - 1)]
-    }
-}
-
-struct Shared<F> {
-    /// n → d2 → d1 set, sharded by n.
-    edges: Shards<FxHashMap<StmtRef, FxHashMap<F, FxHashSet<F>>>>,
-    /// callee → d1 → exit facts, sharded by callee.
-    summaries: Shards<MethodFactMap<F>>,
-    /// callee → d3 → call contexts, sharded by callee.
-    incoming: Shards<MethodFactMap<F>>,
-    /// Pending edges; the in-flight counter makes termination exact.
-    queue: Mutex<VecDeque<Job<F>>>,
-    in_flight: AtomicUsize,
-    propagations: AtomicU64,
-    wake: Condvar,
-}
-
-impl<F: Clone + Eq + Hash> Shared<F> {
-    /// Records the edge in the sharded table; returns `true` if new.
-    fn record_edge(&self, d1: &F, n: StmtRef, d2: &F) -> bool {
-        let inserted = self
-            .edges
-            .for_key(&n)
-            .lock()
-            .unwrap()
-            .entry(n)
-            .or_default()
-            .entry(d2.clone())
-            .or_default()
-            .insert(d1.clone());
-        if inserted {
-            self.propagations.fetch_add(1, Ordering::Relaxed);
-        }
-        inserted
-    }
-
-    /// All `d1` contexts recorded for `(n, d2)`. The lookup borrows
-    /// `d2`; only the found facts are cloned, under the shard lock.
-    fn d1s_at(&self, n: StmtRef, d2: &F) -> Vec<F> {
-        self.edges
-            .for_key(&n)
-            .lock()
-            .unwrap()
-            .get(&n)
-            .and_then(|by_fact| by_fact.get(d2))
-            .map(|s| s.iter().cloned().collect())
-            .unwrap_or_default()
-    }
-
-    fn add_incoming(&self, callee: MethodId, d3: &F, call_site: StmtRef, d2: &F) {
-        self.incoming
-            .for_key(&callee)
-            .lock()
-            .unwrap()
-            .entry(callee)
-            .or_default()
-            .entry(d3.clone())
-            .or_default()
-            .push((call_site, d2.clone()));
-    }
-
-    fn incoming_for(&self, callee: MethodId, d1: &F) -> Vec<(StmtRef, F)> {
-        self.incoming
-            .for_key(&callee)
-            .lock()
-            .unwrap()
-            .get(&callee)
-            .and_then(|by_fact| by_fact.get(d1))
-            .cloned()
-            .unwrap_or_default()
-    }
-
-    /// Installs `(exit, d2)` as an end summary; returns `true` if new.
-    fn install_summary(&self, callee: MethodId, d1: &F, exit: StmtRef, d2: &F) -> bool {
-        let mut shard = self.summaries.for_key(&callee).lock().unwrap();
-        let v = shard.entry(callee).or_default().entry(d1.clone()).or_default();
-        let entry = (exit, d2.clone());
-        if v.contains(&entry) {
-            false
-        } else {
-            v.push(entry);
-            true
-        }
-    }
-
-    fn summaries_for(&self, callee: MethodId, d1: &F) -> Vec<(StmtRef, F)> {
-        self.summaries
-            .for_key(&callee)
-            .lock()
-            .unwrap()
-            .get(&callee)
-            .and_then(|by_fact| by_fact.get(d1))
-            .cloned()
-            .unwrap_or_default()
-    }
-}
 
 /// A parallel IFDS solver over `threads` workers.
 #[derive(Debug)]
@@ -181,96 +50,61 @@ where
 
     /// Runs the tabulation to its (unique) fixed point.
     pub fn solve(&self) -> IfdsResults<P::Fact> {
-        let shared: Shared<P::Fact> = Shared {
-            edges: Shards::new(),
-            summaries: Shards::new(),
-            incoming: Shards::new(),
-            queue: Mutex::new(VecDeque::new()),
-            in_flight: AtomicUsize::new(0),
-            propagations: AtomicU64::new(0),
-            wake: Condvar::new(),
-        };
-        {
-            let mut q = shared.queue.lock().unwrap();
-            for (n, d) in self.problem.initial_seeds() {
-                if shared.record_edge(&d, n, &d) {
-                    q.push_back((d.clone(), n, d));
-                }
+        let tab: ConcurrentTabulator<P::Fact> = ConcurrentTabulator::new();
+        let sched: WorkStealScheduler<Job<P::Fact>> =
+            WorkStealScheduler::new(DEFAULT_SHARDS, DEFAULT_BATCH);
+        for (n, d) in self.problem.initial_seeds() {
+            if tab.record_edge(&d, n, &d) {
+                sched.push(sched.shard_for(&n.method), (d.clone(), n, d));
             }
         }
         std::thread::scope(|scope| {
-            for _ in 0..self.threads {
-                scope.spawn(|| self.worker(&shared));
+            for w in 0..self.threads {
+                let tab = &tab;
+                let sched = &sched;
+                scope.spawn(move || self.worker(w, tab, sched));
             }
         });
-        let mut facts: HashMap<StmtRef, Vec<P::Fact>> = HashMap::new();
-        for shard in shared.edges.shards {
-            for (n, by_fact) in shard.into_inner().unwrap() {
-                facts.entry(n).or_default().extend(by_fact.into_keys());
-            }
-        }
-        IfdsResults::from_parts(facts, shared.propagations.into_inner())
+        let propagations = tab.propagation_count();
+        IfdsResults::from_parts(tab.into_facts(), propagations)
     }
 
-    fn worker(&self, shared: &Shared<P::Fact>) {
-        let mut batch: Vec<Job<P::Fact>> = Vec::with_capacity(BATCH);
-        // Locally buffered new edges, flushed once per batch.
-        let mut found: Vec<Job<P::Fact>> = Vec::new();
-        loop {
-            {
-                let mut q = shared.queue.lock().unwrap();
-                loop {
-                    if !q.is_empty() {
-                        let take = q.len().min(BATCH);
-                        batch.extend(q.drain(..take));
-                        // Count the whole claim before releasing the
-                        // lock so termination can't trigger early.
-                        shared.in_flight.fetch_add(take, Ordering::SeqCst);
-                        break;
-                    }
-                    if shared.in_flight.load(Ordering::SeqCst) == 0 {
-                        // Nothing queued and nobody working: done. Wake
-                        // the others so they observe the same state.
-                        shared.wake.notify_all();
-                        return;
-                    }
-                    q = shared.wake.wait(q).unwrap();
-                }
-            }
+    fn worker(
+        &self,
+        home: usize,
+        tab: &ConcurrentTabulator<P::Fact>,
+        sched: &WorkStealScheduler<Job<P::Fact>>,
+    ) {
+        let mut batch: Vec<Job<P::Fact>> = Vec::new();
+        while sched.claim(home, &mut batch) {
             let taken = batch.len();
             for (d1, n, d2) in batch.drain(..) {
-                self.process(shared, &mut found, d1, n, d2);
+                self.process(tab, sched, d1, n, d2);
             }
-            {
-                let mut q = shared.queue.lock().unwrap();
-                q.extend(found.drain(..));
-                // Retire the batch only after its discoveries are
-                // enqueued, so (empty queue, zero in-flight) still
-                // implies a reached fixed point.
-                shared.in_flight.fetch_sub(taken, Ordering::SeqCst);
-            }
-            shared.wake.notify_all();
+            // Retire only after the batch's discoveries are pushed, so
+            // (no jobs queued, none in flight) still implies fixpoint.
+            sched.retire(taken);
         }
     }
 
-    /// Records the edge and buffers it for the post-batch flush.
+    /// Records the edge and schedules it if new.
     fn propagate(
         &self,
-        shared: &Shared<P::Fact>,
-        found: &mut Vec<Job<P::Fact>>,
+        tab: &ConcurrentTabulator<P::Fact>,
+        sched: &WorkStealScheduler<Job<P::Fact>>,
         d1: P::Fact,
         n: StmtRef,
         d2: P::Fact,
     ) {
-        if shared.record_edge(&d1, n, &d2) {
-            found.push((d1, n, d2));
+        if tab.record_edge(&d1, n, &d2) {
+            sched.push(sched.shard_for(&n.method), (d1, n, d2));
         }
     }
 
     fn process(
         &self,
-        shared: &Shared<P::Fact>,
-        found: &mut Vec<Job<P::Fact>>,
+        tab: &ConcurrentTabulator<P::Fact>,
+        sched: &WorkStealScheduler<Job<P::Fact>>,
         d1: P::Fact,
         n: StmtRef,
         d2: P::Fact,
@@ -283,14 +117,14 @@ where
             for &callee in callees {
                 let starts = icfg.start_points_of(callee);
                 for d3 in problem.call_flow(n, callee, &d2) {
-                    shared.add_incoming(callee, &d3, n, &d2);
+                    tab.add_incoming(callee, &d3, n, &d2);
                     for &sp in &starts {
-                        self.propagate(shared, found, d3.clone(), sp, d3.clone());
+                        self.propagate(tab, sched, d3.clone(), sp, d3.clone());
                     }
-                    for (exit, d4) in shared.summaries_for(callee, &d3) {
+                    for (exit, d4) in tab.summaries_for(callee, &d3) {
                         for ret_site in icfg.return_sites_of_call(n) {
                             for d5 in problem.return_flow(n, callee, exit, ret_site, &d4) {
-                                self.propagate(shared, found, d1.clone(), ret_site, d5);
+                                self.propagate(tab, sched, d1.clone(), ret_site, d5);
                             }
                         }
                     }
@@ -298,29 +132,23 @@ where
             }
             for ret_site in icfg.return_sites_of_call(n) {
                 for d3 in problem.call_to_return_flow(n, ret_site, &d2) {
-                    self.propagate(shared, found, d1.clone(), ret_site, d3);
+                    self.propagate(tab, sched, d1.clone(), ret_site, d3);
                 }
             }
         } else if icfg.is_exit(n) {
             let callee = icfg.method_of(n);
-            if shared.install_summary(callee, &d1, n, &d2) {
-                for (call_site, d4) in shared.incoming_for(callee, &d1) {
+            if tab.install_summary(callee, &d1, n, &d2) {
+                for (call_site, d4) in tab.incoming_for(callee, &d1) {
                     // The caller contexts depend only on (call_site, d4):
                     // read them once per context, not once per returned
                     // fact. Contexts recorded later are covered by the
                     // call side, which reads summaries after registering
                     // incoming.
-                    let d3s = shared.d1s_at(call_site, &d4);
+                    let d3s = tab.d1s_at(call_site, &d4);
                     for ret_site in icfg.return_sites_of_call(call_site) {
                         for d5 in problem.return_flow(call_site, callee, n, ret_site, &d2) {
                             for d3 in &d3s {
-                                self.propagate(
-                                    shared,
-                                    found,
-                                    d3.clone(),
-                                    ret_site,
-                                    d5.clone(),
-                                );
+                                self.propagate(tab, sched, d3.clone(), ret_site, d5.clone());
                             }
                         }
                     }
@@ -333,13 +161,13 @@ where
         } else if is_call {
             for ret_site in icfg.return_sites_of_call(n) {
                 for d3 in problem.call_to_return_flow(n, ret_site, &d2) {
-                    self.propagate(shared, found, d1.clone(), ret_site, d3);
+                    self.propagate(tab, sched, d1.clone(), ret_site, d3);
                 }
             }
         } else {
             for succ in icfg.succs_of(n) {
                 for d3 in problem.normal_flow(n, succ, &d2) {
-                    self.propagate(shared, found, d1.clone(), succ, d3);
+                    self.propagate(tab, sched, d1.clone(), succ, d3);
                 }
             }
         }

@@ -56,6 +56,7 @@ fn print_usage() {
     eprintln!("  --sources <file>           extra source/sink definitions");
     eprintln!("  --wrappers <file>          extra taint-wrapper rules");
     eprintln!("  --no-paths                 skip leak-path reconstruction");
+    eprintln!("  --taint-threads <n>        parallel taint engine with n workers");
 }
 
 fn analyze(args: &[String]) -> ExitCode {
@@ -78,6 +79,14 @@ fn analyze(args: &[String]) -> ExitCode {
                 config.max_access_path_length = k;
             }
             "--no-alias" => config.enable_alias_analysis = false,
+            "--taint-threads" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|v| v.parse().ok()) else {
+                    eprintln!("--taint-threads needs a number");
+                    return ExitCode::FAILURE;
+                };
+                config.taint_threads = n;
+            }
             "--no-paths" => config.track_paths = false,
             "--global-callbacks" => {
                 config.callback_association = CallbackAssociation::Global;
