@@ -14,7 +14,7 @@
 //! Usage: `solver_stats [output.json]` (default `BENCH_solver.json`).
 
 use flowdroid_bench::driver::{corpus_report, full_corpus, run_corpus, CorpusJob, CorpusRun};
-use flowdroid_core::{InfoflowConfig, SchedulerStats};
+use flowdroid_core::{InfoflowConfig, SchedulerStats, SummaryCacheStats};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,6 +59,7 @@ struct ModeStats {
     distinct_facts: usize,
     distinct_aps: usize,
     scheduler: Option<SchedulerStats>,
+    summary_cache: Option<SummaryCacheStats>,
     report: String,
 }
 
@@ -92,7 +93,21 @@ fn measure(
         distinct_facts: run.total_distinct_facts(),
         distinct_aps: run.total_distinct_aps(),
         scheduler: run.scheduler_totals(),
+        summary_cache: run.summary_cache_totals(),
         report: corpus_report(&run),
+    }
+}
+
+fn summary_cache_json(s: &Option<SummaryCacheStats>) -> String {
+    match s {
+        None => "null".to_string(),
+        Some(s) => format!(
+            concat!(
+                "{{ \"hits\": {}, \"misses\": {}, \"stale\": {}, ",
+                "\"store_methods\": {}, \"recorded\": {} }}"
+            ),
+            s.hits, s.misses, s.stale, s.store_methods, s.recorded
+        ),
     }
 }
 
@@ -131,6 +146,7 @@ fn mode_json(m: &ModeStats, report_identical: bool) -> String {
             "      \"distinct_facts\": {},\n",
             "      \"distinct_aps\": {},\n",
             "      \"scheduler\": {},\n",
+            "      \"summary_cache\": {},\n",
             "      \"report_identical_to_baseline\": {}\n",
             "    }}"
         ),
@@ -147,6 +163,7 @@ fn mode_json(m: &ModeStats, report_identical: bool) -> String {
         m.distinct_facts,
         m.distinct_aps,
         scheduler_json(&m.scheduler),
+        summary_cache_json(&m.summary_cache),
         report_identical
     )
 }
@@ -203,6 +220,20 @@ fn main() {
         eprintln!("running parallel taint engine ({name}) ...");
         modes.push(measure(name, &jobs, config, 1));
     }
+
+    // The persistent summary store: a cold pass populates the cache,
+    // the flush promotes it, and a warm pass replays the stored end
+    // summaries instead of re-tabulating cacheable callees.
+    let cache_dir =
+        std::env::temp_dir().join(format!("flowdroid-solver-stats-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cached = interned.clone().with_summary_cache(&cache_dir);
+    eprintln!("running summary-cache cold pass ...");
+    modes.push(measure("cache-cold", &jobs, &cached, 1));
+    flowdroid_core::flush_summary_cache(&cache_dir).expect("flush summary cache");
+    eprintln!("running summary-cache warm pass ...");
+    modes.push(measure("cache-warm", &jobs, &cached, 1));
+    let _ = std::fs::remove_dir_all(&cache_dir);
 
     let baseline_report = modes[0].report.clone();
     let reports_identical = modes.iter().all(|m| m.report == baseline_report);
@@ -274,6 +305,25 @@ fn main() {
     writeln!(json, "    \"taint_speedup_2t\": {:.3},", taint_speedup("parallel-taint-2")).unwrap();
     writeln!(json, "    \"taint_speedup_4t\": {:.3},", taint_speedup("parallel-taint-4")).unwrap();
     writeln!(json, "    \"taint_speedup_8t\": {:.3},", taint_speedup("parallel-taint-8")).unwrap();
+    let mode_of = |name: &str| modes.iter().find(|m| m.name == name).unwrap();
+    let (cold, warm) = (mode_of("cache-cold"), mode_of("cache-warm"));
+    let cold_edges = cold.forward_propagations + cold.backward_propagations;
+    let warm_edges = warm.forward_propagations + warm.backward_propagations;
+    let edges_saved = cold_edges.saturating_sub(warm_edges);
+    let warm_stats = warm.summary_cache.clone().unwrap_or_default();
+    let warm_lookups = warm_stats.hits + warm_stats.misses + warm_stats.stale;
+    writeln!(json, "    \"cache_cold_path_edges\": {cold_edges},").unwrap();
+    writeln!(json, "    \"cache_warm_path_edges\": {warm_edges},").unwrap();
+    writeln!(json, "    \"cache_path_edges_saved\": {edges_saved},").unwrap();
+    writeln!(json, "    \"cache_warm_hits\": {},", warm_stats.hits).unwrap();
+    writeln!(
+        json,
+        "    \"cache_warm_hit_rate\": {:.4},",
+        if warm_lookups > 0 { warm_stats.hits as f64 / warm_lookups as f64 } else { 0.0 }
+    )
+    .unwrap();
+    writeln!(json, "    \"cache_dataflow_ms_cold\": {:.3},", cold.dataflow_ms).unwrap();
+    writeln!(json, "    \"cache_dataflow_ms_warm\": {:.3},", warm.dataflow_ms).unwrap();
     if cores < 2 {
         // Wall-clock speedup needs real hardware parallelism; on a
         // single core the measurement degenerates to pool overhead
@@ -294,6 +344,16 @@ fn main() {
 
     if !reports_identical {
         eprintln!("FAIL: leak reports diverged across modes/thread counts");
+        std::process::exit(1);
+    }
+    if warm_stats.hits == 0 {
+        eprintln!("FAIL: warm summary-cache pass produced no hits");
+        std::process::exit(1);
+    }
+    if edges_saved == 0 {
+        eprintln!(
+            "FAIL: warm pass saved no path edges (cold {cold_edges}, warm {warm_edges})"
+        );
         std::process::exit(1);
     }
     // Since access-path field sequences moved into the global arena,

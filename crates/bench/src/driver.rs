@@ -13,7 +13,8 @@ use flowdroid_android::install_platform;
 use flowdroid_core::{Infoflow, InfoflowConfig, InfoflowResults, SourceSinkManager, TaintWrapper};
 use flowdroid_droidbench::{all_apps, insecurebank, BenchApp};
 use flowdroid_frontend::layout::ResourceTable;
-use flowdroid_core::SchedulerStats;
+use flowdroid_core::{SchedulerStats, SummaryCacheStats};
+use std::path::Path;
 use flowdroid_frontend::parse_jasm;
 use flowdroid_ir::Program;
 use flowdroid_securibench::{cases_in, Group, MicroCase, MICRO_DEFS, MICRO_ENV};
@@ -92,6 +93,8 @@ pub struct AppRun {
     pub dataflow: Duration,
     /// Work-stealing scheduler counters (parallel taint engine only).
     pub scheduler: Option<SchedulerStats>,
+    /// Summary-cache counters (persistent summary store only).
+    pub summary_cache: Option<SummaryCacheStats>,
 }
 
 /// Renders the deterministic per-app leak report: one header line plus
@@ -151,6 +154,7 @@ fn run_job(job: &CorpusJob, config: &InfoflowConfig) -> AppRun {
         total: start.elapsed(),
         dataflow: results.duration,
         scheduler: results.scheduler.clone(),
+        summary_cache: results.summary_cache.clone(),
     }
 }
 
@@ -196,6 +200,26 @@ impl CorpusRun {
     /// Total distinct access paths interned across the corpus.
     pub fn total_distinct_aps(&self) -> usize {
         self.apps.iter().map(|a| a.distinct_aps).sum()
+    }
+
+    /// Summary-cache counters summed across the corpus (`None` when no
+    /// app ran with a persistent summary store). `store_methods` takes
+    /// the maximum rather than the sum — every app sees the same
+    /// store — and the first load error encountered is kept.
+    pub fn summary_cache_totals(&self) -> Option<SummaryCacheStats> {
+        let mut total: Option<SummaryCacheStats> = None;
+        for s in self.apps.iter().filter_map(|a| a.summary_cache.as_ref()) {
+            let t = total.get_or_insert_with(SummaryCacheStats::default);
+            t.hits += s.hits;
+            t.misses += s.misses;
+            t.stale += s.stale;
+            t.recorded += s.recorded;
+            t.store_methods = t.store_methods.max(s.store_methods);
+            if t.load_error.is_none() {
+                t.load_error = s.load_error.clone();
+            }
+        }
+        total
     }
 
     /// Work-stealing scheduler counters summed across the corpus
@@ -256,6 +280,27 @@ pub fn run_corpus(jobs: &[CorpusJob], config: &InfoflowConfig, threads: usize) -
 /// byte-for-byte identical across thread counts and repeat runs.
 pub fn corpus_report(run: &CorpusRun) -> String {
     run.apps.iter().map(|a| a.report.as_str()).collect()
+}
+
+/// Runs the corpus twice against the persistent summary store in
+/// `cache_dir`: a *cold* pass that computes (and then flushes) every
+/// end summary, followed by a *warm* pass that replays them. The cold
+/// pass consumes nothing from the store it is populating (the store's
+/// visible/fresh split guarantees this), so its leak report is
+/// bit-identical to an uncached run; the warm pass must reproduce the
+/// same report while skipping the tabulation work the cache covers.
+pub fn run_corpus_cold_warm(
+    jobs: &[CorpusJob],
+    config: &InfoflowConfig,
+    threads: usize,
+    cache_dir: &Path,
+) -> (CorpusRun, CorpusRun) {
+    let mut config = config.clone();
+    config.summary_cache = Some(cache_dir.to_path_buf());
+    let cold = run_corpus(jobs, &config, threads);
+    flowdroid_core::flush_summary_cache(cache_dir).expect("flush summary cache");
+    let warm = run_corpus(jobs, &config, threads);
+    (cold, warm)
 }
 
 #[cfg(test)]

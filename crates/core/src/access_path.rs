@@ -66,6 +66,18 @@ impl AccessPath {
         Self::make(base, &fields, &[], false, max_len)
     }
 
+    /// Reconstructs a path from serialized parts, preserving a
+    /// `truncated` flag even when the fields fit the bound (the
+    /// summary store round-trips paths that were truncated under the
+    /// original bound).
+    pub(crate) fn from_raw_parts(
+        base: ApBase,
+        fields: &[FieldId],
+        truncated: bool,
+    ) -> AccessPath {
+        AccessPath { base, fields: intern_fields(fields), truncated }
+    }
+
     /// The access path a [`Place`] *writes to / reads from*:
     /// array elements collapse to the whole array object (paper §4.1:
     /// index-insensitive array handling).

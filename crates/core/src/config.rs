@@ -2,6 +2,7 @@
 
 use flowdroid_android::CallbackAssociation;
 use flowdroid_callgraph::CgAlgorithm;
+use std::path::PathBuf;
 
 /// Configuration of the taint analysis.
 ///
@@ -49,6 +50,14 @@ pub struct InfoflowConfig {
     /// scheduler with `n` workers. Results are bit-identical to the
     /// sequential solver at any thread count.
     pub taint_threads: usize,
+    /// Directory of the persistent end-summary store. When set, both
+    /// taint engines consult the store before tabulating a callee
+    /// (skipping the body when a summary computed under the same
+    /// transitive code fingerprint exists) and record freshly computed
+    /// summaries for the next run. `None` (default) disables caching.
+    /// Staged summaries reach disk only via
+    /// [`crate::flush_summary_cache`].
+    pub summary_cache: Option<PathBuf>,
 }
 
 impl Default for InfoflowConfig {
@@ -65,6 +74,7 @@ impl Default for InfoflowConfig {
             max_propagations: 0,
             intern_facts: true,
             taint_threads: 0,
+            summary_cache: None,
         }
     }
 }
@@ -117,6 +127,12 @@ impl InfoflowConfig {
     /// (0 = sequential).
     pub fn with_taint_threads(mut self, threads: usize) -> Self {
         self.taint_threads = threads;
+        self
+    }
+
+    /// Builder-style setter for the persistent summary-cache directory.
+    pub fn with_summary_cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.summary_cache = Some(dir.into());
         self
     }
 }

@@ -39,6 +39,7 @@ mod par_solver;
 pub mod results;
 pub mod solver;
 pub mod sourcesink;
+pub mod summary_cache;
 pub mod taint;
 pub mod wrappers;
 
@@ -50,5 +51,6 @@ pub use intern::{ApId, DirectDomain, FactDomain, FactId, InternedDomain, Interne
 pub use flowdroid_ifds::SchedulerStats;
 pub use results::{InfoflowResults, Leak};
 pub use sourcesink::{SourceSinkManager, SourceSinkParseError};
+pub use summary_cache::{flush_summary_cache, SummaryCacheStats};
 pub use taint::{Fact, Taint};
 pub use wrappers::TaintWrapper;

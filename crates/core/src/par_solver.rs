@@ -42,10 +42,13 @@ use crate::config::InfoflowConfig;
 use crate::flows::{Flows, ReachCache};
 use crate::results::{InfoflowResults, Leak};
 use crate::sourcesink::SourceSinkManager;
+use crate::summary_cache::SummaryCacheSession;
 use crate::taint::{Fact, Taint};
 use crate::wrappers::TaintWrapper;
 use flowdroid_callgraph::Icfg;
-use flowdroid_ifds::{ConcurrentTabulator, WorkStealScheduler, DEFAULT_BATCH, DEFAULT_SHARDS};
+use flowdroid_ifds::{
+    drive, ConcurrentTabulator, WorkStealScheduler, WorkerState, DEFAULT_BATCH, DEFAULT_SHARDS,
+};
 use flowdroid_ir::{fxhash64, FxHashMap, MethodId, Stmt, StmtRef};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -89,6 +92,14 @@ struct WorkerCtx {
     /// batch is retired (which results in the same fixpoint — edge
     /// processing is order-independent, see the module docs).
     pending: Vec<Job>,
+    /// Jobs processed since the last abort-budget check.
+    since_check: usize,
+}
+
+impl WorkerState<Job> for WorkerCtx {
+    fn pending(&mut self) -> &mut Vec<Job> {
+        &mut self.pending
+    }
 }
 
 /// The parallel engine. Public API mirrors
@@ -100,6 +111,8 @@ pub(crate) struct ParBiSolver<'a> {
     bw: ConcurrentTabulator<Fact>,
     sched: WorkStealScheduler<Job>,
     prov: Vec<Mutex<ProvShard>>,
+    /// Persistent end-summary store session, when configured.
+    cache: Option<SummaryCacheSession>,
     aborted: AtomicBool,
 }
 
@@ -112,6 +125,10 @@ impl<'a> ParBiSolver<'a> {
         config: &'a InfoflowConfig,
         threads: usize,
     ) -> Self {
+        let cache = config
+            .summary_cache
+            .as_deref()
+            .map(|dir| SummaryCacheSession::new(dir, &icfg, sources, wrapper, config));
         ParBiSolver {
             flows: Flows { icfg, sources, wrapper, config },
             threads: threads.max(1),
@@ -119,6 +136,7 @@ impl<'a> ParBiSolver<'a> {
             bw: ConcurrentTabulator::new(),
             sched: WorkStealScheduler::new(DEFAULT_SHARDS, DEFAULT_BATCH),
             prov: (0..PROV_SHARDS).map(|_| Mutex::new(ProvShard::default())).collect(),
+            cache,
             aborted: AtomicBool::new(false),
         }
     }
@@ -142,63 +160,42 @@ impl<'a> ParBiSolver<'a> {
             }
         }
         self.publish(&mut seeds.pending, 0);
-        let merged: Mutex<Vec<(StmtRef, Taint)>> = Mutex::new(Vec::new());
-        if self.threads == 1 {
-            // A lone worker needs no thread: run it inline and skip the
-            // spawn/join round-trip (which would dominate small apps).
-            let mut ctx = WorkerCtx::default();
-            self.worker(0, &mut ctx);
-            merged.lock().unwrap().append(&mut ctx.leaks);
-        } else {
-            std::thread::scope(|scope| {
-                for w in 0..self.threads {
-                    let this = &self;
-                    let merged = &merged;
-                    scope.spawn(move || {
-                        let mut ctx = WorkerCtx::default();
-                        this.worker(w, &mut ctx);
-                        merged.lock().unwrap().append(&mut ctx.leaks);
-                    });
-                }
-            });
-        }
-        let leaks = merged.into_inner().unwrap();
-        self.collect_results(leaks, start.elapsed())
-    }
-
-    fn worker(&self, home: usize, ctx: &mut WorkerCtx) {
+        // The shared drive harness (also used by the generic IFDS
+        // solver) owns the claim/drain/spill loop, including the
+        // adaptive spill threshold that publishes more aggressively
+        // when workers sit idle.
         let max = self.config().max_propagations;
-        let mut batch: Vec<Job> = Vec::new();
-        while self.sched.claim(home, &mut batch) {
-            let taken = batch.len();
-            ctx.pending.append(&mut batch);
-            let mut since_check = 0usize;
-            while let Some((dir, d1, n, d2)) = ctx.pending.pop() {
-                since_check += 1;
-                if since_check >= BUDGET_CHECK_EVERY {
-                    since_check = 0;
+        let workers = drive(
+            &self.sched,
+            self.threads,
+            SPILL,
+            |_| WorkerCtx::default(),
+            |job: &Job| self.sched.shard_for(&job.2.method),
+            |ctx, (dir, d1, n, d2)| {
+                ctx.since_check += 1;
+                if ctx.since_check >= BUDGET_CHECK_EVERY {
+                    ctx.since_check = 0;
                     if max > 0 && self.fw.propagation_count() > max {
-                        // Budget exhausted: drop the rest so every
-                        // worker terminates; reported leaks are a lower
-                        // bound.
+                        // Budget exhausted: stop every worker; reported
+                        // leaks are a lower bound.
                         self.aborted.store(true, Ordering::SeqCst);
-                        ctx.pending.clear();
-                        break;
+                        return false;
                     }
                 }
                 match dir {
                     Dir::Fw => self.process_forward(ctx, d1, n, d2),
                     Dir::Bw => self.process_backward(ctx, d1, n, d2),
                 }
-                if ctx.pending.len() > SPILL {
-                    // Publish the oldest (coldest) half for stealing.
-                    self.publish(&mut ctx.pending, SPILL / 2);
-                }
-            }
-            // Retiring only after the local drain keeps the batch (and
-            // everything discovered from it) counted as in flight.
-            self.sched.retire(taken);
+                true
+            },
+        );
+        // Merge worker leak buffers in worker-index order (canonical
+        // sorting below removes any remaining order dependence).
+        let mut leaks = Vec::new();
+        for mut w in workers {
+            leaks.append(&mut w.leaks);
         }
+        self.collect_results(leaks, start.elapsed())
     }
 
     /// Moves all but the newest `keep` jobs of `pending` onto the
@@ -337,10 +334,22 @@ impl<'a> ParBiSolver<'a> {
             let entry_facts = self.flows.call_flow(call, callee, &d2);
             for (d3, src_mark) in entry_facts {
                 self.fw.add_incoming(callee, &d3, n, &d2);
-                for &sp in &starts {
-                    self.fw_propagate(ctx, d3, sp, d3, Some((n, d2)));
-                    if let Some(src) = src_mark {
-                        self.mark_source(sp, d3, src);
+                if let Some(cached) = self.cache.as_ref().and_then(|c| c.lookup(callee, &d3)) {
+                    // Persisted summaries replace tabulating the callee
+                    // body. Every racing call site installs the same
+                    // cached exits itself before reading them back
+                    // below, so no hit depends on another site's
+                    // install.
+                    for &(exit, ef) in cached {
+                        self.fw.install_summary(callee, &d3, exit, &ef);
+                        self.record_pred(exit, ef, Some((n, d2)));
+                    }
+                } else {
+                    for &sp in &starts {
+                        self.fw_propagate(ctx, d3, sp, d3, Some((n, d2)));
+                        if let Some(src) = src_mark {
+                            self.mark_source(sp, d3, src);
+                        }
                     }
                 }
                 // Apply existing summaries (read *after* the incoming
@@ -557,6 +566,14 @@ impl<'a> ParBiSolver<'a> {
     ) -> InfoflowResults {
         let program = self.flows.program();
         let stats = self.sched.stats();
+        let summary_cache = self.cache.as_ref().map(|c| {
+            // Only a completed fixpoint is persisted — partial
+            // summaries from an aborted run would be unsound to replay.
+            if !self.aborted.load(Ordering::SeqCst) {
+                c.record_all(program, self.fw.all_summaries());
+            }
+            c.stats()
+        });
         // Merge the provenance shards (each key lives in exactly one
         // shard, so this is a disjoint union).
         let mut preds: FxHashMap<(StmtRef, Fact), Vec<(StmtRef, Fact)>> = FxHashMap::default();
@@ -596,6 +613,7 @@ impl<'a> ParBiSolver<'a> {
             duration,
             aborted: self.aborted.load(Ordering::SeqCst),
             scheduler: Some(stats),
+            summary_cache,
         }
     }
 }

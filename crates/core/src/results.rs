@@ -61,6 +61,9 @@ pub struct InfoflowResults {
     /// Work-stealing scheduler counters, present when the parallel taint
     /// engine ran ([`crate::InfoflowConfig::taint_threads`] > 0).
     pub scheduler: Option<flowdroid_ifds::SchedulerStats>,
+    /// Summary-cache counters, present when a persistent summary store
+    /// was configured ([`crate::InfoflowConfig::summary_cache`]).
+    pub summary_cache: Option<crate::summary_cache::SummaryCacheStats>,
 }
 
 impl InfoflowResults {
@@ -102,6 +105,14 @@ impl InfoflowResults {
                 out,
                 "  ({} distinct facts, {} distinct access paths interned)",
                 self.distinct_facts, self.distinct_aps
+            )
+            .unwrap();
+        }
+        if let Some(sc) = &self.summary_cache {
+            writeln!(
+                out,
+                "  (summary cache: {} hits, {} misses, {} stale; {} stored methods, {} recorded)",
+                sc.hits, sc.misses, sc.stale, sc.store_methods, sc.recorded
             )
             .unwrap();
         }

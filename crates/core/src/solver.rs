@@ -41,6 +41,7 @@ use crate::flows::{Flows, ReachCache};
 use crate::intern::FactDomain;
 use crate::results::{InfoflowResults, Leak};
 use crate::sourcesink::SourceSinkManager;
+use crate::summary_cache::SummaryCacheSession;
 use crate::taint::{Fact, Taint};
 use crate::wrappers::TaintWrapper;
 use flowdroid_callgraph::Icfg;
@@ -62,6 +63,8 @@ pub struct BiSolver<'a, D: FactDomain> {
     gen_source: FxHashMap<(StmtRef, D::Key), StmtRef>,
     /// Memoized "call site can transitively reach method" queries.
     reach_cache: ReachCache,
+    /// Persistent end-summary store session, when configured.
+    cache: Option<SummaryCacheSession>,
     aborted: bool,
 }
 
@@ -73,6 +76,10 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
         wrapper: &'a TaintWrapper,
         config: &'a InfoflowConfig,
     ) -> Self {
+        let cache = config
+            .summary_cache
+            .as_deref()
+            .map(|dir| SummaryCacheSession::new(dir, &icfg, sources, wrapper, config));
         BiSolver {
             flows: Flows { icfg, sources, wrapper, config },
             dom: D::new(),
@@ -82,6 +89,7 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
             preds: FxHashMap::default(),
             gen_source: FxHashMap::default(),
             reach_cache: ReachCache::default(),
+            cache,
             aborted: false,
         }
     }
@@ -259,10 +267,27 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
             for (d3f, src_mark) in entry_facts {
                 let d3 = self.dom.intern(&d3f);
                 self.fw.add_incoming(callee, d3.clone(), n, d2.clone());
-                for &sp in &starts {
-                    self.fw_propagate(d3.clone(), sp, d3.clone(), Some((n, d2.clone())));
-                    if let Some(src) = src_mark {
-                        self.mark_source(sp, &d3, src);
+                let cached = self
+                    .cache
+                    .as_ref()
+                    .and_then(|c| c.lookup(callee, &d3f))
+                    .map(<[(StmtRef, Fact)]>::to_vec);
+                if let Some(cached) = cached {
+                    // Persisted summaries replace tabulating the callee
+                    // body: install the exits and link them to this call
+                    // site for provenance (the interior chain is never
+                    // built on a warm hit).
+                    for (exit, exit_f) in cached {
+                        let ek = self.dom.intern(&exit_f);
+                        self.fw.install_summary(callee, d3.clone(), exit, ek.clone());
+                        self.record_pred(exit, ek, Some((n, d2.clone())));
+                    }
+                } else {
+                    for &sp in &starts {
+                        self.fw_propagate(d3.clone(), sp, d3.clone(), Some((n, d2.clone())));
+                        if let Some(src) = src_mark {
+                            self.mark_source(sp, &d3, src);
+                        }
                     }
                 }
                 // Apply existing summaries (recorded *after* the
@@ -497,6 +522,26 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
 
     fn collect_results(mut self, duration: std::time::Duration) -> InfoflowResults {
         let program = self.program();
+        let summary_cache = self.cache.as_ref().map(|c| {
+            // Only a completed fixpoint is persisted — partial
+            // summaries from an aborted run would be unsound to replay.
+            if !self.aborted {
+                let resolved = self
+                    .fw
+                    .all_summaries()
+                    .into_iter()
+                    .map(|(m, d1, exits)| {
+                        (
+                            m,
+                            self.dom.resolve(&d1),
+                            exits.iter().map(|(e, k)| (*e, self.dom.resolve(k))).collect(),
+                        )
+                    })
+                    .collect();
+                c.record_all(program, resolved);
+            }
+            c.stats()
+        });
         // Canonical order before (sink, source) dedup: recorded leaks
         // are sorted by (sink, taint value) so which representative
         // survives never depends on discovery order.
@@ -530,6 +575,7 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
             duration,
             aborted: self.aborted,
             scheduler: None,
+            summary_cache,
         }
     }
 

@@ -172,6 +172,22 @@ impl<F: Clone + Eq + Hash> ConcurrentTabulator<F> {
             .is_some_and(|v| !v.is_empty())
     }
 
+    /// Snapshots every end summary as `(callee, entry fact, exits)`
+    /// (used to persist summaries at the fixpoint; locks each shard
+    /// once).
+    pub fn all_summaries(&self) -> Vec<(MethodId, F, Vec<(StmtRef, F)>)> {
+        let mut out = Vec::new();
+        for shard in &self.summaries.shards {
+            let shard = shard.lock().unwrap();
+            for (m, by_fact) in shard.iter() {
+                for (d1, exits) in by_fact {
+                    out.push((*m, d1.clone(), exits.clone()));
+                }
+            }
+        }
+        out
+    }
+
     /// Number of `record_edge` calls that inserted a new edge.
     pub fn propagation_count(&self) -> u64 {
         self.propagations.load(Ordering::Relaxed)

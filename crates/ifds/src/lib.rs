@@ -25,6 +25,7 @@
 //! treatment beyond seeding.
 
 mod concurrent;
+mod drive;
 pub mod ide;
 mod parallel;
 mod problem;
@@ -33,6 +34,7 @@ mod solver;
 mod tabulator;
 
 pub use concurrent::ConcurrentTabulator;
+pub use drive::{drive, spill_threshold, WorkerState, DEFAULT_SPILL};
 pub use ide::{EdgeTransfer, IdeProblem, IdeResults, IdeSolver};
 pub use parallel::ParallelSolver;
 pub use problem::IfdsProblem;

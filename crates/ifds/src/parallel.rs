@@ -21,6 +21,7 @@
 //! and additionally canonicalizes provenance for bit-identical reports.
 
 use crate::concurrent::ConcurrentTabulator;
+use crate::drive::{drive, WorkerState, DEFAULT_SPILL};
 use crate::problem::IfdsProblem;
 use crate::scheduler::{WorkStealScheduler, DEFAULT_BATCH, DEFAULT_SHARDS};
 use crate::solver::IfdsResults;
@@ -29,6 +30,18 @@ use flowdroid_ir::StmtRef;
 
 /// A pending path edge `(d1, n, d2)`.
 type Job<F> = (F, StmtRef, F);
+
+/// Per-worker state for the generic solver: just the local pending
+/// buffer the shared drive loop spills from.
+struct GenWorker<F> {
+    pending: Vec<Job<F>>,
+}
+
+impl<F> WorkerState<Job<F>> for GenWorker<F> {
+    fn pending(&mut self) -> &mut Vec<Job<F>> {
+        &mut self.pending
+    }
+}
 
 /// A parallel IFDS solver over `threads` workers.
 #[derive(Debug)]
@@ -58,53 +71,39 @@ where
                 sched.push(sched.shard_for(&n.method), (d.clone(), n, d));
             }
         }
-        std::thread::scope(|scope| {
-            for w in 0..self.threads {
-                let tab = &tab;
-                let sched = &sched;
-                scope.spawn(move || self.worker(w, tab, sched));
-            }
-        });
+        drive(
+            &sched,
+            self.threads,
+            DEFAULT_SPILL,
+            |_| GenWorker { pending: Vec::new() },
+            |job: &Job<P::Fact>| sched.shard_for(&job.1.method),
+            |w, (d1, n, d2)| {
+                self.process(&tab, &mut w.pending, d1, n, d2);
+                true
+            },
+        );
         let propagations = tab.propagation_count();
         IfdsResults::from_parts(tab.into_facts(), propagations)
     }
 
-    fn worker(
-        &self,
-        home: usize,
-        tab: &ConcurrentTabulator<P::Fact>,
-        sched: &WorkStealScheduler<Job<P::Fact>>,
-    ) {
-        let mut batch: Vec<Job<P::Fact>> = Vec::new();
-        while sched.claim(home, &mut batch) {
-            let taken = batch.len();
-            for (d1, n, d2) in batch.drain(..) {
-                self.process(tab, sched, d1, n, d2);
-            }
-            // Retire only after the batch's discoveries are pushed, so
-            // (no jobs queued, none in flight) still implies fixpoint.
-            sched.retire(taken);
-        }
-    }
-
-    /// Records the edge and schedules it if new.
+    /// Records the edge and buffers it for processing if new.
     fn propagate(
         &self,
         tab: &ConcurrentTabulator<P::Fact>,
-        sched: &WorkStealScheduler<Job<P::Fact>>,
+        pending: &mut Vec<Job<P::Fact>>,
         d1: P::Fact,
         n: StmtRef,
         d2: P::Fact,
     ) {
         if tab.record_edge(&d1, n, &d2) {
-            sched.push(sched.shard_for(&n.method), (d1, n, d2));
+            pending.push((d1, n, d2));
         }
     }
 
     fn process(
         &self,
         tab: &ConcurrentTabulator<P::Fact>,
-        sched: &WorkStealScheduler<Job<P::Fact>>,
+        pending: &mut Vec<Job<P::Fact>>,
         d1: P::Fact,
         n: StmtRef,
         d2: P::Fact,
@@ -119,12 +118,12 @@ where
                 for d3 in problem.call_flow(n, callee, &d2) {
                     tab.add_incoming(callee, &d3, n, &d2);
                     for &sp in &starts {
-                        self.propagate(tab, sched, d3.clone(), sp, d3.clone());
+                        self.propagate(tab, pending, d3.clone(), sp, d3.clone());
                     }
                     for (exit, d4) in tab.summaries_for(callee, &d3) {
                         for ret_site in icfg.return_sites_of_call(n) {
                             for d5 in problem.return_flow(n, callee, exit, ret_site, &d4) {
-                                self.propagate(tab, sched, d1.clone(), ret_site, d5);
+                                self.propagate(tab, pending, d1.clone(), ret_site, d5);
                             }
                         }
                     }
@@ -132,7 +131,7 @@ where
             }
             for ret_site in icfg.return_sites_of_call(n) {
                 for d3 in problem.call_to_return_flow(n, ret_site, &d2) {
-                    self.propagate(tab, sched, d1.clone(), ret_site, d3);
+                    self.propagate(tab, pending, d1.clone(), ret_site, d3);
                 }
             }
         } else if icfg.is_exit(n) {
@@ -148,7 +147,7 @@ where
                     for ret_site in icfg.return_sites_of_call(call_site) {
                         for d5 in problem.return_flow(call_site, callee, n, ret_site, &d2) {
                             for d3 in &d3s {
-                                self.propagate(tab, sched, d3.clone(), ret_site, d5.clone());
+                                self.propagate(tab, pending, d3.clone(), ret_site, d5.clone());
                             }
                         }
                     }
@@ -161,13 +160,13 @@ where
         } else if is_call {
             for ret_site in icfg.return_sites_of_call(n) {
                 for d3 in problem.call_to_return_flow(n, ret_site, &d2) {
-                    self.propagate(tab, sched, d1.clone(), ret_site, d3);
+                    self.propagate(tab, pending, d1.clone(), ret_site, d3);
                 }
             }
         } else {
             for succ in icfg.succs_of(n) {
                 for d3 in problem.normal_flow(n, succ, &d2) {
-                    self.propagate(tab, sched, d1.clone(), succ, d3);
+                    self.propagate(tab, pending, d1.clone(), succ, d3);
                 }
             }
         }

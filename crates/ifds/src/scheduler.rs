@@ -69,6 +69,10 @@ pub struct WorkStealScheduler<J> {
     steals: AtomicU64,
     claims: AtomicU64,
     pushed: Vec<AtomicU64>,
+    /// Workers currently blocked in [`WorkStealScheduler::claim`]
+    /// waiting for work. Drives the adaptive spill threshold: busy
+    /// workers publish more aggressively when peers are starved.
+    idle_workers: AtomicUsize,
     idle: Mutex<()>,
     wake: Condvar,
     batch: usize,
@@ -86,6 +90,7 @@ impl<J> WorkStealScheduler<J> {
             steals: AtomicU64::new(0),
             claims: AtomicU64::new(0),
             pushed: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            idle_workers: AtomicUsize::new(0),
             idle: Mutex::new(()),
             wake: Condvar::new(),
             batch: batch.max(1),
@@ -163,7 +168,9 @@ impl<J> WorkStealScheduler<J> {
                 // Work is in flight elsewhere; sleep until woken by a
                 // push or a retire (with a timeout as lost-wakeup
                 // insurance).
+                self.idle_workers.fetch_add(1, Ordering::SeqCst);
                 let _ = self.wake.wait_timeout(guard, Duration::from_millis(1)).unwrap();
+                self.idle_workers.fetch_sub(1, Ordering::SeqCst);
             }
         }
     }
@@ -177,6 +184,14 @@ impl<J> WorkStealScheduler<J> {
             // (they either find new work or observe the fixpoint).
             self.wake.notify_all();
         }
+    }
+
+    /// Number of workers currently blocked waiting for work. A
+    /// momentary snapshot — callers use it as a load signal (e.g. to
+    /// lower their local-buffer spill threshold), never for
+    /// correctness.
+    pub fn idle_workers(&self) -> usize {
+        self.idle_workers.load(Ordering::Relaxed)
     }
 
     /// The counters accumulated so far.

@@ -24,4 +24,20 @@ cargo run --release -p flowdroid-bench --bin solver_stats -- BENCH_solver.json >
 echo "== BENCH_solver.json comparison block"
 sed -n '/"comparison"/,$p' BENCH_solver.json
 
+# Warm summary-cache smoke: solver_stats runs the corpus cold-then-warm
+# against one cache directory; the warm pass must actually replay stored
+# summaries (nonzero hit rate) and skip re-derived path edges.
+echo "== warm summary-cache smoke"
+warm_hits=$(grep -o '"cache_warm_hits": [0-9]*' BENCH_solver.json | grep -o '[0-9]*$' || true)
+edges_saved=$(grep -o '"cache_path_edges_saved": [0-9]*' BENCH_solver.json | grep -o '[0-9]*$' || true)
+echo "warm hits: ${warm_hits:-none}, path edges saved: ${edges_saved:-none}"
+if [[ -z "${warm_hits}" || "${warm_hits}" -eq 0 ]]; then
+    echo "FAIL: warm summary-cache run produced no hits" >&2
+    exit 1
+fi
+if [[ -z "${edges_saved}" || "${edges_saved}" -eq 0 ]]; then
+    echo "FAIL: warm summary-cache run saved no path edges" >&2
+    exit 1
+fi
+
 echo "verify: OK"

@@ -14,6 +14,7 @@
 //!   --sources <file>           extra source/sink definitions
 //!   --wrappers <file>          extra taint-wrapper rules
 //!   --no-paths                 skip leak-path reconstruction
+//!   --summary-cache <dir>      reuse method summaries across runs
 //! ```
 
 use flowdroid::android::{install_platform, CallbackAssociation};
@@ -57,6 +58,7 @@ fn print_usage() {
     eprintln!("  --wrappers <file>          extra taint-wrapper rules");
     eprintln!("  --no-paths                 skip leak-path reconstruction");
     eprintln!("  --taint-threads <n>        parallel taint engine with n workers");
+    eprintln!("  --summary-cache <dir>      reuse method summaries across runs");
 }
 
 fn analyze(args: &[String]) -> ExitCode {
@@ -88,6 +90,14 @@ fn analyze(args: &[String]) -> ExitCode {
                 config.taint_threads = n;
             }
             "--no-paths" => config.track_paths = false,
+            "--summary-cache" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--summary-cache needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                config.summary_cache = Some(dir.into());
+            }
             "--global-callbacks" => {
                 config.callback_association = CallbackAssociation::Global;
             }
@@ -174,6 +184,11 @@ fn analyze(args: &[String]) -> ExitCode {
     let analysis = Infoflow::new(&sources, &wrapper, &config)
         .analyze_app(&mut program, &platform, &app, "cli");
     print!("{}", analysis.results.report(&program));
+    if let Some(dir) = &config.summary_cache {
+        if let Err(e) = flowdroid_core::flush_summary_cache(dir) {
+            eprintln!("summary cache {}: {e}", dir.display());
+        }
+    }
     if analysis.results.is_clean() {
         ExitCode::SUCCESS
     } else {
