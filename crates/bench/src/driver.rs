@@ -10,7 +10,9 @@
 //! thread counts and runs.
 
 use flowdroid_android::install_platform;
-use flowdroid_core::{Infoflow, InfoflowConfig, InfoflowResults, SourceSinkManager, TaintWrapper};
+use flowdroid_core::{
+    AbortReason, Infoflow, InfoflowConfig, InfoflowResults, SourceSinkManager, TaintWrapper,
+};
 use flowdroid_droidbench::{all_apps, insecurebank, BenchApp};
 use flowdroid_frontend::layout::ResourceTable;
 use flowdroid_core::{SchedulerStats, SummaryCacheStats};
@@ -70,6 +72,55 @@ pub fn droidbench_corpus() -> Vec<CorpusJob> {
     full_corpus().into_iter().filter(|j| !j.name.starts_with("securibench/")).collect()
 }
 
+/// Resolves a job by its corpus name (`droidbench/<Category>/<App>`,
+/// `securibench/<group>/<Case>`, `insecurebank`) or the synthetic
+/// `stress/<K>` chain (see [`stress_job`]). Returns `None` for unknown
+/// names.
+pub fn find_job(name: &str) -> Option<CorpusJob> {
+    if let Some(k) = name.strip_prefix("stress/") {
+        return k.parse().ok().map(stress_job);
+    }
+    full_corpus().into_iter().find(|j| j.name == name)
+}
+
+/// A synthetic straight-line stress app, `stress/<k>`: `k` string
+/// locals, each concatenated from its predecessor, between one source
+/// and one sink. Every local's taint keeps propagating to the end of
+/// the chain, so forward propagations grow roughly as `k²/2` — large
+/// `k` yields an arbitrarily long-running but trivially checkable job
+/// (exactly one leak), which is what the daemon's deadline and cancel
+/// paths are exercised with.
+pub fn stress_job(k: usize) -> CorpusJob {
+    use std::fmt::Write;
+    let k = k.clamp(2, 100_000);
+    let mut body = String::new();
+    body.push_str("    let s: java.lang.String\n");
+    for i in 0..k {
+        writeln!(body, "    let v{i}: java.lang.String").unwrap();
+    }
+    body.push_str("    s = staticinvoke <securibench.Env: java.lang.String source()>()\n");
+    body.push_str("    v0 = s\n");
+    for i in 1..k {
+        writeln!(body, "    v{i} = v{} + v{}", i - 1, i - 1).unwrap();
+    }
+    writeln!(body, "    staticinvoke <securibench.Env: void sink(java.lang.String)>(v{})", k - 1)
+        .unwrap();
+    body.push_str("    return\n");
+    let code = format!(
+        "class stress.Chain extends java.lang.Object {{\n  static method main() -> void {{\n{body}  }}\n}}\n"
+    );
+    let case = MicroCase {
+        name: format!("stress/{k}"),
+        group: Group::Basic,
+        expected_leaks: 1,
+        planned_fps: 0,
+        planned_miss: false,
+        code,
+        entry_class: "stress.Chain".to_string(),
+    };
+    CorpusJob { name: format!("stress/{k}"), kind: JobKind::Micro(Box::new(case)) }
+}
+
 /// The outcome of analyzing one corpus entry.
 pub struct AppRun {
     /// The job's name.
@@ -95,6 +146,11 @@ pub struct AppRun {
     pub scheduler: Option<SchedulerStats>,
     /// Summary-cache counters (persistent summary store only).
     pub summary_cache: Option<SummaryCacheStats>,
+    /// Whether the run aborted before the fixpoint (budget, deadline or
+    /// cancellation); the report is then a lower bound.
+    pub aborted: bool,
+    /// Why the run aborted, when [`AppRun::aborted`] is set.
+    pub abort_reason: Option<AbortReason>,
 }
 
 /// Renders the deterministic per-app leak report: one header line plus
@@ -115,7 +171,10 @@ fn leak_report(name: &str, results: &InfoflowResults, p: &Program) -> String {
     out
 }
 
-fn run_job(job: &CorpusJob, config: &InfoflowConfig) -> AppRun {
+/// Analyzes one corpus job with `config` (including any configured
+/// abort handle / summary cache) and returns its outcome. This is the
+/// unit the analysis daemon schedules on its worker pool.
+pub fn run_single(job: &CorpusJob, config: &InfoflowConfig) -> AppRun {
     let start = Instant::now();
     let (results, report) = match &job.kind {
         JobKind::Droid(app) => {
@@ -155,6 +214,8 @@ fn run_job(job: &CorpusJob, config: &InfoflowConfig) -> AppRun {
         dataflow: results.duration,
         scheduler: results.scheduler.clone(),
         summary_cache: results.summary_cache.clone(),
+        aborted: results.aborted,
+        abort_reason: results.abort_reason,
     }
 }
 
@@ -265,7 +326,7 @@ pub fn run_corpus(jobs: &[CorpusJob], config: &InfoflowConfig, threads: usize) -
                     if i >= jobs.len() {
                         break;
                     }
-                    local.push(run_job(&jobs[i], config));
+                    local.push(run_single(&jobs[i], config));
                 }
                 results.lock().unwrap().extend(local);
             });

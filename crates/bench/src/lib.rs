@@ -17,7 +17,10 @@ pub mod driver;
 pub mod eval;
 
 pub use corpus::{generate_app, AppProfile, GeneratedApp};
-pub use driver::{corpus_report, droidbench_corpus, full_corpus, run_corpus, AppRun, CorpusJob, CorpusRun};
+pub use driver::{
+    corpus_report, droidbench_corpus, find_job, full_corpus, run_corpus, run_single, stress_job,
+    AppRun, CorpusJob, CorpusRun,
+};
 pub use eval::{
     run_ablation_access_path, run_ablation_alias, run_ablation_callbacks, run_rq2, run_rq3,
     run_rq3_parallel, run_table1, run_table2, Rq3Stats, Table1Row,

@@ -2,7 +2,9 @@
 
 use flowdroid_android::CallbackAssociation;
 use flowdroid_callgraph::CgAlgorithm;
+use flowdroid_ifds::AbortHandle;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Configuration of the taint analysis.
 ///
@@ -58,6 +60,13 @@ pub struct InfoflowConfig {
     /// Staged summaries reach disk only via
     /// [`crate::flush_summary_cache`].
     pub summary_cache: Option<PathBuf>,
+    /// Cooperative abort token (wall-clock deadline and/or external
+    /// cancel). Both taint engines poll it at a bounded interval; when
+    /// it trips, the run winds down and returns a partial result marked
+    /// `aborted` with the tripping [`flowdroid_ifds::AbortReason`], and
+    /// never stages summary-cache entries. `None` (default) means the
+    /// run can only abort via `max_propagations`.
+    pub abort: Option<AbortHandle>,
 }
 
 impl Default for InfoflowConfig {
@@ -75,6 +84,7 @@ impl Default for InfoflowConfig {
             intern_facts: true,
             taint_threads: 0,
             summary_cache: None,
+            abort: None,
         }
     }
 }
@@ -134,6 +144,18 @@ impl InfoflowConfig {
     pub fn with_summary_cache(mut self, dir: impl Into<PathBuf>) -> Self {
         self.summary_cache = Some(dir.into());
         self
+    }
+
+    /// Builder-style setter for the cooperative abort token.
+    pub fn with_abort(mut self, handle: AbortHandle) -> Self {
+        self.abort = Some(handle);
+        self
+    }
+
+    /// Builder-style convenience: install a fresh abort handle tripping
+    /// after `budget` of wall-clock time (measured from this call).
+    pub fn with_deadline(self, budget: Duration) -> Self {
+        self.with_abort(AbortHandle::with_deadline(budget))
     }
 }
 

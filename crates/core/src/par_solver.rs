@@ -47,10 +47,10 @@ use crate::taint::{Fact, Taint};
 use crate::wrappers::TaintWrapper;
 use flowdroid_callgraph::Icfg;
 use flowdroid_ifds::{
-    drive, ConcurrentTabulator, WorkStealScheduler, WorkerState, DEFAULT_BATCH, DEFAULT_SHARDS,
+    drive, AbortHandle, AbortReason, ConcurrentTabulator, WorkStealScheduler, WorkerState,
+    DEFAULT_BATCH, DEFAULT_SHARDS,
 };
 use flowdroid_ir::{fxhash64, FxHashMap, MethodId, Stmt, StmtRef};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 /// Propagation direction of a job.
@@ -113,7 +113,10 @@ pub(crate) struct ParBiSolver<'a> {
     prov: Vec<Mutex<ProvShard>>,
     /// Persistent end-summary store session, when configured.
     cache: Option<SummaryCacheSession>,
-    aborted: AtomicBool,
+    /// Cooperative abort token: the caller's
+    /// ([`InfoflowConfig::abort`]) when configured, else a private one
+    /// that only the propagation budget can trip.
+    abort: AbortHandle,
 }
 
 impl<'a> ParBiSolver<'a> {
@@ -137,7 +140,7 @@ impl<'a> ParBiSolver<'a> {
             sched: WorkStealScheduler::new(DEFAULT_SHARDS, DEFAULT_BATCH),
             prov: (0..PROV_SHARDS).map(|_| Mutex::new(ProvShard::default())).collect(),
             cache,
-            aborted: AtomicBool::new(false),
+            abort: config.abort.clone().unwrap_or_default(),
         }
     }
 
@@ -169,6 +172,7 @@ impl<'a> ParBiSolver<'a> {
             &self.sched,
             self.threads,
             SPILL,
+            Some(&self.abort),
             |_| WorkerCtx::default(),
             |job: &Job| self.sched.shard_for(&job.2.method),
             |ctx, (dir, d1, n, d2)| {
@@ -177,8 +181,9 @@ impl<'a> ParBiSolver<'a> {
                     ctx.since_check = 0;
                     if max > 0 && self.fw.propagation_count() > max {
                         // Budget exhausted: stop every worker; reported
-                        // leaks are a lower bound.
-                        self.aborted.store(true, Ordering::SeqCst);
+                        // leaks are a lower bound. (Deadline and cancel
+                        // checks live in the drive loop itself.)
+                        self.abort.trip(AbortReason::Budget);
                         return false;
                     }
                 }
@@ -566,10 +571,11 @@ impl<'a> ParBiSolver<'a> {
     ) -> InfoflowResults {
         let program = self.flows.program();
         let stats = self.sched.stats();
+        let abort_reason = self.abort.reason();
         let summary_cache = self.cache.as_ref().map(|c| {
             // Only a completed fixpoint is persisted — partial
             // summaries from an aborted run would be unsound to replay.
-            if !self.aborted.load(Ordering::SeqCst) {
+            if abort_reason.is_none() {
                 c.record_all(program, self.fw.all_summaries());
             }
             c.stats()
@@ -611,7 +617,8 @@ impl<'a> ParBiSolver<'a> {
             distinct_facts: 0,
             distinct_aps: 0,
             duration,
-            aborted: self.aborted.load(Ordering::SeqCst),
+            aborted: abort_reason.is_some(),
+            abort_reason,
             scheduler: Some(stats),
             summary_cache,
         }

@@ -1,5 +1,6 @@
 //! Analysis results: discovered source-to-sink flows with paths.
 
+use flowdroid_ifds::AbortReason;
 use flowdroid_ir::{Program, StmtRef};
 use std::collections::BTreeSet;
 
@@ -54,10 +55,14 @@ pub struct InfoflowResults {
     pub distinct_aps: usize,
     /// Wall-clock duration of the data-flow phase.
     pub duration: std::time::Duration,
-    /// Set when the propagation budget
-    /// ([`crate::InfoflowConfig::max_propagations`]) was exhausted; the
-    /// reported leaks are then a lower bound.
+    /// Set when the run was aborted before reaching the fixpoint — the
+    /// propagation budget ([`crate::InfoflowConfig::max_propagations`])
+    /// ran out, the wall-clock deadline passed, or the job was
+    /// cancelled ([`crate::InfoflowConfig::abort`]). The reported leaks
+    /// are then a lower bound and no summaries were staged.
     pub aborted: bool,
+    /// Why the run aborted, when [`InfoflowResults::aborted`] is set.
+    pub abort_reason: Option<AbortReason>,
     /// Work-stealing scheduler counters, present when the parallel taint
     /// engine ran ([`crate::InfoflowConfig::taint_threads`] > 0).
     pub scheduler: Option<flowdroid_ifds::SchedulerStats>,
@@ -100,6 +105,14 @@ impl InfoflowResults {
             self.duration
         )
         .unwrap();
+        if self.aborted {
+            let why = self.abort_reason.map_or("budget", AbortReason::as_str);
+            writeln!(
+                out,
+                "  (analysis aborted ({why}); reported leaks are a lower bound)"
+            )
+            .unwrap();
+        }
         if self.distinct_facts > 0 {
             writeln!(
                 out,

@@ -45,8 +45,11 @@ use crate::summary_cache::SummaryCacheSession;
 use crate::taint::{Fact, Taint};
 use crate::wrappers::TaintWrapper;
 use flowdroid_callgraph::Icfg;
-use flowdroid_ifds::Tabulator;
+use flowdroid_ifds::{AbortReason, Tabulator};
 use flowdroid_ir::{FxHashMap, MethodId, Program, Stmt, StmtRef};
+
+/// Edges popped between [`AbortHandle`] polls in the sequential loop.
+const ABORT_CHECK_EVERY: usize = 128;
 
 /// The bidirectional solver, generic over the fact-key representation.
 pub struct BiSolver<'a, D: FactDomain> {
@@ -65,7 +68,8 @@ pub struct BiSolver<'a, D: FactDomain> {
     reach_cache: ReachCache,
     /// Persistent end-summary store session, when configured.
     cache: Option<SummaryCacheSession>,
-    aborted: bool,
+    /// Why the run aborted; `None` means the fixpoint was reached.
+    abort_reason: Option<AbortReason>,
 }
 
 impl<'a, D: FactDomain> BiSolver<'a, D> {
@@ -90,7 +94,7 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
             gen_source: FxHashMap::default(),
             reach_cache: ReachCache::default(),
             cache,
-            aborted: false,
+            abort_reason: None,
         }
     }
 
@@ -112,12 +116,27 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
                 self.fw.propagate(zero.clone(), sp, zero.clone());
             }
         }
+        // The abort token: the caller's (deadline / external cancel)
+        // when configured, else a private one that only the budget can
+        // trip. Either way the tripping reason is latched on the handle
+        // so supervisors polling a shared handle see it too.
+        let abort = self.config().abort.clone().unwrap_or_default();
+        let mut since_abort_check = 0usize;
         loop {
             if self.config().max_propagations > 0
                 && self.fw.propagation_count() > self.config().max_propagations
             {
-                self.aborted = true;
+                abort.trip(AbortReason::Budget);
+                self.abort_reason = Some(AbortReason::Budget);
                 break;
+            }
+            since_abort_check += 1;
+            if since_abort_check >= ABORT_CHECK_EVERY {
+                since_abort_check = 0;
+                if let Some(reason) = abort.poll() {
+                    self.abort_reason = Some(reason);
+                    break;
+                }
             }
             if let Some(edge) = self.fw.pop() {
                 self.process_forward(edge.d1, edge.n, edge.d2);
@@ -525,7 +544,7 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
         let summary_cache = self.cache.as_ref().map(|c| {
             // Only a completed fixpoint is persisted — partial
             // summaries from an aborted run would be unsound to replay.
-            if !self.aborted {
+            if self.abort_reason.is_none() {
                 let resolved = self
                     .fw
                     .all_summaries()
@@ -573,7 +592,8 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
             distinct_facts,
             distinct_aps,
             duration,
-            aborted: self.aborted,
+            aborted: self.abort_reason.is_some(),
+            abort_reason: self.abort_reason,
             scheduler: None,
             summary_cache,
         }

@@ -21,10 +21,16 @@
 //! the engines' canonicalized provenance, the reported results — is
 //! identical whatever the threshold.
 
+use crate::abort::AbortHandle;
 use crate::scheduler::WorkStealScheduler;
 
 /// Default base spill threshold (jobs held locally before publishing).
 pub const DEFAULT_SPILL: usize = 64;
+
+/// Jobs a worker processes between [`AbortHandle`] polls. Bounds how
+/// far past a deadline a run can drift: one poll interval of work per
+/// worker, plus the cost of the job in flight.
+const ABORT_CHECK_EVERY: usize = 64;
 
 /// Per-worker state driven by [`drive`]. The only requirement is access
 /// to the worker's local pending-job buffer; engines add whatever
@@ -51,7 +57,12 @@ pub fn spill_threshold(base: usize, idle: usize) -> usize {
 /// scheduler, appends them to its pending buffer and pops jobs LIFO,
 /// calling `step` on each. `step` returning `false` aborts the whole
 /// worker (budget exhaustion); remaining queued jobs are left to other
-/// workers, which abort the same way. Jobs pushed into the pending
+/// workers, which abort the same way. When `abort` is given, every
+/// worker additionally polls the handle — once per claimed batch and
+/// every [`ABORT_CHECK_EVERY`] processed jobs — and winds down the same
+/// way when it trips (deadline passed or external cancel), so an
+/// expired job returns within one poll interval per worker instead of
+/// running to the fixpoint. Jobs pushed into the pending
 /// buffer by `step` are processed before the claimed batch is retired,
 /// so the scheduler's `queued == 0 && in_flight == 0` fixpoint test
 /// stays exact. When the buffer exceeds the adaptive
@@ -69,6 +80,7 @@ pub fn drive<J, W, N, S, P>(
     sched: &WorkStealScheduler<J>,
     threads: usize,
     base_spill: usize,
+    abort: Option<&AbortHandle>,
     new_worker: N,
     shard_of: S,
     step: P,
@@ -82,7 +94,7 @@ where
 {
     if threads <= 1 {
         let mut w = new_worker(0);
-        run_worker(sched, base_spill, 0, &mut w, &shard_of, &step);
+        run_worker(sched, base_spill, abort, 0, &mut w, &shard_of, &step);
         return vec![w];
     }
     let mut workers: Vec<W> = (0..threads).map(&new_worker).collect();
@@ -90,7 +102,7 @@ where
         for (home, w) in workers.iter_mut().enumerate() {
             let shard_of = &shard_of;
             let step = &step;
-            scope.spawn(move || run_worker(sched, base_spill, home, w, shard_of, step));
+            scope.spawn(move || run_worker(sched, base_spill, abort, home, w, shard_of, step));
         }
     });
     workers
@@ -99,6 +111,7 @@ where
 fn run_worker<J, W, S, P>(
     sched: &WorkStealScheduler<J>,
     base_spill: usize,
+    abort: Option<&AbortHandle>,
     home: usize,
     w: &mut W,
     shard_of: &S,
@@ -109,10 +122,26 @@ fn run_worker<J, W, S, P>(
     P: Fn(&mut W, J) -> bool,
 {
     let mut batch: Vec<J> = Vec::new();
+    let mut since_abort_check = 0usize;
     'claims: while sched.claim(home, &mut batch) {
         let taken = batch.len();
+        if abort.is_some_and(|h| h.poll().is_some()) {
+            batch.clear();
+            w.pending().clear();
+            sched.retire(taken);
+            break 'claims;
+        }
         w.pending().append(&mut batch);
         while let Some(job) = w.pending().pop() {
+            since_abort_check += 1;
+            if since_abort_check >= ABORT_CHECK_EVERY {
+                since_abort_check = 0;
+                if abort.is_some_and(|h| h.poll().is_some()) {
+                    w.pending().clear();
+                    sched.retire(taken);
+                    break 'claims;
+                }
+            }
             if !step(w, job) {
                 w.pending().clear();
                 sched.retire(taken);
@@ -170,6 +199,7 @@ mod tests {
             &sched,
             threads,
             4,
+            None,
             |_| Counter { pending: Vec::new() },
             |job| sched.shard_for(job) % 4,
             |w, job| {
@@ -208,6 +238,7 @@ mod tests {
             &sched,
             2,
             4,
+            None,
             |_| Counter { pending: Vec::new() },
             |job| sched.shard_for(job) % 4,
             |_, _| done.fetch_add(1, Ordering::Relaxed) < 10,
@@ -215,5 +246,59 @@ mod tests {
         // Each worker stops within a batch of hitting the budget; far
         // fewer than the queued 100 jobs run.
         assert!(done.load(Ordering::Relaxed) < 100);
+    }
+
+    #[test]
+    fn tripped_handle_aborts_all_workers() {
+        let sched: WorkStealScheduler<u64> = WorkStealScheduler::new(4, 2);
+        for i in 0..500u64 {
+            sched.push(sched.shard_for(&i), i);
+        }
+        let handle = AbortHandle::with_deadline(std::time::Duration::ZERO);
+        let done = AtomicU64::new(0);
+        drive(
+            &sched,
+            2,
+            4,
+            Some(&handle),
+            |_| Counter { pending: Vec::new() },
+            |job| sched.shard_for(job) % 4,
+            |_, _| {
+                done.fetch_add(1, Ordering::Relaxed);
+                true
+            },
+        );
+        // The pre-expired deadline is seen on the first claim of each
+        // worker: nothing is processed.
+        assert_eq!(done.load(Ordering::Relaxed), 0);
+        assert_eq!(handle.reason(), Some(crate::AbortReason::Deadline));
+    }
+
+    #[test]
+    fn cancel_mid_run_stops_within_check_interval() {
+        let sched: WorkStealScheduler<u64> = WorkStealScheduler::new(4, 2);
+        for i in 0..100_000u64 {
+            sched.push(sched.shard_for(&i), i);
+        }
+        let handle = AbortHandle::new();
+        let done = AtomicU64::new(0);
+        drive(
+            &sched,
+            1,
+            4,
+            Some(&handle),
+            |_| Counter { pending: Vec::new() },
+            |job| sched.shard_for(job) % 4,
+            |_, _| {
+                if done.fetch_add(1, Ordering::Relaxed) == 10 {
+                    handle.cancel();
+                }
+                true
+            },
+        );
+        // The single worker notices the cancel within one abort-check
+        // interval plus one claimed batch.
+        assert!(done.load(Ordering::Relaxed) < 10 + ABORT_CHECK_EVERY as u64 + 8);
+        assert_eq!(handle.reason(), Some(crate::AbortReason::Cancelled));
     }
 }

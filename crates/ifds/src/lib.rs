@@ -24,6 +24,7 @@
 //! from it) by every flow function; the solver gives it no special
 //! treatment beyond seeding.
 
+mod abort;
 mod concurrent;
 mod drive;
 pub mod ide;
@@ -33,6 +34,7 @@ mod scheduler;
 mod solver;
 mod tabulator;
 
+pub use abort::{AbortHandle, AbortReason};
 pub use concurrent::ConcurrentTabulator;
 pub use drive::{drive, spill_threshold, WorkerState, DEFAULT_SPILL};
 pub use ide::{EdgeTransfer, IdeProblem, IdeResults, IdeSolver};

@@ -75,6 +75,7 @@ where
             &sched,
             self.threads,
             DEFAULT_SPILL,
+            None,
             |_| GenWorker { pending: Vec::new() },
             |job: &Job<P::Fact>| sched.shard_for(&job.1.method),
             |w, (d1, n, d2)| {

@@ -11,10 +11,19 @@
 //! buys. Leak reports are compared byte-for-byte across every mode;
 //! the binary exits non-zero if any run diverges.
 //!
-//! Usage: `solver_stats [output.json]` (default `BENCH_solver.json`).
+//! `--mode service` benchmarks the analysis *daemon* instead: it
+//! binds an in-process daemon on an ephemeral port, floods it with the
+//! whole corpus twice (cold then warm against one shared summary
+//! cache), and records per-job wall-clock and queue-wait times as a
+//! `"service"` section spliced into the same output file (the
+//! `available_cores` field and the solver-mode sections are kept).
+//!
+//! Usage: `solver_stats [--mode full|service] [output.json]`
+//! (default mode `full`, default output `BENCH_solver.json`).
 
 use flowdroid_bench::driver::{corpus_report, full_corpus, run_corpus, CorpusJob, CorpusRun};
 use flowdroid_core::{InfoflowConfig, SchedulerStats, SummaryCacheStats};
+use flowdroid_service::{Client, Daemon, DaemonOptions, JobResult, Listen};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -169,8 +178,39 @@ fn mode_json(m: &ModeStats, report_identical: bool) -> String {
 }
 
 fn main() {
-    let out_path =
-        std::env::args().nth(1).unwrap_or_else(|| "BENCH_solver.json".to_string());
+    let mut mode = "full".to_string();
+    let mut out_path = "BENCH_solver.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--mode" => match args.next() {
+                Some(m) => mode = m,
+                None => {
+                    eprintln!("solver_stats: --mode needs a value (full|service)");
+                    std::process::exit(1);
+                }
+            },
+            other if other.starts_with('-') => {
+                eprintln!(
+                    "solver_stats: unknown option `{other}` \
+                     (usage: solver_stats [--mode full|service] [output.json])"
+                );
+                std::process::exit(1);
+            }
+            other => out_path = other.to_string(),
+        }
+    }
+    match mode.as_str() {
+        "full" => run_full(&out_path),
+        "service" => run_service(&out_path),
+        other => {
+            eprintln!("solver_stats: unknown mode `{other}` (expected full|service)");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_full(out_path: &str) {
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let jobs = full_corpus();
     let droidbench = jobs.iter().filter(|j| j.name.starts_with("droidbench/")).count();
@@ -366,5 +406,157 @@ fn main() {
             "FAIL: interned mode allocates >5% more than direct ({interned_allocs} vs {direct_allocs})"
         );
         std::process::exit(1);
+    }
+}
+
+/// Benchmarks the daemon: binds it in-process on an ephemeral port,
+/// submits the whole corpus twice (cold, then warm against the shared
+/// summary cache) with one connection per job so jobs genuinely queue,
+/// and splices the per-job wall/queue times into `out_path`.
+fn run_service(out_path: &str) {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers = cores.clamp(1, 4);
+    let names: Vec<String> = full_corpus().into_iter().map(|j| j.name).collect();
+    let cache = std::env::temp_dir()
+        .join(format!("flowdroid-solver-stats-service-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+
+    let daemon = Daemon::bind(DaemonOptions {
+        listen: Listen::parse("127.0.0.1:0"),
+        workers,
+        summary_cache: Some(cache.clone()),
+    })
+    .expect("bind daemon");
+    let addr = daemon.local_addr().to_string();
+    let accept_loop = std::thread::spawn(move || daemon.run().expect("daemon run"));
+
+    // One connection per job: the protocol delivers a job's result on
+    // the connection that submitted it, so separate connections let
+    // every job sit in the queue at once and the recorded queue-wait
+    // times are real contention, not client-side serialization.
+    let run_pass = |pass: &str| -> Vec<(String, JobResult)> {
+        eprintln!("service: {pass} pass ({} jobs on {workers} workers) ...", names.len());
+        let mut pending = Vec::new();
+        for name in &names {
+            let mut c = Client::connect(&addr).expect("connect");
+            c.analyze_async(name, None, None, None).expect("submit");
+            pending.push((name.clone(), c));
+        }
+        pending
+            .into_iter()
+            .map(|(name, mut c)| {
+                let line = c.read_response().expect("result line");
+                let r = JobResult::from_json(&line).expect("well-formed result");
+                (name, r)
+            })
+            .collect()
+    };
+    let cold = run_pass("cold");
+    let warm = run_pass("warm");
+
+    let mut ctl = Client::connect(&addr).expect("control connection");
+    let stats = ctl.stats().expect("stats");
+    ctl.shutdown().expect("shutdown");
+    accept_loop.join().expect("accept loop exits cleanly");
+    let _ = std::fs::remove_dir_all(&cache);
+
+    let aborted = cold.iter().chain(&warm).filter(|(_, r)| r.aborted).count();
+    let reports_identical = cold
+        .iter()
+        .zip(&warm)
+        .all(|((_, c), (_, w))| c.report == w.report);
+    let warm_hits: u64 = warm.iter().map(|(_, r)| r.summary_hits).sum();
+    let total =
+        |pass: &[(String, JobResult)], f: fn(&JobResult) -> u64| -> u64 {
+            pass.iter().map(|(_, r)| f(r)).sum()
+        };
+    let peak = |pass: &[(String, JobResult)], f: fn(&JobResult) -> u64| -> u64 {
+        pass.iter().map(|(_, r)| f(r)).max().unwrap_or(0)
+    };
+
+    let mut section = String::new();
+    writeln!(section, "{{").unwrap();
+    writeln!(section, "    \"workers\": {workers},").unwrap();
+    writeln!(section, "    \"jobs_per_pass\": {},", names.len()).unwrap();
+    writeln!(section, "    \"completed\": {},", stats.u64_field("completed").unwrap_or(0)).unwrap();
+    writeln!(section, "    \"cold_wall_ms_total\": {},", total(&cold, |r| r.wall_ms)).unwrap();
+    writeln!(section, "    \"warm_wall_ms_total\": {},", total(&warm, |r| r.wall_ms)).unwrap();
+    writeln!(section, "    \"cold_queue_ms_max\": {},", peak(&cold, |r| r.queue_ms)).unwrap();
+    writeln!(section, "    \"warm_queue_ms_max\": {},", peak(&warm, |r| r.queue_ms)).unwrap();
+    writeln!(section, "    \"warm_summary_hits\": {warm_hits},").unwrap();
+    writeln!(section, "    \"reports_identical\": {reports_identical},").unwrap();
+    writeln!(section, "    \"jobs\": [").unwrap();
+    let entries: Vec<String> = cold
+        .iter()
+        .map(|j| ("cold", j))
+        .chain(warm.iter().map(|j| ("warm", j)))
+        .map(|(pass, (name, r))| {
+            format!(
+                concat!(
+                    "      {{ \"app\": \"{}\", \"pass\": \"{}\", \"wall_ms\": {}, ",
+                    "\"queue_ms\": {}, \"summary_hits\": {} }}"
+                ),
+                name, pass, r.wall_ms, r.queue_ms, r.summary_hits
+            )
+        })
+        .collect();
+    writeln!(section, "{}", entries.join(",\n")).unwrap();
+    writeln!(section, "    ]").unwrap();
+    write!(section, "  }}").unwrap();
+
+    let json = splice_service_section(out_path, &section, &names, cores);
+    std::fs::write(out_path, &json).expect("write service benchmark");
+    eprintln!("wrote {out_path} (service section)");
+    eprintln!(
+        "service: {} jobs/pass, warm hits {warm_hits}, max cold queue wait {} ms",
+        names.len(),
+        peak(&cold, |r| r.queue_ms)
+    );
+
+    if aborted > 0 {
+        eprintln!("FAIL: {aborted} service job(s) aborted without a deadline or budget");
+        std::process::exit(1);
+    }
+    if !reports_identical {
+        eprintln!("FAIL: warm-pass reports diverged from the cold pass");
+        std::process::exit(1);
+    }
+    if warm_hits == 0 {
+        eprintln!("FAIL: warm pass replayed no summaries from the shared cache");
+        std::process::exit(1);
+    }
+}
+
+/// Splices `section` into `out_path` as a final `"service"` key. When
+/// the file already holds a full-mode document its sections (including
+/// `available_cores`) are kept and any previous service section is
+/// replaced; otherwise a minimal standalone document is written.
+fn splice_service_section(
+    out_path: &str,
+    section: &str,
+    names: &[String],
+    cores: usize,
+) -> String {
+    match std::fs::read_to_string(out_path) {
+        Ok(mut doc) => {
+            if let Some(i) = doc.find(",\n  \"service\":") {
+                // The service section is always appended last: cut it
+                // (and the closing brace it carries) before re-adding.
+                doc.truncate(i);
+            } else {
+                let end = doc.trim_end().len();
+                assert!(
+                    doc[..end].ends_with('}'),
+                    "{out_path} does not look like a solver_stats document"
+                );
+                doc.truncate(end - 1);
+                doc.truncate(doc.trim_end().len());
+            }
+            format!("{doc},\n  \"service\": {section}\n}}\n")
+        }
+        Err(_) => format!(
+            "{{\n  \"corpus\": {{ \"apps\": {} }},\n  \"available_cores\": {cores},\n  \"service\": {section}\n}}\n",
+            names.len()
+        ),
     }
 }

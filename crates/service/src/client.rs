@@ -1,0 +1,113 @@
+//! A blocking client for the daemon protocol.
+
+use crate::json::{self, Json};
+use crate::net::{connect, Conn, Listen};
+use crate::proto::{JobResult, Request};
+use std::io::{self, BufRead, BufReader, Write};
+
+/// One connection to a daemon.
+pub struct Client {
+    reader: BufReader<Box<dyn Conn>>,
+}
+
+impl Client {
+    /// Dials `addr` (`host:port` or `unix:<path>`).
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let conn = connect(&Listen::parse(addr))?;
+        Ok(Client { reader: BufReader::new(conn) })
+    }
+
+    /// Sends one request line.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        let conn = self.reader.get_mut();
+        conn.write_all(req.to_line().as_bytes())?;
+        conn.write_all(b"\n")?;
+        conn.flush()
+    }
+
+    /// Reads and parses one response line. `error` responses become
+    /// `io::Error`s.
+    pub fn read_response(&mut self) -> io::Result<Json> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed connection"));
+        }
+        let v = json::parse(line.trim())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if v.str_field("type") == Some("error") {
+            let msg = v.str_field("message").unwrap_or("unknown daemon error");
+            return Err(io::Error::other(format!("daemon error: {msg}")));
+        }
+        Ok(v)
+    }
+
+    /// Sends a request and reads one response line.
+    pub fn roundtrip(&mut self, req: &Request) -> io::Result<Json> {
+        self.send(req)?;
+        self.read_response()
+    }
+
+    /// Submits an analysis job and blocks until its result; returns the
+    /// job id and the result. (Use a second connection for `cancel` or
+    /// `stats` while this blocks.)
+    pub fn analyze(
+        &mut self,
+        app: &str,
+        deadline_ms: Option<u64>,
+        max_propagations: Option<u64>,
+        taint_threads: Option<u64>,
+    ) -> io::Result<(u64, JobResult)> {
+        self.send(&Request::Analyze {
+            app: app.to_string(),
+            deadline_ms,
+            max_propagations,
+            taint_threads,
+        })?;
+        let queued = self.read_response()?;
+        let id = queued
+            .u64_field("job")
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing job id"))?;
+        let result = self.read_response()?;
+        let result = JobResult::from_json(&result).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "malformed result line")
+        })?;
+        Ok((id, result))
+    }
+
+    /// Submits an analysis job and returns its id *without* waiting for
+    /// the result (the result line stays pending on this connection;
+    /// read it later with [`Client::read_response`]).
+    pub fn analyze_async(
+        &mut self,
+        app: &str,
+        deadline_ms: Option<u64>,
+        max_propagations: Option<u64>,
+        taint_threads: Option<u64>,
+    ) -> io::Result<u64> {
+        self.send(&Request::Analyze {
+            app: app.to_string(),
+            deadline_ms,
+            max_propagations,
+            taint_threads,
+        })?;
+        self.read_response()?
+            .u64_field("job")
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing job id"))
+    }
+
+    /// Cancels a job (by id from `analyze`'s `queued` line).
+    pub fn cancel(&mut self, job: u64) -> io::Result<Json> {
+        self.roundtrip(&Request::Cancel { job })
+    }
+
+    /// Fetches daemon statistics.
+    pub fn stats(&mut self) -> io::Result<Json> {
+        self.roundtrip(&Request::Stats)
+    }
+
+    /// Asks the daemon to drain, flush and stop; returns its final
+    /// `ok` line.
+    pub fn shutdown(&mut self) -> io::Result<Json> {
+        self.roundtrip(&Request::Shutdown)
+    }
+}

@@ -1,0 +1,501 @@
+//! The analysis daemon: a bounded worker pool behind a line-delimited
+//! JSON socket protocol (see [`crate::proto`]).
+//!
+//! One daemon process serves many analysis jobs and amortizes warm
+//! state across them: all jobs share the process-global summary-store
+//! registry, and the daemon promotes each completed job's staged
+//! summaries (one `flush` per non-aborted job), so the second analysis
+//! of an app — or of any app sharing library code with an earlier one —
+//! starts from a warm cache. Aborted jobs never stage summaries, so a
+//! deadline or cancel can't poison the cache for later jobs.
+//!
+//! Concurrency layout:
+//!
+//! * the **accept loop** ([`Daemon::run`]) spawns one thread per
+//!   connection;
+//! * `analyze` requests enqueue a job id on an `mpsc` channel consumed
+//!   by `workers` pool threads (each job runs to completion on one
+//!   worker; the job's own solver may use further threads via
+//!   `taint_threads`);
+//! * each job carries an [`AbortHandle`] created at submission —
+//!   `deadline_ms` arms its wall-clock deadline, `cancel` requests trip
+//!   it from any connection, and the propagation budget trips it from
+//!   inside the solver — so the solvers' periodic polls bound how far a
+//!   job can overrun;
+//! * `shutdown` closes the queue (workers drain what is already
+//!   queued and exit), waits for every job to finish, flushes the
+//!   summary cache a final time, and wakes the accept loop; the worker
+//!   threads are joined before [`Daemon::run`] returns.
+
+use crate::json::{obj, Json};
+use crate::net::{connect, Conn, Listen, Listener};
+use crate::proto::{error_line, JobResult, Request};
+use flowdroid_bench::{find_job, run_single, CorpusJob};
+use flowdroid_core::{flush_summary_cache, AbortHandle, InfoflowConfig};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct DaemonOptions {
+    /// Where to listen.
+    pub listen: Listen,
+    /// Worker pool size; `0` uses the available parallelism.
+    pub workers: usize,
+    /// Persistent summary store shared by all jobs (optional).
+    pub summary_cache: Option<PathBuf>,
+}
+
+impl DaemonOptions {
+    /// Options for the given address with defaults otherwise.
+    pub fn new(listen: Listen) -> DaemonOptions {
+        DaemonOptions { listen, workers: 0, summary_cache: None }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+    Done,
+}
+
+impl JobState {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+        }
+    }
+}
+
+/// Per-job solver knobs from the `analyze` request.
+#[derive(Clone, Copy, Debug, Default)]
+struct JobSpec {
+    max_propagations: u64,
+    taint_threads: usize,
+}
+
+struct JobEntry {
+    app: String,
+    state: JobState,
+    abort: AbortHandle,
+    spec: JobSpec,
+    submitted: Instant,
+    queue_ms: u64,
+    cancel_requested: bool,
+    result: Option<JobResult>,
+}
+
+#[derive(Default)]
+struct Inner {
+    jobs: Vec<JobEntry>,
+    shutting_down: bool,
+    /// Scheduler counters summed over completed parallel jobs.
+    sched_pushed: u64,
+    sched_claims: u64,
+    sched_steals: u64,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    /// Notified whenever a job reaches `Done`.
+    done: Condvar,
+    /// `None` once shutdown began: no further submissions.
+    sender: Mutex<Option<mpsc::Sender<(u64, CorpusJob)>>>,
+    /// Set before the accept loop is woken for the last time.
+    stop_accept: AtomicBool,
+    summary_cache: Option<PathBuf>,
+    /// Resolved listen address (used to self-connect on shutdown).
+    addr: Listen,
+    workers: usize,
+    started: Instant,
+}
+
+/// A bound, running daemon (workers are live; call [`Daemon::run`] to
+/// serve connections).
+pub struct Daemon {
+    listener: Listener,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds the listen address and starts the worker pool.
+    pub fn bind(opts: DaemonOptions) -> io::Result<Daemon> {
+        let listener = Listener::bind(&opts.listen)?;
+        let addr = listener.local_addr()?;
+        let workers = if opts.workers == 0 {
+            std::thread::available_parallelism().map_or(2, |n| n.get())
+        } else {
+            opts.workers
+        };
+        let (tx, rx) = mpsc::channel::<(u64, CorpusJob)>();
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner::default()),
+            done: Condvar::new(),
+            sender: Mutex::new(Some(tx)),
+            stop_accept: AtomicBool::new(false),
+            summary_cache: opts.summary_cache,
+            addr,
+            workers,
+            started: Instant::now(),
+        });
+        let rx = Arc::new(Mutex::new(rx));
+        let pool = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || worker_loop(&shared, &rx))
+            })
+            .collect();
+        Ok(Daemon { listener, shared, workers: pool })
+    }
+
+    /// The resolved listen address (with the real port for `:0` binds).
+    pub fn local_addr(&self) -> Listen {
+        self.shared.addr.clone()
+    }
+
+    /// Serves connections until a `shutdown` request completes; worker
+    /// threads are joined before returning.
+    pub fn run(self) -> io::Result<()> {
+        loop {
+            if self.shared.stop_accept.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok(conn) => {
+                    if self.shared.stop_accept.load(Ordering::SeqCst) {
+                        break; // the shutdown self-connect
+                    }
+                    let shared = Arc::clone(&self.shared);
+                    std::thread::spawn(move || handle_conn(&shared, conn));
+                }
+                Err(_) if self.shared.stop_accept.load(Ordering::SeqCst) => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        for w in self.workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+// ================= worker pool =================
+
+fn worker_loop(shared: &Shared, rx: &Mutex<mpsc::Receiver<(u64, CorpusJob)>>) {
+    loop {
+        // Hold the receiver lock only for the blocking claim, not while
+        // running the job.
+        let claimed = { rx.lock().unwrap().recv() };
+        let Ok((id, job)) = claimed else {
+            return; // queue closed and drained: shutdown
+        };
+        run_one(shared, id, &job);
+    }
+}
+
+fn run_one(shared: &Shared, id: u64, job: &CorpusJob) {
+    let idx = (id - 1) as usize;
+    let (abort, spec, app, queue_ms, skip) = {
+        let mut inner = shared.inner.lock().unwrap();
+        let e = &mut inner.jobs[idx];
+        e.queue_ms = e.submitted.elapsed().as_millis() as u64;
+        e.state = JobState::Running;
+        // A cancel — or a deadline that already passed — while the job
+        // sat in the queue aborts it without running the solver at all.
+        let skip = e.abort.poll().is_some();
+        (e.abort.clone(), e.spec, e.app.clone(), e.queue_ms, skip)
+    };
+    let mut sched = None;
+    let result = if skip {
+        JobResult {
+            job: id,
+            app,
+            aborted: true,
+            abort_reason: abort.reason().map(|r| r.as_str().to_string()),
+            queue_ms,
+            ..JobResult::default()
+        }
+    } else {
+        let mut config = InfoflowConfig::default().with_abort(abort);
+        config.max_propagations = spec.max_propagations;
+        config.taint_threads = spec.taint_threads;
+        config.summary_cache.clone_from(&shared.summary_cache);
+        let run = run_single(job, &config);
+        if !run.aborted {
+            if let Some(dir) = &shared.summary_cache {
+                // Promote this job's staged summaries so the *next* job
+                // starts warm. Aborted jobs staged nothing, so skipping
+                // the flush there is just noise avoidance.
+                let _ = flush_summary_cache(dir);
+            }
+        }
+        sched = run.scheduler;
+        let sc = run.summary_cache.as_ref();
+        JobResult {
+            job: id,
+            app,
+            leaks: run.leaks as u64,
+            aborted: run.aborted,
+            abort_reason: run.abort_reason.map(|r| r.as_str().to_string()),
+            wall_ms: run.total.as_millis() as u64,
+            queue_ms,
+            forward_propagations: run.forward_propagations,
+            backward_propagations: run.backward_propagations,
+            summary_hits: sc.map_or(0, |s| s.hits),
+            summary_misses: sc.map_or(0, |s| s.misses),
+            summary_stale: sc.map_or(0, |s| s.stale),
+            summary_recorded: sc.map_or(0, |s| s.recorded),
+            report: run.report,
+        }
+    };
+    let mut inner = shared.inner.lock().unwrap();
+    if let Some(s) = sched {
+        inner.sched_pushed += s.pushed;
+        inner.sched_claims += s.claims;
+        inner.sched_steals += s.steals;
+    }
+    inner.jobs[idx].state = JobState::Done;
+    inner.jobs[idx].result = Some(result);
+    drop(inner);
+    shared.done.notify_all();
+}
+
+// ================= request handling =================
+
+fn handle_conn(shared: &Shared, conn: Box<dyn Conn>) {
+    let mut reader = BufReader::new(conn);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // client closed
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let keep_going = match Request::parse(trimmed) {
+            Err(e) => write_line(reader.get_mut(), &error_line(&e)).is_ok(),
+            Ok(Request::Analyze { app, deadline_ms, max_propagations, taint_threads }) => {
+                handle_analyze(shared, &mut reader, &app, deadline_ms, max_propagations, taint_threads)
+                    .is_ok()
+            }
+            Ok(Request::Cancel { job }) => {
+                let reply = match cancel(shared, job) {
+                    Ok(state) => obj([
+                        ("type", Json::from("ok")),
+                        ("op", Json::from("cancel")),
+                        ("job", Json::from(job)),
+                        ("state", Json::from(state)),
+                    ])
+                    .to_line(),
+                    Err(e) => error_line(&e),
+                };
+                write_line(reader.get_mut(), &reply).is_ok()
+            }
+            Ok(Request::Stats) => write_line(reader.get_mut(), &stats(shared).to_line()).is_ok(),
+            Ok(Request::Shutdown) => {
+                let reply = shutdown(shared);
+                let _ = write_line(reader.get_mut(), &reply.to_line());
+                // Wake the accept loop; its next accept observes
+                // `stop_accept` and exits.
+                shared.stop_accept.store(true, Ordering::SeqCst);
+                let _ = connect(&shared.addr);
+                return;
+            }
+        };
+        if !keep_going {
+            return;
+        }
+    }
+}
+
+fn handle_analyze(
+    shared: &Shared,
+    reader: &mut BufReader<Box<dyn Conn>>,
+    app: &str,
+    deadline_ms: Option<u64>,
+    max_propagations: Option<u64>,
+    taint_threads: Option<u64>,
+) -> io::Result<()> {
+    let spec = JobSpec {
+        max_propagations: max_propagations.unwrap_or(0),
+        taint_threads: taint_threads.unwrap_or(0) as usize,
+    };
+    match submit(shared, app, deadline_ms, spec) {
+        Err(e) => write_line(reader.get_mut(), &error_line(&e)),
+        Ok(id) => {
+            let queued =
+                obj([("type", Json::from("queued")), ("job", Json::from(id))]).to_line();
+            write_line(reader.get_mut(), &queued)?;
+            let result = wait_done(shared, id);
+            write_line(reader.get_mut(), &result.to_json().to_line())
+        }
+    }
+}
+
+/// Validates the app name, registers the job and queues it. The job id
+/// is its 1-based submission index.
+fn submit(
+    shared: &Shared,
+    app: &str,
+    deadline_ms: Option<u64>,
+    spec: JobSpec,
+) -> Result<u64, String> {
+    let job = find_job(app).ok_or_else(|| {
+        format!("unknown app `{app}` (expected a corpus name or `stress/<K>`)")
+    })?;
+    let abort = match deadline_ms {
+        Some(ms) => AbortHandle::with_deadline(Duration::from_millis(ms)),
+        None => AbortHandle::new(),
+    };
+    let id = {
+        let mut inner = shared.inner.lock().unwrap();
+        if inner.shutting_down {
+            return Err("daemon is shutting down".to_string());
+        }
+        inner.jobs.push(JobEntry {
+            app: app.to_string(),
+            state: JobState::Queued,
+            abort,
+            spec,
+            submitted: Instant::now(),
+            queue_ms: 0,
+            cancel_requested: false,
+            result: None,
+        });
+        inner.jobs.len() as u64
+    };
+    let sender = shared.sender.lock().unwrap();
+    sender
+        .as_ref()
+        .ok_or("daemon is shutting down")?
+        .send((id, job))
+        .map_err(|_| "daemon is shutting down".to_string())?;
+    Ok(id)
+}
+
+fn wait_done(shared: &Shared, id: u64) -> JobResult {
+    let idx = (id - 1) as usize;
+    let mut inner = shared.inner.lock().unwrap();
+    loop {
+        if let Some(r) = &inner.jobs[idx].result {
+            return r.clone();
+        }
+        inner = shared.done.wait(inner).unwrap();
+    }
+}
+
+/// Trips the job's abort handle. Queued jobs are skipped by the worker
+/// that claims them; running jobs wind down at their next poll.
+fn cancel(shared: &Shared, id: u64) -> Result<&'static str, String> {
+    let idx = id.checked_sub(1).ok_or("unknown job 0")? as usize;
+    let mut inner = shared.inner.lock().unwrap();
+    let e = inner.jobs.get_mut(idx).ok_or_else(|| format!("unknown job {id}"))?;
+    let state = e.state.as_str();
+    if e.state != JobState::Done {
+        e.abort.cancel();
+        e.cancel_requested = true;
+    }
+    Ok(state)
+}
+
+fn stats(shared: &Shared) -> Json {
+    let inner = shared.inner.lock().unwrap();
+    let mut by_state = [0u64; 3];
+    let mut aborted = 0u64;
+    let mut cancel_requests = 0u64;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let mut stale = 0u64;
+    let mut recorded = 0u64;
+    let mut jobs = Vec::new();
+    for (i, e) in inner.jobs.iter().enumerate() {
+        by_state[e.state as usize] += 1;
+        cancel_requests += u64::from(e.cancel_requested);
+        let mut fields = vec![
+            ("job", Json::from(i as u64 + 1)),
+            ("app", Json::from(e.app.as_str())),
+            ("state", Json::from(e.state.as_str())),
+        ];
+        if e.state != JobState::Queued {
+            fields.push(("queue_ms", Json::from(e.queue_ms)));
+        }
+        if let Some(r) = &e.result {
+            aborted += u64::from(r.aborted);
+            hits += r.summary_hits;
+            misses += r.summary_misses;
+            stale += r.summary_stale;
+            recorded += r.summary_recorded;
+            fields.push(("wall_ms", Json::from(r.wall_ms)));
+            fields.push(("leaks", Json::from(r.leaks)));
+            fields.push(("aborted", Json::from(r.aborted)));
+            if let Some(why) = &r.abort_reason {
+                fields.push(("abort_reason", Json::from(why.as_str())));
+            }
+        }
+        jobs.push(obj(fields));
+    }
+    obj([
+        ("type", Json::from("stats")),
+        ("uptime_ms", Json::from(shared.started.elapsed().as_millis() as u64)),
+        ("workers", Json::from(shared.workers)),
+        ("queue_depth", Json::from(by_state[JobState::Queued as usize])),
+        ("running", Json::from(by_state[JobState::Running as usize])),
+        ("completed", Json::from(by_state[JobState::Done as usize])),
+        ("aborted", Json::from(aborted)),
+        ("cancel_requests", Json::from(cancel_requests)),
+        ("summary_hits", Json::from(hits)),
+        ("summary_misses", Json::from(misses)),
+        ("summary_stale", Json::from(stale)),
+        ("summary_recorded", Json::from(recorded)),
+        ("sched_pushed", Json::from(inner.sched_pushed)),
+        ("sched_claims", Json::from(inner.sched_claims)),
+        ("sched_steals", Json::from(inner.sched_steals)),
+        ("jobs", Json::Arr(jobs)),
+    ])
+}
+
+/// Closes the queue, waits for every accepted job to finish, and
+/// flushes the summary cache. Idempotent: a second `shutdown` request
+/// waits for the same drain and reports the same counts.
+fn shutdown(shared: &Shared) -> Json {
+    {
+        let mut inner = shared.inner.lock().unwrap();
+        inner.shutting_down = true;
+    }
+    // Dropping the (sole) sender lets the workers drain what is queued
+    // and exit their recv loop.
+    drop(shared.sender.lock().unwrap().take());
+    let mut inner = shared.inner.lock().unwrap();
+    while inner.jobs.iter().any(|e| e.state != JobState::Done) {
+        inner = shared.done.wait(inner).unwrap();
+    }
+    let completed = inner.jobs.len() as u64;
+    drop(inner);
+    if let Some(dir) = &shared.summary_cache {
+        let _ = flush_summary_cache(dir);
+    }
+    obj([
+        ("type", Json::from("ok")),
+        ("op", Json::from("shutdown")),
+        ("jobs_completed", Json::from(completed)),
+    ])
+}
+
+fn write_line(conn: &mut Box<dyn Conn>, line: &str) -> io::Result<()> {
+    conn.write_all(line.as_bytes())?;
+    conn.write_all(b"\n")?;
+    conn.flush()
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! The FlowDroid analysis service: a long-running daemon that accepts
+//! analysis jobs over a line-delimited JSON protocol (TCP or Unix
+//! socket), runs them on a bounded worker pool, and shares one
+//! persistent summary cache across jobs so repeated analyses start
+//! warm.
+//!
+//! Layers:
+//!
+//! * [`json`] — a minimal std-only JSON value (no external deps);
+//! * [`proto`] — the request/response wire types;
+//! * [`daemon`] — the server: accept loop, worker pool, job registry
+//!   with per-job [`flowdroid_core::AbortHandle`]s (deadline, cancel,
+//!   budget);
+//! * [`client`] — a blocking client used by the `flowdroid client`
+//!   subcommand, the benchmark driver and the smoke tests.
+//!
+//! See DESIGN.md §10 for the architecture discussion.
+
+pub mod client;
+pub mod daemon;
+pub mod json;
+pub mod net;
+pub mod proto;
+
+pub use client::Client;
+pub use daemon::{Daemon, DaemonOptions};
+pub use json::Json;
+pub use net::Listen;
+pub use proto::{JobResult, Request};

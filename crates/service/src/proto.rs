@@ -1,0 +1,241 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! Every request and response is one JSON object on one line. Requests
+//! carry a `"type"` discriminator:
+//!
+//! | request | fields |
+//! |---|---|
+//! | `analyze`  | `app` (corpus name or `stress/<K>`), optional `deadline_ms`, `max_propagations`, `taint_threads` |
+//! | `cancel`   | `job` |
+//! | `stats`    | — |
+//! | `shutdown` | — |
+//!
+//! Responses: `analyze` answers `{"type":"queued","job":N}` immediately
+//! and a `{"type":"result",...}` line when the job finishes (the
+//! connection stays blocked in between — issue `cancel`/`stats` from a
+//! second connection). `cancel` and `shutdown` answer `{"type":"ok"}`,
+//! `stats` answers `{"type":"stats",...}`, and malformed or unknown
+//! requests answer `{"type":"error","message":...}` without closing the
+//! connection.
+
+use crate::json::{self, obj, Json};
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Queue an analysis job.
+    Analyze {
+        /// Corpus name (`droidbench/...`, `securibench/...`,
+        /// `insecurebank`) or `stress/<K>`.
+        app: String,
+        /// Wall-clock deadline, measured from submission; the job
+        /// returns an `aborted` partial result once it passes.
+        deadline_ms: Option<u64>,
+        /// Path-edge propagation budget (0/absent = unlimited).
+        max_propagations: Option<u64>,
+        /// Solver threads for this job (absent = sequential).
+        taint_threads: Option<u64>,
+    },
+    /// Cancel a queued or running job.
+    Cancel {
+        /// The job id from the `queued` response.
+        job: u64,
+    },
+    /// Report daemon statistics.
+    Stats,
+    /// Drain the queue, flush the summary cache, stop the daemon.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = json::parse(line).map_err(|e| e.to_string())?;
+        let ty = v.str_field("type").ok_or("missing `type` field")?;
+        match ty {
+            "analyze" => {
+                let app = v.str_field("app").ok_or("analyze: missing `app` field")?;
+                Ok(Request::Analyze {
+                    app: app.to_string(),
+                    deadline_ms: v.u64_field("deadline_ms"),
+                    max_propagations: v.u64_field("max_propagations"),
+                    taint_threads: v.u64_field("taint_threads"),
+                })
+            }
+            "cancel" => {
+                let job = v.u64_field("job").ok_or("cancel: missing `job` field")?;
+                Ok(Request::Cancel { job })
+            }
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown request type `{other}`")),
+        }
+    }
+
+    /// Renders the request as one line (what [`crate::Client`] sends).
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Analyze { app, deadline_ms, max_propagations, taint_threads } => {
+                let mut fields =
+                    vec![("type", Json::from("analyze")), ("app", Json::from(app.as_str()))];
+                if let Some(d) = deadline_ms {
+                    fields.push(("deadline_ms", Json::from(*d)));
+                }
+                if let Some(m) = max_propagations {
+                    fields.push(("max_propagations", Json::from(*m)));
+                }
+                if let Some(t) = taint_threads {
+                    fields.push(("taint_threads", Json::from(*t)));
+                }
+                obj(fields).to_line()
+            }
+            Request::Cancel { job } => {
+                obj([("type", Json::from("cancel")), ("job", Json::from(*job))]).to_line()
+            }
+            Request::Stats => obj([("type", Json::from("stats"))]).to_line(),
+            Request::Shutdown => obj([("type", Json::from("shutdown"))]).to_line(),
+        }
+    }
+}
+
+/// The outcome of one daemon job (the `result` response line).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JobResult {
+    /// Job id.
+    pub job: u64,
+    /// The app analyzed.
+    pub app: String,
+    /// Leaks reported (a lower bound when `aborted`).
+    pub leaks: u64,
+    /// Whether the job aborted before its fixpoint.
+    pub aborted: bool,
+    /// `cancelled` / `deadline` / `budget`, when `aborted`.
+    pub abort_reason: Option<String>,
+    /// Analysis wall-clock time (runs the job spent executing).
+    pub wall_ms: u64,
+    /// Time the job waited in the queue before a worker claimed it.
+    pub queue_ms: u64,
+    /// Forward path-edge propagations.
+    pub forward_propagations: u64,
+    /// Backward (alias) path-edge propagations.
+    pub backward_propagations: u64,
+    /// Summary-cache hits (0 without a cache).
+    pub summary_hits: u64,
+    /// Summary-cache misses.
+    pub summary_misses: u64,
+    /// Summary-cache stale entries.
+    pub summary_stale: u64,
+    /// Summaries staged for the next flush (always 0 when `aborted`).
+    pub summary_recorded: u64,
+    /// The deterministic per-app leak report.
+    pub report: String,
+}
+
+impl JobResult {
+    /// The `result` response line.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("type", Json::from("result")),
+            ("job", Json::from(self.job)),
+            ("app", Json::from(self.app.as_str())),
+            ("leaks", Json::from(self.leaks)),
+            ("aborted", Json::from(self.aborted)),
+        ];
+        if let Some(r) = &self.abort_reason {
+            fields.push(("abort_reason", Json::from(r.as_str())));
+        }
+        fields.extend([
+            ("wall_ms", Json::from(self.wall_ms)),
+            ("queue_ms", Json::from(self.queue_ms)),
+            ("forward_propagations", Json::from(self.forward_propagations)),
+            ("backward_propagations", Json::from(self.backward_propagations)),
+            ("summary_hits", Json::from(self.summary_hits)),
+            ("summary_misses", Json::from(self.summary_misses)),
+            ("summary_stale", Json::from(self.summary_stale)),
+            ("summary_recorded", Json::from(self.summary_recorded)),
+            ("report", Json::from(self.report.as_str())),
+        ]);
+        obj(fields)
+    }
+
+    /// Reads a `result` response line back (client side).
+    pub fn from_json(v: &Json) -> Option<JobResult> {
+        if v.str_field("type") != Some("result") {
+            return None;
+        }
+        Some(JobResult {
+            job: v.u64_field("job")?,
+            app: v.str_field("app")?.to_string(),
+            leaks: v.u64_field("leaks")?,
+            aborted: v.bool_field("aborted")?,
+            abort_reason: v.str_field("abort_reason").map(str::to_string),
+            wall_ms: v.u64_field("wall_ms")?,
+            queue_ms: v.u64_field("queue_ms")?,
+            forward_propagations: v.u64_field("forward_propagations")?,
+            backward_propagations: v.u64_field("backward_propagations")?,
+            summary_hits: v.u64_field("summary_hits").unwrap_or(0),
+            summary_misses: v.u64_field("summary_misses").unwrap_or(0),
+            summary_stale: v.u64_field("summary_stale").unwrap_or(0),
+            summary_recorded: v.u64_field("summary_recorded").unwrap_or(0),
+            report: v.str_field("report").unwrap_or("").to_string(),
+        })
+    }
+}
+
+/// The `error` response line.
+pub fn error_line(message: &str) -> String {
+    obj([("type", Json::from("error")), ("message", Json::from(message))]).to_line()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Analyze {
+                app: "insecurebank".to_string(),
+                deadline_ms: Some(500),
+                max_propagations: None,
+                taint_threads: Some(4),
+            },
+            Request::Cancel { job: 3 },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            assert_eq!(Request::parse(&r.to_line()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse(r#"{"type":"launch"}"#).is_err());
+        assert!(Request::parse(r#"{"type":"analyze"}"#).is_err());
+        assert!(Request::parse(r#"{"type":"cancel"}"#).is_err());
+    }
+
+    #[test]
+    fn job_result_round_trips() {
+        let r = JobResult {
+            job: 7,
+            app: "stress/500".to_string(),
+            leaks: 1,
+            aborted: true,
+            abort_reason: Some("deadline".to_string()),
+            wall_ms: 120,
+            queue_ms: 3,
+            forward_propagations: 123456,
+            backward_propagations: 7,
+            summary_hits: 2,
+            summary_misses: 9,
+            summary_stale: 0,
+            summary_recorded: 0,
+            report: "== stress/500: 1 leak(s)\n".to_string(),
+        };
+        let parsed = JobResult::from_json(&crate::json::parse(&r.to_json().to_line()).unwrap());
+        assert_eq!(parsed, Some(r));
+    }
+}

@@ -1,0 +1,177 @@
+//! End-to-end daemon round trips over a real TCP socket: cold→warm
+//! cache sharing between jobs, deadline aborts, cross-connection
+//! cancellation, stats and clean shutdown.
+
+use flowdroid_service::{Client, Daemon, DaemonOptions, Listen, Request};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Binds a daemon on an ephemeral local port, runs its accept loop on a
+/// background thread, and returns the resolved address plus the join
+/// handle (joined by each test to prove a leak-free shutdown).
+fn spawn_daemon(cache: Option<PathBuf>) -> (String, std::thread::JoinHandle<()>) {
+    let daemon = Daemon::bind(DaemonOptions {
+        listen: Listen::parse("127.0.0.1:0"),
+        workers: 2,
+        summary_cache: cache,
+    })
+    .expect("bind daemon");
+    let addr = daemon.local_addr().to_string();
+    let handle = std::thread::spawn(move || daemon.run().expect("daemon run"));
+    (addr, handle)
+}
+
+fn temp_cache(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("flowdroid-svc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn cold_then_warm_job_shares_summary_cache() {
+    let cache = temp_cache("coldwarm");
+    let (addr, daemon) = spawn_daemon(Some(cache.clone()));
+    let mut c = Client::connect(&addr).expect("connect");
+
+    let (id1, cold) = c.analyze("insecurebank", None, None, None).expect("cold job");
+    assert_eq!(id1, 1);
+    assert!(!cold.aborted);
+    assert_eq!(cold.summary_hits, 0, "first job starts with an empty store");
+    assert!(cold.summary_recorded > 0, "first job stages summaries");
+    assert!(cold.leaks > 0, "insecurebank has known leaks");
+
+    let (_, warm) = c.analyze("insecurebank", None, None, None).expect("warm job");
+    assert!(!warm.aborted);
+    assert!(warm.summary_hits > 0, "second job replays the first job's flushed summaries");
+    assert_eq!(warm.report, cold.report, "cache replay must not change the report");
+
+    let mut c2 = Client::connect(&addr).expect("second connection");
+    let stats = c2.stats().expect("stats");
+    assert_eq!(stats.u64_field("completed"), Some(2));
+    assert!(stats.u64_field("summary_hits").unwrap() > 0);
+    assert_eq!(stats.get("jobs").unwrap().as_arr().unwrap().len(), 2);
+
+    c2.shutdown().expect("shutdown");
+    daemon.join().expect("accept loop exits cleanly");
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn deadline_job_aborts_promptly_and_stages_nothing() {
+    let cache = temp_cache("deadline");
+    let (addr, daemon) = spawn_daemon(Some(cache.clone()));
+    let mut c = Client::connect(&addr).expect("connect");
+
+    let start = Instant::now();
+    let (_, r) = c.analyze("stress/4000", Some(300), None, None).expect("deadline job");
+    let elapsed = start.elapsed();
+    assert!(r.aborted, "stress/4000 cannot finish in 300ms");
+    assert_eq!(r.abort_reason.as_deref(), Some("deadline"));
+    assert_eq!(r.summary_recorded, 0, "aborted jobs must stage no summaries");
+    // Deadline plus a generous bound on one batch-check interval.
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "aborted job should return promptly, took {elapsed:?}"
+    );
+
+    // The poison check: a later *successful* job still flushes cleanly.
+    let (_, ok) = c.analyze("insecurebank", None, None, None).expect("follow-up job");
+    assert!(!ok.aborted);
+    assert!(ok.summary_recorded > 0);
+
+    c.shutdown().expect("shutdown");
+    daemon.join().expect("accept loop exits cleanly");
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn cancel_from_second_connection_stops_inflight_job() {
+    let (addr, daemon) = spawn_daemon(None);
+    let mut a = Client::connect(&addr).expect("connection a");
+    let id = a.analyze_async("stress/6000", None, None, None).expect("submit");
+
+    // From a second connection: wait until the job is running, then
+    // cancel it.
+    let mut b = Client::connect(&addr).expect("connection b");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = b.stats().expect("stats");
+        let jobs = stats.get("jobs").unwrap().as_arr().unwrap();
+        let state = jobs[(id - 1) as usize].str_field("state").unwrap().to_string();
+        if state != "queued" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job never started running");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let ack = b.cancel(id).expect("cancel");
+    assert_eq!(ack.str_field("op"), Some("cancel"));
+
+    // Connection a now receives the aborted result.
+    let result = a.read_response().expect("result line");
+    assert_eq!(result.bool_field("aborted"), Some(true));
+    assert_eq!(result.str_field("abort_reason"), Some("cancelled"));
+
+    b.shutdown().expect("shutdown");
+    daemon.join().expect("accept loop exits cleanly");
+}
+
+#[test]
+fn cancelling_a_queued_job_skips_it_entirely() {
+    let (addr, daemon) = spawn_daemon(None);
+    // Two workers: saturate them with two long jobs, queue a third,
+    // cancel the third before any worker reaches it.
+    let mut a = Client::connect(&addr).expect("a");
+    let mut b = Client::connect(&addr).expect("b");
+    let mut c = Client::connect(&addr).expect("c");
+    let _j1 = a.analyze_async("stress/6000", None, None, None).expect("submit 1");
+    let _j2 = b.analyze_async("stress/6000", None, None, None).expect("submit 2");
+    let j3 = c.analyze_async("stress/2000", None, None, None).expect("submit 3");
+
+    let mut ctl = Client::connect(&addr).expect("control");
+    ctl.cancel(j3).expect("cancel queued job");
+    ctl.cancel(1).expect("cancel job 1");
+    ctl.cancel(2).expect("cancel job 2");
+
+    let r3 = c.read_response().expect("job 3 result");
+    assert_eq!(r3.bool_field("aborted"), Some(true));
+    assert_eq!(r3.str_field("abort_reason"), Some("cancelled"));
+    assert_eq!(r3.u64_field("wall_ms"), Some(0), "a skipped job never runs");
+
+    ctl.shutdown().expect("shutdown");
+    daemon.join().expect("accept loop exits cleanly");
+}
+
+#[test]
+fn protocol_errors_keep_the_connection_alive() {
+    let (addr, daemon) = spawn_daemon(None);
+    let mut c = Client::connect(&addr).expect("connect");
+
+    let err = c
+        .roundtrip(&Request::Analyze {
+            app: "no/such/app".to_string(),
+            deadline_ms: None,
+            max_propagations: None,
+            taint_threads: None,
+        })
+        .expect_err("unknown app is an error");
+    assert!(err.to_string().contains("unknown app"), "got: {err}");
+
+    // Same connection still serves well-formed requests.
+    let stats = c.stats().expect("stats after error");
+    assert_eq!(stats.str_field("type"), Some("stats"));
+
+    c.shutdown().expect("shutdown");
+    daemon.join().expect("accept loop exits cleanly");
+}
+
+#[test]
+fn budget_abort_reports_reason_over_the_wire() {
+    let (addr, daemon) = spawn_daemon(None);
+    let mut c = Client::connect(&addr).expect("connect");
+    let (_, r) = c.analyze("stress/2000", None, Some(1000), None).expect("budget job");
+    assert!(r.aborted);
+    assert_eq!(r.abort_reason.as_deref(), Some("budget"));
+    c.shutdown().expect("shutdown");
+    daemon.join().expect("accept loop exits cleanly");
+}

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Serving-mode smoke test: boots the analysis daemon, proves cold->warm
+# summary-cache sharing between two jobs for the same app, cancels a
+# third in-flight job from a second connection, and shuts down cleanly.
+#
+# Expects target/release/flowdroid to exist (scripts/verify.sh builds
+# it first). Exits nonzero on any failed check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin=./target/release/flowdroid
+if [[ ! -x "$bin" ]]; then
+    echo "FAIL: $bin missing; run cargo build --release first" >&2
+    exit 1
+fi
+
+cache=$(mktemp -d)
+log=$(mktemp)
+job3_out=$(mktemp)
+svc_pid=""
+cleanup() {
+    [[ -n "$svc_pid" ]] && kill "$svc_pid" 2>/dev/null || true
+    rm -rf "$cache" "$log" "$job3_out"
+}
+trap cleanup EXIT
+
+"$bin" serve --listen 127.0.0.1:0 --workers 2 --summary-cache "$cache" >"$log" 2>&1 &
+svc_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$log")
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+if [[ -z "$addr" ]]; then
+    echo "FAIL: daemon never announced its address" >&2
+    cat "$log" >&2
+    exit 1
+fi
+echo "daemon listening on $addr"
+
+# Two jobs for the same app: the first runs against an empty store, the
+# flush after it lets the second replay the staged summaries. (`|| true`:
+# the client exits 2 when the analysis reports leaks, which insecurebank
+# does by design.)
+cold=$("$bin" client "$addr" analyze insecurebank || true)
+warm=$("$bin" client "$addr" analyze insecurebank || true)
+if ! grep -q '"summary_hits":0' <<<"$cold"; then
+    echo "FAIL: cold job should start with zero cache hits: $cold" >&2
+    exit 1
+fi
+if ! grep -q '"summary_hits":[1-9]' <<<"$warm"; then
+    echo "FAIL: warm job reported no summary-cache hits: $warm" >&2
+    exit 1
+fi
+echo "cold->warm summary-cache sharing: OK"
+
+# Cancel an in-flight job: submit a long synthetic job, wait until a
+# worker picks it up, then cancel it from a second connection. The
+# blocked client must come back promptly with an aborted result and the
+# dedicated exit code 3.
+"$bin" client "$addr" analyze stress/6000 >"$job3_out" 2>&1 &
+job3_pid=$!
+for _ in $(seq 1 100); do
+    if "$bin" client "$addr" stats | grep -q '"state":"running"'; then
+        break
+    fi
+    sleep 0.1
+done
+"$bin" client "$addr" cancel 3 >/dev/null
+job3_status=0
+wait "$job3_pid" || job3_status=$?
+if [[ "$job3_status" -ne 3 ]]; then
+    echo "FAIL: cancelled job exited $job3_status, want 3" >&2
+    cat "$job3_out" >&2
+    exit 1
+fi
+if ! grep -q '"abort_reason":"cancelled"' "$job3_out"; then
+    echo "FAIL: job 3 result is not marked cancelled:" >&2
+    cat "$job3_out" >&2
+    exit 1
+fi
+echo "in-flight cancellation: OK"
+
+"$bin" client "$addr" shutdown >/dev/null
+wait "$svc_pid"
+svc_pid=""
+echo "clean shutdown: OK"

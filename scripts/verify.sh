@@ -19,7 +19,7 @@ if [[ "${1:-}" == "--full" ]]; then
 fi
 
 echo "== solver stats (writes BENCH_solver.json)"
-cargo run --release -p flowdroid-bench --bin solver_stats -- BENCH_solver.json >/dev/null
+cargo run --release -p flowdroid-service --bin solver_stats -- BENCH_solver.json >/dev/null
 
 echo "== BENCH_solver.json comparison block"
 sed -n '/"comparison"/,$p' BENCH_solver.json
@@ -37,6 +37,23 @@ if [[ -z "${warm_hits}" || "${warm_hits}" -eq 0 ]]; then
 fi
 if [[ -z "${edges_saved}" || "${edges_saved}" -eq 0 ]]; then
     echo "FAIL: warm summary-cache run saved no path edges" >&2
+    exit 1
+fi
+
+# Serving-mode smoke: daemon boot, cold->warm cache sharing between
+# jobs, in-flight cancellation, clean shutdown.
+echo "== serving-mode smoke"
+scripts/service_smoke.sh
+
+# Service benchmark: floods the daemon with the corpus twice and
+# splices per-job wall/queue times into BENCH_solver.json (the binary
+# itself gates on warm hits and cold/warm report identity).
+echo "== service stats (splices \"service\" into BENCH_solver.json)"
+cargo run --release -p flowdroid-service --bin solver_stats -- --mode service BENCH_solver.json >/dev/null
+svc_hits=$(grep -o '"warm_summary_hits": [0-9]*' BENCH_solver.json | grep -o '[0-9]*$' || true)
+echo "service warm hits: ${svc_hits:-none}"
+if [[ -z "${svc_hits}" || "${svc_hits}" -eq 0 ]]; then
+    echo "FAIL: service warm pass replayed no summaries" >&2
     exit 1
 fi
 

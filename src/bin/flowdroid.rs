@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! flowdroid analyze <app-dir | app.rpk> [options]   run the taint analysis
+//! flowdroid serve --listen <addr> [options]         run the analysis daemon
+//! flowdroid client <addr> <request> [options]       talk to a running daemon
 //! flowdroid pack <app-dir> -o <app.rpk>             bundle an app directory
 //! flowdroid disas <app-dir | app.rpk>               disassemble app code to jasm
 //! flowdroid permissions <app-dir | app.rpk>         permission-gap report
@@ -14,7 +16,13 @@
 //!   --sources <file>           extra source/sink definitions
 //!   --wrappers <file>          extra taint-wrapper rules
 //!   --no-paths                 skip leak-path reconstruction
+//!   --taint-threads <n>        parallel taint engine with n workers
 //!   --summary-cache <dir>      reuse method summaries across runs
+//!   --deadline-ms <ms>         abort (partial result) after a wall-clock budget
+//!   --max-propagations <n>     abort after n forward path-edge propagations
+//!
+//! Exit codes: 0 clean, 2 leaks found, 3 analysis aborted
+//! (deadline/budget), 1 usage or load errors.
 //! ```
 
 use flowdroid::android::{install_platform, CallbackAssociation};
@@ -26,6 +34,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("analyze") => analyze(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("client") => client(&args[1..]),
         Some("pack") => pack(&args[1..]),
         Some("disas") => disas(&args[1..]),
         Some("permissions") => permissions(&args[1..]),
@@ -45,6 +55,9 @@ fn main() -> ExitCode {
 fn print_usage() {
     eprintln!("usage:");
     eprintln!("  flowdroid analyze <app-dir | app.rpk> [options]");
+    eprintln!("  flowdroid serve --listen <addr> [--summary-cache <dir>] [--workers <n>]");
+    eprintln!("  flowdroid client <addr> analyze <app> [--deadline-ms <ms>] [--max-propagations <n>] [--taint-threads <n>]");
+    eprintln!("  flowdroid client <addr> cancel <job> | stats | shutdown");
     eprintln!("  flowdroid pack <app-dir> -o <app.rpk>");
     eprintln!("  flowdroid disas <app-dir | app.rpk>");
     eprintln!("  flowdroid permissions <app-dir | app.rpk>");
@@ -59,6 +72,11 @@ fn print_usage() {
     eprintln!("  --no-paths                 skip leak-path reconstruction");
     eprintln!("  --taint-threads <n>        parallel taint engine with n workers");
     eprintln!("  --summary-cache <dir>      reuse method summaries across runs");
+    eprintln!("  --deadline-ms <ms>         abort (partial result) after a wall-clock budget");
+    eprintln!("  --max-propagations <n>     abort after n forward path-edge propagations");
+    eprintln!();
+    eprintln!("addresses are `host:port` for TCP or `unix:<path>` for a Unix socket;");
+    eprintln!("exit codes: 0 clean, 2 leaks found, 3 analysis aborted, 1 errors");
 }
 
 fn analyze(args: &[String]) -> ExitCode {
@@ -90,6 +108,22 @@ fn analyze(args: &[String]) -> ExitCode {
                 config.taint_threads = n;
             }
             "--no-paths" => config.track_paths = false,
+            "--deadline-ms" => {
+                i += 1;
+                let Some(ms) = args.get(i).and_then(|v| v.parse().ok()) else {
+                    eprintln!("--deadline-ms needs a number of milliseconds");
+                    return ExitCode::FAILURE;
+                };
+                config = config.with_deadline(std::time::Duration::from_millis(ms));
+            }
+            "--max-propagations" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|v| v.parse().ok()) else {
+                    eprintln!("--max-propagations needs a number");
+                    return ExitCode::FAILURE;
+                };
+                config.max_propagations = n;
+            }
             "--summary-cache" => {
                 i += 1;
                 let Some(dir) = args.get(i) else {
@@ -140,7 +174,7 @@ fn analyze(args: &[String]) -> ExitCode {
                 }
             }
             other => {
-                eprintln!("analyze: unknown option `{other}`");
+                eprintln!("analyze: unknown option `{other}` (run `flowdroid help` for usage)");
                 return ExitCode::FAILURE;
             }
         }
@@ -189,12 +223,212 @@ fn analyze(args: &[String]) -> ExitCode {
             eprintln!("summary cache {}: {e}", dir.display());
         }
     }
-    if analysis.results.is_clean() {
+    if analysis.results.aborted {
+        let why = analysis.results.abort_reason.map_or("budget", |r| r.as_str());
+        eprintln!("analysis aborted ({why}); reported leaks are a lower bound");
+        ExitCode::from(3)
+    } else if analysis.results.is_clean() {
         ExitCode::SUCCESS
     } else {
         // Like grep: finding something exits 0; we still signal leaks
         // via a distinct code for scripting.
         ExitCode::from(2)
+    }
+}
+
+/// `flowdroid serve --listen <addr> [--summary-cache <dir>] [--workers <n>]`
+fn serve(args: &[String]) -> ExitCode {
+    use flowdroid_service::{Daemon, DaemonOptions, Listen};
+    let mut listen = None;
+    let mut workers = 0usize;
+    let mut summary_cache = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => {
+                i += 1;
+                let Some(addr) = args.get(i) else {
+                    eprintln!("--listen needs an address (host:port or unix:<path>)");
+                    return ExitCode::FAILURE;
+                };
+                listen = Some(Listen::parse(addr));
+            }
+            "--workers" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|v| v.parse().ok()) else {
+                    eprintln!("--workers needs a number");
+                    return ExitCode::FAILURE;
+                };
+                workers = n;
+            }
+            "--summary-cache" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--summary-cache needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                summary_cache = Some(dir.into());
+            }
+            other => {
+                eprintln!("serve: unknown option `{other}` (run `flowdroid help` for usage)");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let Some(listen) = listen else {
+        eprintln!("serve: missing --listen <addr>");
+        return ExitCode::FAILURE;
+    };
+    let daemon = match Daemon::bind(DaemonOptions { listen, workers, summary_cache }) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Scripts parse this line for the resolved address (`:0` binds an
+    // ephemeral port).
+    println!("listening on {}", daemon.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    match daemon.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `flowdroid client <addr> analyze|cancel|stats|shutdown ...` — one
+/// request per invocation; response lines go to stdout as raw JSON.
+fn client(args: &[String]) -> ExitCode {
+    use flowdroid_service::{Client, Request};
+    let (Some(addr), Some(op)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: flowdroid client <addr> analyze <app> [options] | cancel <job> | stats | shutdown");
+        return ExitCode::FAILURE;
+    };
+    let mut c = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("client: {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fail = |e: std::io::Error| {
+        eprintln!("client: {e}");
+        ExitCode::FAILURE
+    };
+    match op.as_str() {
+        "analyze" => {
+            let Some(app) = args.get(2) else {
+                eprintln!("client analyze: missing app name (e.g. insecurebank)");
+                return ExitCode::FAILURE;
+            };
+            let mut deadline_ms = None;
+            let mut max_propagations = None;
+            let mut taint_threads = None;
+            let mut i = 3;
+            while i < args.len() {
+                let take_num = |i: &mut usize| -> Option<u64> {
+                    *i += 1;
+                    args.get(*i).and_then(|v| v.parse().ok())
+                };
+                match args[i].as_str() {
+                    "--deadline-ms" => match take_num(&mut i) {
+                        Some(n) => deadline_ms = Some(n),
+                        None => {
+                            eprintln!("--deadline-ms needs a number of milliseconds");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    "--max-propagations" => match take_num(&mut i) {
+                        Some(n) => max_propagations = Some(n),
+                        None => {
+                            eprintln!("--max-propagations needs a number");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    "--taint-threads" => match take_num(&mut i) {
+                        Some(n) => taint_threads = Some(n),
+                        None => {
+                            eprintln!("--taint-threads needs a number");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    other => {
+                        eprintln!(
+                            "client analyze: unknown option `{other}` (run `flowdroid help` for usage)"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 1;
+            }
+            let send = c.send(&Request::Analyze {
+                app: app.to_string(),
+                deadline_ms,
+                max_propagations,
+                taint_threads,
+            });
+            if let Err(e) = send {
+                return fail(e);
+            }
+            // Stream both lines as they arrive (the `queued` line lets
+            // scripts learn the job id while the job runs).
+            use std::io::Write as _;
+            for _ in 0..2 {
+                match c.read_response() {
+                    Ok(v) => {
+                        println!("{}", v.to_line());
+                        let _ = std::io::stdout().flush();
+                        if v.str_field("type") == Some("result") {
+                            return if v.bool_field("aborted") == Some(true) {
+                                ExitCode::from(3)
+                            } else if v.u64_field("leaks").unwrap_or(0) > 0 {
+                                ExitCode::from(2)
+                            } else {
+                                ExitCode::SUCCESS
+                            };
+                        }
+                    }
+                    Err(e) => return fail(e),
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "cancel" => {
+            let Some(job) = args.get(2).and_then(|v| v.parse().ok()) else {
+                eprintln!("client cancel: missing job id");
+                return ExitCode::FAILURE;
+            };
+            match c.cancel(job) {
+                Ok(v) => {
+                    println!("{}", v.to_line());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
+        }
+        "stats" => match c.stats() {
+            Ok(v) => {
+                println!("{}", v.to_line());
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        },
+        "shutdown" => match c.shutdown() {
+            Ok(v) => {
+                println!("{}", v.to_line());
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        },
+        other => {
+            eprintln!("client: unknown request `{other}` (analyze, cancel, stats, shutdown)");
+            ExitCode::FAILURE
+        }
     }
 }
 
