@@ -1,7 +1,7 @@
 //! Per-component models and iterative callback discovery (paper §3).
 
 use crate::platform::PlatformInfo;
-use flowdroid_callgraph::{CallGraph, CgAlgorithm, Hierarchy};
+use flowdroid_callgraph::{materialize_reachable, CallGraph, CgAlgorithm, Hierarchy};
 use flowdroid_frontend::manifest::ComponentKind;
 use flowdroid_frontend::App;
 use flowdroid_ir::{ClassId, Constant, FxHashSet, MethodId, Operand, Program};
@@ -69,8 +69,15 @@ impl EntryPointModel {
     /// methods, associates layouts, and discovers callbacks iteratively
     /// until a fixed point is reached (paper §3: callbacks may register
     /// further callbacks).
+    ///
+    /// Takes the program mutably because lazily loaded apps (see
+    /// [`flowdroid_frontend::App::from_archive_lazy`]) materialize
+    /// method bodies on demand: each discovery iteration first runs
+    /// [`materialize_reachable`] over the current entry set so the call
+    /// graph scan below sees every reachable body. Eagerly loaded
+    /// programs pass through unchanged.
     pub fn build(
-        program: &Program,
+        program: &mut Program,
         platform: &PlatformInfo,
         app: &App,
         association: CallbackAssociation,
@@ -195,7 +202,7 @@ fn overridden_lifecycle(
 /// a call graph from the component's current entry set, scan reachable
 /// code for callback registrations, extend, repeat until fixed point.
 fn discover_component(
-    program: &Program,
+    program: &mut Program,
     platform: &PlatformInfo,
     app: &App,
     hierarchy: &Hierarchy,
@@ -210,6 +217,9 @@ fn discover_component(
     loop {
         let mut entries: Vec<MethodId> = comp.lifecycle.clone();
         entries.extend(known.iter().map(|cb| cb.method));
+        // Decode any deferred bodies the entry set can reach before the
+        // immutable callgraph scan below (no-op on eager programs).
+        materialize_reachable(program, hierarchy, &entries);
         let cg = CallGraph::build_with_hierarchy(program, hierarchy, &entries, CgAlgorithm::Cha);
 
         let mut changed = false;
@@ -461,16 +471,16 @@ class com.ex.Off extends android.app.Activity {
 
     #[test]
     fn disabled_components_are_excluded() {
-        let (p, platform, app) = load();
-        let model = EntryPointModel::build(&p, &platform, &app, CallbackAssociation::PerComponent);
+        let (mut p, platform, app) = load();
+        let model = EntryPointModel::build(&mut p, &platform, &app, CallbackAssociation::PerComponent);
         assert_eq!(model.components.len(), 1);
         assert_eq!(p.class_name(model.components[0].class), "com.ex.Main");
     }
 
     #[test]
     fn lifecycle_overrides_are_found() {
-        let (p, platform, app) = load();
-        let model = EntryPointModel::build(&p, &platform, &app, CallbackAssociation::PerComponent);
+        let (mut p, platform, app) = load();
+        let model = EntryPointModel::build(&mut p, &platform, &app, CallbackAssociation::PerComponent);
         let main = &model.components[0];
         let names: Vec<_> =
             main.lifecycle.iter().map(|&m| p.str(p.method(m).name())).collect();
@@ -479,8 +489,8 @@ class com.ex.Off extends android.app.Activity {
 
     #[test]
     fn xml_imperative_and_override_callbacks_are_discovered() {
-        let (p, platform, app) = load();
-        let model = EntryPointModel::build(&p, &platform, &app, CallbackAssociation::PerComponent);
+        let (mut p, platform, app) = load();
+        let model = EntryPointModel::build(&mut p, &platform, &app, CallbackAssociation::PerComponent);
         let main = &model.components[0];
         assert_eq!(main.layouts, vec!["main".to_owned()]);
         let cb_names: Vec<_> =
@@ -517,9 +527,9 @@ class c.B extends android.app.Activity {
 }
 "#;
         let app = App::from_parts(&mut p, manifest, &[], code).unwrap();
-        let per = EntryPointModel::build(&p, &platform, &app, CallbackAssociation::PerComponent);
+        let per = EntryPointModel::build(&mut p, &platform, &app, CallbackAssociation::PerComponent);
         assert!(per.components[1].callbacks.is_empty());
-        let glob = EntryPointModel::build(&p, &platform, &app, CallbackAssociation::Global);
+        let glob = EntryPointModel::build(&mut p, &platform, &app, CallbackAssociation::Global);
         assert_eq!(glob.components[1].callbacks.len(), 1);
     }
 
@@ -540,7 +550,7 @@ class c.A extends android.app.Activity {
 }
 "#;
         let app = App::from_parts(&mut p, manifest, &[], code).unwrap();
-        let model = EntryPointModel::build(&p, &platform, &app, CallbackAssociation::PerComponent);
+        let model = EntryPointModel::build(&mut p, &platform, &app, CallbackAssociation::PerComponent);
         assert_eq!(model.static_initializers.len(), 1);
     }
 }

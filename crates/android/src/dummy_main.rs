@@ -294,7 +294,7 @@ class com.ex.Work extends android.app.Service {
         let mut p = Program::new();
         let platform = install_platform(&mut p);
         let app = App::from_parts(&mut p, MANIFEST, &[], CODE).unwrap();
-        let model = EntryPointModel::build(&p, &platform, &app, CallbackAssociation::PerComponent);
+        let model = EntryPointModel::build(&mut p, &platform, &app, CallbackAssociation::PerComponent);
         let main = generate_dummy_main(&mut p, &platform, &model, "t1");
         let cg = CallGraph::build(&p, &[main], CgAlgorithm::Cha);
         for name in ["onCreate", "onRestart", "onDestroy", "onStartCommand"] {
@@ -309,7 +309,7 @@ class com.ex.Work extends android.app.Service {
         let platform = install_platform(&mut p);
         let app =
             App::from_parts(&mut p, MANIFEST, &[("main", LAYOUT)], CODE_WITH_LAYOUT).unwrap();
-        let model = EntryPointModel::build(&p, &platform, &app, CallbackAssociation::PerComponent);
+        let model = EntryPointModel::build(&mut p, &platform, &app, CallbackAssociation::PerComponent);
         let main = generate_dummy_main(&mut p, &platform, &model, "t2");
         let cg = CallGraph::build(&p, &[main], CgAlgorithm::Cha);
         let send = p.find_method("com.ex.Main", "sendMessage").unwrap();
@@ -323,7 +323,7 @@ class com.ex.Work extends android.app.Service {
         let mut p = Program::new();
         let platform = install_platform(&mut p);
         let app = App::from_parts(&mut p, MANIFEST, &[], CODE).unwrap();
-        let model = EntryPointModel::build(&p, &platform, &app, CallbackAssociation::PerComponent);
+        let model = EntryPointModel::build(&mut p, &platform, &app, CallbackAssociation::PerComponent);
         let main = generate_dummy_main(&mut p, &platform, &model, "t3");
         let text = ProgramPrinter::new(&p).method_to_string(main);
         // onRestart is guarded by an opaque branch and loops back.
@@ -345,7 +345,7 @@ class com.ex.Work extends android.app.Service {
             "class e.X { method f() -> void { return } }",
         )
         .unwrap();
-        let model = EntryPointModel::build(&p, &platform, &app, CallbackAssociation::PerComponent);
+        let model = EntryPointModel::build(&mut p, &platform, &app, CallbackAssociation::PerComponent);
         let main = generate_dummy_main(&mut p, &platform, &model, "t4");
         let body = p.method(main).body().unwrap();
         assert!(body.len() <= 3, "selector + return only");

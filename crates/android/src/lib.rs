@@ -17,14 +17,22 @@
 //!   callbacks using opaque predicates (paper Figure 1);
 //! * [`permissions`] — reachability-based permission requirements and
 //!   over-privilege reporting (the attack-surface companion analysis
-//!   the paper's introduction motivates).
+//!   the paper's introduction motivates);
+//! * [`snapshot`] — the versioned, checksummed `platform.fdps`
+//!   serialization of the platform model, built once and shared
+//!   read-only across analysis jobs by the daemon.
 
 pub mod component;
 pub mod dummy_main;
 pub mod permissions;
 pub mod platform;
+pub mod snapshot;
 
 pub use component::{CallbackAssociation, CallbackInfo, CallbackReceiver, ComponentModel, EntryPointModel};
 pub use dummy_main::generate_dummy_main;
 pub use permissions::{analyze_permissions, PermissionReport};
 pub use platform::{install_platform, PlatformInfo};
+pub use snapshot::{
+    build_snapshot, decode_snapshot, encode_snapshot, load_snapshot, save_snapshot,
+    PlatformSnapshot, SnapshotError,
+};

@@ -41,7 +41,7 @@ pub const CALLBACK_INTERFACES: &[&str] = &[
 ];
 
 /// Handles to frequently used platform entities.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PlatformInfo {
     /// `java.lang.Object`.
     pub object: ClassId,

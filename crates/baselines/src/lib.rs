@@ -55,7 +55,7 @@ impl BaselineTool {
 /// leaks (distinct sink statements).
 pub fn analyze_app(
     tool: BaselineTool,
-    program: &Program,
+    program: &mut Program,
     platform: &PlatformInfo,
     app: &App,
     sources: &SourceSinkManager,
@@ -104,7 +104,7 @@ mod tests {
         let app = App::from_parts(&mut p, manifest, &[], code).unwrap();
         let sources = SourceSinkManager::default_android();
         let wrapper = TaintWrapper::default_rules();
-        analyze_app(tool, &p, &platform, &app, &sources, &wrapper).leak_count()
+        analyze_app(tool, &mut p, &platform, &app, &sources, &wrapper).leak_count()
     }
 
     const MANIFEST: &str = r#"<manifest package="b">

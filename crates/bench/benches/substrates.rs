@@ -42,7 +42,7 @@ fn bench(c: &mut Criterion) {
     let pl = install_platform(&mut q);
     let loaded = g.load(&mut q);
     let model = flowdroid_android::EntryPointModel::build(
-        &q,
+        &mut q,
         &pl,
         &loaded,
         flowdroid_android::CallbackAssociation::PerComponent,

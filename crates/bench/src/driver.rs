@@ -9,19 +9,20 @@
 //! leak report ([`corpus_report`]) is byte-for-byte identical across
 //! thread counts and runs.
 
-use flowdroid_android::install_platform;
+use flowdroid_android::{build_snapshot, install_platform, PlatformSnapshot};
 use flowdroid_core::{
     AbortReason, Infoflow, InfoflowConfig, InfoflowResults, SourceSinkManager, TaintWrapper,
 };
 use flowdroid_droidbench::{all_apps, insecurebank, BenchApp};
-use flowdroid_frontend::layout::ResourceTable;
+use flowdroid_frontend::layout::{Layout, ResourceTable};
+use flowdroid_frontend::manifest::Manifest;
 use flowdroid_core::{SchedulerStats, SummaryCacheStats};
 use std::path::Path;
-use flowdroid_frontend::parse_jasm;
-use flowdroid_ir::Program;
+use flowdroid_frontend::{parse_jasm, sdex, App};
+use flowdroid_ir::{FxHashMap, Program};
 use flowdroid_securibench::{cases_in, Group, MicroCase, MICRO_DEFS, MICRO_ENV};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// What kind of benchmark a corpus entry is.
@@ -121,6 +122,74 @@ pub fn stress_job(k: usize) -> CorpusJob {
     CorpusJob { name: format!("stress/{k}"), kind: JobKind::Micro(Box::new(case)) }
 }
 
+/// The process-wide platform snapshot lazy runs start from: built once,
+/// then cheaply cloned per job. The daemon builds (or loads) its own
+/// snapshot and passes it to [`run_single_lazy`] directly; this
+/// accessor backs standalone [`run_single`] calls with
+/// `config.lazy_frontend` set.
+pub fn shared_platform_snapshot() -> &'static Arc<PlatformSnapshot> {
+    static SNAP: OnceLock<Arc<PlatformSnapshot>> = OnceLock::new();
+    SNAP.get_or_init(|| Arc::new(build_snapshot()))
+}
+
+/// A corpus job pre-lowered for the demand-driven frontend: the app's
+/// code encoded as an SDEX image (so method bodies have a byte index to
+/// defer to) plus the non-code artifacts, parsed once and cloned per
+/// run. Corpus apps are authored in `jasm` text, which has no body
+/// index — this registry is what makes `bodies_skipped` possible on
+/// them.
+enum Prepared {
+    /// An Android app: everything [`App::from_archive_lazy`] would
+    /// produce, split so the job program only pays for lazy SDEX decode.
+    Droid {
+        manifest: Manifest,
+        layouts: FxHashMap<String, Layout>,
+        resources: ResourceTable,
+        sdex: Arc<[u8]>,
+    },
+    /// A SecuriBench Micro case: env + case classes, one entry class.
+    Micro { sdex: Arc<[u8]>, entry_class: String },
+}
+
+/// Returns the cached [`Prepared`] form of `job`, encoding it on first
+/// use. Keyed by the job's unique name; preparation is deterministic,
+/// so a racing duplicate insert is harmless (first one wins).
+fn prepared_for(job: &CorpusJob, snapshot: &PlatformSnapshot) -> Arc<Prepared> {
+    static REG: OnceLock<Mutex<FxHashMap<String, Arc<Prepared>>>> = OnceLock::new();
+    let reg = REG.get_or_init(|| Mutex::new(FxHashMap::default()));
+    if let Some(p) = reg.lock().unwrap().get(&job.name) {
+        return p.clone();
+    }
+    let prepared = Arc::new(prepare(job, snapshot));
+    reg.lock().unwrap().entry(job.name.clone()).or_insert(prepared).clone()
+}
+
+/// Parses a job's `jasm` text against a scratch platform program and
+/// encodes the app classes into an SDEX image.
+fn prepare(job: &CorpusJob, snapshot: &PlatformSnapshot) -> Prepared {
+    let mut scratch = snapshot.program.clone();
+    match &job.kind {
+        JobKind::Droid(app) => {
+            let loaded = app.load(&mut scratch).expect("suite app parses");
+            let sdex: Arc<[u8]> = sdex::encode(&scratch, &loaded.classes).into();
+            Prepared::Droid {
+                manifest: loaded.manifest,
+                layouts: loaded.layouts,
+                resources: loaded.resources,
+                sdex,
+            }
+        }
+        JobKind::Micro(case) => {
+            let rt = ResourceTable::new();
+            let mut classes = parse_jasm(&mut scratch, &rt, MICRO_ENV).expect("micro env parses");
+            classes
+                .extend(parse_jasm(&mut scratch, &rt, &case.code).expect("micro case parses"));
+            let sdex: Arc<[u8]> = sdex::encode(&scratch, &classes).into();
+            Prepared::Micro { sdex, entry_class: case.entry_class.clone() }
+        }
+    }
+}
+
 /// The outcome of analyzing one corpus entry.
 pub struct AppRun {
     /// The job's name.
@@ -151,6 +220,20 @@ pub struct AppRun {
     pub aborted: bool,
     /// Why the run aborted, when [`AppRun::aborted`] is set.
     pub abort_reason: Option<AbortReason>,
+    /// Method bodies the demand-driven frontend decoded for this job
+    /// (0 on eager runs, where everything is decoded at parse time).
+    pub bodies_materialized: u64,
+    /// Method bodies left pending — indexed but never decoded because
+    /// the callgraph closure never reached them (0 on eager runs).
+    pub bodies_skipped: u64,
+}
+
+impl AppRun {
+    /// Everything before the data-flow phase: parse/decode, entry-point
+    /// model, dummy main and call-graph construction.
+    pub fn setup(&self) -> Duration {
+        self.total.saturating_sub(self.dataflow)
+    }
 }
 
 /// Renders the deterministic per-app leak report: one header line plus
@@ -174,7 +257,14 @@ fn leak_report(name: &str, results: &InfoflowResults, p: &Program) -> String {
 /// Analyzes one corpus job with `config` (including any configured
 /// abort handle / summary cache) and returns its outcome. This is the
 /// unit the analysis daemon schedules on its worker pool.
+///
+/// With `config.lazy_frontend` set the job runs through
+/// [`run_single_lazy`] against the process-wide platform snapshot;
+/// leak reports are byte-identical either way.
 pub fn run_single(job: &CorpusJob, config: &InfoflowConfig) -> AppRun {
+    if config.lazy_frontend {
+        return run_single_lazy(job, config, shared_platform_snapshot());
+    }
     let start = Instant::now();
     let (results, report) = match &job.kind {
         JobKind::Droid(app) => {
@@ -202,6 +292,62 @@ pub fn run_single(job: &CorpusJob, config: &InfoflowConfig) -> AppRun {
             (results, report)
         }
     };
+    finish_run(job, start, results, report, 0, 0)
+}
+
+/// Analyzes one corpus job through the demand-driven frontend: the job
+/// program starts as a clone of `snapshot` (no platform rebuild), app
+/// code is installed via lazy SDEX decode, and only callgraph-reachable
+/// method bodies are materialized. This is the warm path the analysis
+/// daemon runs per job.
+pub fn run_single_lazy(
+    job: &CorpusJob,
+    config: &InfoflowConfig,
+    snapshot: &PlatformSnapshot,
+) -> AppRun {
+    let start = Instant::now();
+    let prepared = prepared_for(job, snapshot);
+    let mut p = snapshot.program.clone();
+    let (results, report) = match &*prepared {
+        Prepared::Droid { manifest, layouts, resources, sdex } => {
+            let classes =
+                sdex::decode_lazy(&mut p, sdex.clone()).expect("prepared sdex image loads");
+            let loaded = App {
+                manifest: manifest.clone(),
+                layouts: layouts.clone(),
+                resources: resources.clone(),
+                classes,
+            };
+            let sources = SourceSinkManager::default_android();
+            let wrapper = TaintWrapper::default_rules();
+            let analysis = Infoflow::new(&sources, &wrapper, config)
+                .analyze_app(&mut p, &snapshot.info, &loaded, "corpus");
+            let report = leak_report(&job.name, &analysis.results, &p);
+            (analysis.results, report)
+        }
+        Prepared::Micro { sdex, entry_class } => {
+            sdex::decode_lazy(&mut p, sdex.clone()).expect("prepared sdex image loads");
+            let sources = SourceSinkManager::parse(MICRO_DEFS).expect("micro defs parse");
+            let wrapper = TaintWrapper::default_rules();
+            let entry = p.find_method(entry_class, "main").expect("micro entry");
+            let results = Infoflow::new(&sources, &wrapper, config).run_demand(&mut p, &[entry]);
+            let report = leak_report(&job.name, &results, &p);
+            (results, report)
+        }
+    };
+    let materialized = p.bodies_materialized();
+    let skipped = p.pending_body_count() as u64;
+    finish_run(job, start, results, report, materialized, skipped)
+}
+
+fn finish_run(
+    job: &CorpusJob,
+    start: Instant,
+    results: InfoflowResults,
+    report: String,
+    bodies_materialized: u64,
+    bodies_skipped: u64,
+) -> AppRun {
     AppRun {
         name: job.name.clone(),
         leaks: results.leak_count(),
@@ -216,6 +362,8 @@ pub fn run_single(job: &CorpusJob, config: &InfoflowConfig) -> AppRun {
         summary_cache: results.summary_cache.clone(),
         aborted: results.aborted,
         abort_reason: results.abort_reason,
+        bodies_materialized,
+        bodies_skipped,
     }
 }
 
@@ -261,6 +409,14 @@ impl CorpusRun {
     /// Total distinct access paths interned across the corpus.
     pub fn total_distinct_aps(&self) -> usize {
         self.apps.iter().map(|a| a.distinct_aps).sum()
+    }
+
+    /// Total method bodies (materialized, skipped) across the corpus —
+    /// both zero unless the demand-driven frontend ran.
+    pub fn total_bodies(&self) -> (u64, u64) {
+        let m = self.apps.iter().map(|a| a.bodies_materialized).sum();
+        let s = self.apps.iter().map(|a| a.bodies_skipped).sum();
+        (m, s)
     }
 
     /// Summary-cache counters summed across the corpus (`None` when no
@@ -377,6 +533,24 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), before, "corpus job names must be unique");
         assert!(before > 100, "corpus should cover both suites, got {before}");
+    }
+
+    #[test]
+    fn lazy_run_matches_eager_on_slice() {
+        let jobs: Vec<CorpusJob> = full_corpus()
+            .into_iter()
+            .filter(|j| j.name.contains("Basic1") || j.name == "insecurebank")
+            .collect();
+        assert!(jobs.len() >= 2);
+        let eager_cfg = InfoflowConfig::default();
+        let lazy_cfg = InfoflowConfig::default().with_lazy_frontend(true);
+        for job in &jobs {
+            let eager = run_single(job, &eager_cfg);
+            let lazy = run_single(job, &lazy_cfg);
+            assert_eq!(eager.report, lazy.report, "{} diverged", job.name);
+            assert_eq!(eager.bodies_materialized, 0);
+            assert!(lazy.bodies_materialized > 0, "{} decoded nothing", job.name);
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@ fn baseline_on(tool: BaselineTool, app: &BenchApp) -> usize {
     let loaded = app.load(&mut p).unwrap();
     let sources = SourceSinkManager::default_android();
     let wrapper = TaintWrapper::default_rules();
-    flowdroid_baselines::analyze_app(tool, &p, &platform, &loaded, &sources, &wrapper).leak_count()
+    flowdroid_baselines::analyze_app(tool, &mut p, &platform, &loaded, &sources, &wrapper).leak_count()
 }
 
 /// One row of the reproduced Table 1.

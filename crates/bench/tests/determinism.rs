@@ -45,6 +45,35 @@ fn parallel_taint_engine_matches_sequential_on_droidbench() {
     }
 }
 
+/// The demand-driven frontend (platform snapshot clone + lazy method
+/// bodies, see `InfoflowConfig::lazy_frontend`) produces byte-for-byte
+/// the same leak report as eager loading on the whole corpus, with the
+/// sequential solver and with the parallel taint engine — laziness must
+/// only move *when* bodies are decoded, never what is analyzed. The
+/// lazy sweep must also leave at least one body undecoded overall, or
+/// it is not exercising the demand path at all.
+#[test]
+fn lazy_frontend_report_identical_to_eager() {
+    use flowdroid_bench::full_corpus;
+    let jobs = full_corpus();
+    for taint_threads in [1usize, 4] {
+        let eager = InfoflowConfig::default().with_taint_threads(taint_threads);
+        let lazy = eager.clone().with_lazy_frontend(true);
+        let eager_run = run_corpus(&jobs, &eager, 1);
+        let lazy_run = run_corpus(&jobs, &lazy, 1);
+        assert_eq!(
+            corpus_report(&lazy_run),
+            corpus_report(&eager_run),
+            "lazy report diverged from eager at {taint_threads} taint thread(s)"
+        );
+        let (materialized_eager, _) = eager_run.total_bodies();
+        assert_eq!(materialized_eager, 0, "eager runs must not touch the demand path");
+        let (materialized, skipped) = lazy_run.total_bodies();
+        assert!(materialized > 0, "lazy sweep decoded no bodies on demand");
+        assert!(skipped > 0, "lazy sweep left no body undecoded — nothing was lazy");
+    }
+}
+
 /// Interned and whole-fact keys find the same leaks on the whole
 /// Android corpus (interning is a pure representation change).
 #[test]

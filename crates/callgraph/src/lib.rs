@@ -36,7 +36,9 @@
 mod graph;
 mod hierarchy;
 mod icfg;
+mod materialize;
 
 pub use graph::{CallGraph, CgAlgorithm};
 pub use hierarchy::Hierarchy;
 pub use icfg::Icfg;
+pub use materialize::{materialize_reachable, MaterializeStats};

@@ -15,7 +15,7 @@ use crate::solver::BiSolver;
 use crate::sourcesink::SourceSinkManager;
 use crate::wrappers::TaintWrapper;
 use flowdroid_android::{generate_dummy_main, EntryPointModel, PlatformInfo};
-use flowdroid_callgraph::{CallGraph, Icfg};
+use flowdroid_callgraph::{materialize_reachable, CallGraph, Hierarchy, Icfg};
 use flowdroid_frontend::App;
 use flowdroid_ir::{MethodId, Program};
 
@@ -74,6 +74,20 @@ impl<'a> Infoflow<'a> {
         let cg = CallGraph::build(program, entry_points, self.config.cg_algorithm);
         let icfg = Icfg::new(program, &cg);
         self.solve_with_domain(icfg, self.sources, entry_points)
+    }
+
+    /// Like [`Infoflow::run`], but materializes deferred method bodies
+    /// reachable from the entry points first (the demand-driven frontend
+    /// path for programs loaded via
+    /// [`flowdroid_frontend::App::from_archive_lazy`] or
+    /// [`flowdroid_frontend::sdex::decode_lazy`]). On a fully decoded
+    /// program this is exactly [`Infoflow::run`].
+    pub fn run_demand(&self, program: &mut Program, entry_points: &[MethodId]) -> InfoflowResults {
+        if program.has_pending_bodies() {
+            let hierarchy = Hierarchy::build(program);
+            materialize_reachable(program, &hierarchy, entry_points);
+        }
+        self.run(program, entry_points)
     }
 
     /// Dispatches on the configured engine: the parallel work-stealing
@@ -137,6 +151,14 @@ impl<'a> Infoflow<'a> {
         let model =
             EntryPointModel::build(program, platform, app, self.config.callback_association);
         let dummy_main = generate_dummy_main(program, platform, &model, tag);
+        // Lazily loaded apps: decode any remaining bodies the dummy main
+        // can reach (the model-building pass above already materialized
+        // per-component slices; this picks up static initializers and
+        // the dummy-main glue). No-op on eager programs.
+        if program.has_pending_bodies() {
+            let hierarchy = Hierarchy::build(program);
+            materialize_reachable(program, &hierarchy, &[dummy_main]);
+        }
         let cg = CallGraph::build(program, &[dummy_main], self.config.cg_algorithm);
         let icfg = Icfg::new(program, &cg);
         let results = self.solve_with_domain(icfg, sources, &[dummy_main]);

@@ -67,6 +67,13 @@ pub struct InfoflowConfig {
     /// never stages summary-cache entries. `None` (default) means the
     /// run can only abort via `max_propagations`.
     pub abort: Option<AbortHandle>,
+    /// Load app code through the demand-driven frontend: SDEX method
+    /// bodies are indexed but not decoded at load time, and only the
+    /// bodies the callgraph closure reaches are materialized (see
+    /// [`flowdroid_frontend::App::from_archive_lazy`]). Leak reports are
+    /// byte-identical to eager loading; only load cost shifts. `false`
+    /// (default) decodes everything up front.
+    pub lazy_frontend: bool,
 }
 
 impl Default for InfoflowConfig {
@@ -85,6 +92,7 @@ impl Default for InfoflowConfig {
             taint_threads: 0,
             summary_cache: None,
             abort: None,
+            lazy_frontend: false,
         }
     }
 }
@@ -156,6 +164,12 @@ impl InfoflowConfig {
     /// after `budget` of wall-clock time (measured from this call).
     pub fn with_deadline(self, budget: Duration) -> Self {
         self.with_abort(AbortHandle::with_deadline(budget))
+    }
+
+    /// Builder-style setter for the demand-driven frontend.
+    pub fn with_lazy_frontend(mut self, on: bool) -> Self {
+        self.lazy_frontend = on;
+        self
     }
 }
 

@@ -15,7 +15,7 @@ fn run_baseline(tool: BaselineTool, app: &BenchApp) -> usize {
     let loaded = app.load(&mut p).unwrap();
     let sources = SourceSinkManager::default_android();
     let wrapper = TaintWrapper::default_rules();
-    flowdroid_baselines::analyze_app(tool, &p, &platform, &loaded, &sources, &wrapper)
+    flowdroid_baselines::analyze_app(tool, &mut p, &platform, &loaded, &sources, &wrapper)
         .leak_count()
 }
 

@@ -126,6 +126,52 @@ impl App {
     /// Returns [`AppError`] if the manifest is missing or any artifact
     /// fails to parse.
     pub fn from_archive(program: &mut Program, archive: &Archive) -> Result<App, AppError> {
+        let (manifest, parsed, resources) = Self::load_meta(archive)?;
+        let mut classes = Vec::new();
+        if let Some(src) = archive.get_str("classes.jasm") {
+            classes.extend(jasm::parse_jasm(program, &resources, src)?);
+        }
+        if let Some(bytes) = archive.get("classes.sdex") {
+            classes.extend(sdex::decode(program, bytes)?);
+        }
+        if classes.is_empty() {
+            return Err(AppError::Missing("classes.jasm or classes.sdex".to_owned()));
+        }
+        Ok(App { manifest, layouts: parsed, resources, classes })
+    }
+
+    /// Loads an app from an RPK [`Archive`] like [`App::from_archive`],
+    /// but defers SDEX method-body decoding: class/method indexes are
+    /// declared eagerly while bodies become pending bodies that the
+    /// callgraph closure materializes on first access (see
+    /// [`flowdroid_ir::Program::ensure_body`]). `classes.jasm` text has
+    /// no body index and is still parsed eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AppError`] under exactly the same conditions as the
+    /// eager loader: lazily loaded bodies are fully validated up front,
+    /// so a malformed archive is rejected here, not at materialization.
+    pub fn from_archive_lazy(program: &mut Program, archive: &Archive) -> Result<App, AppError> {
+        let (manifest, parsed, resources) = Self::load_meta(archive)?;
+        let mut classes = Vec::new();
+        if let Some(src) = archive.get_str("classes.jasm") {
+            classes.extend(jasm::parse_jasm(program, &resources, src)?);
+        }
+        if let Some(bytes) = archive.get("classes.sdex") {
+            classes.extend(sdex::decode_lazy(program, bytes.to_vec().into())?);
+        }
+        if classes.is_empty() {
+            return Err(AppError::Missing("classes.jasm or classes.sdex".to_owned()));
+        }
+        Ok(App { manifest, layouts: parsed, resources, classes })
+    }
+
+    /// Parses the non-code artifacts of an archive: manifest, layouts
+    /// and the resource table derived from them.
+    fn load_meta(
+        archive: &Archive,
+    ) -> Result<(Manifest, FxHashMap<String, Layout>, ResourceTable), AppError> {
         let manifest_xml = archive
             .get_str("AndroidManifest.xml")
             .ok_or_else(|| AppError::Missing("AndroidManifest.xml".to_owned()))?;
@@ -145,17 +191,7 @@ impl App {
             parsed.insert(name.clone(), Layout::parse(&name, xml)?);
         }
         let resources = ResourceTable::from_layouts(parsed.values());
-        let mut classes = Vec::new();
-        if let Some(src) = archive.get_str("classes.jasm") {
-            classes.extend(jasm::parse_jasm(program, &resources, src)?);
-        }
-        if let Some(bytes) = archive.get("classes.sdex") {
-            classes.extend(sdex::decode(program, bytes)?);
-        }
-        if classes.is_empty() {
-            return Err(AppError::Missing("classes.jasm or classes.sdex".to_owned()));
-        }
-        Ok(App { manifest, layouts: parsed, resources, classes })
+        Ok((manifest, parsed, resources))
     }
 
     /// Loads an app from a directory with the same layout as an

@@ -30,10 +30,11 @@
 //! (dots kept, not slashes) and `[` prefixes for arrays.
 
 use flowdroid_ir::{
-    BinOp, Body, ClassId, CmpOp, Cond, Constant, FxHashMap, InvokeExpr, InvokeKind, Local,
-    MethodRef, Operand, Place, Program, Rvalue, Stmt, SubSig, Type, UnOp,
+    BinOp, Body, BodySource, ClassId, CmpOp, Cond, Constant, FxHashMap, InvokeExpr, InvokeKind,
+    Local, MethodRef, Operand, Place, Program, Rvalue, Stmt, SubSig, Type, UnOp,
 };
 use std::fmt;
+use std::sync::Arc;
 
 /// Current format version.
 pub const VERSION: u16 = 1;
@@ -86,6 +87,19 @@ impl<'p> Encoder<'p> {
         let n = self.program.class_name(c).to_owned();
         self.string(&n)
     }
+}
+
+/// Renders a type as a JVM-style descriptor string (`I`, `Lcom.foo;`,
+/// `[J`, …). Exposed for other binary codecs (e.g. the platform
+/// snapshot) that reuse SDEX's descriptor convention.
+pub fn type_descriptor(p: &Program, t: &Type) -> String {
+    descriptor_of(p, t)
+}
+
+/// Parses a JVM-style descriptor back into a [`Type`], creating phantom
+/// classes for referenced names as needed. Returns `None` on bad syntax.
+pub fn parse_type_descriptor(program: &mut Program, d: &str) -> Option<Type> {
+    parse_descriptor(program, d)
 }
 
 fn descriptor_of(p: &Program, t: &Type) -> String {
@@ -488,14 +502,14 @@ fn cmpop_code(op: CmpOp) -> u8 {
 
 // ===================== Decoding =====================
 
-struct Decoder<'b, 'p> {
+struct Decoder<'b, 's, 'p> {
     bytes: &'b [u8],
     pos: usize,
-    strings: Vec<String>,
+    strings: &'s [String],
     program: &'p mut Program,
 }
 
-impl<'b, 'p> Decoder<'b, 'p> {
+impl<'b, 's, 'p> Decoder<'b, 's, 'p> {
     fn err(&self, msg: impl Into<String>) -> SdexError {
         SdexError { message: msg.into(), offset: self.pos }
     }
@@ -530,12 +544,17 @@ impl<'b, 'p> Decoder<'b, 'p> {
         Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
     }
 
-    fn str_idx(&mut self) -> Result<String, SdexError> {
+    /// Reads a string-pool index and returns the borrowed string.
+    fn str_ref(&mut self) -> Result<&'s str, SdexError> {
         let i = self.uleb()? as usize;
-        self.strings
-            .get(i)
-            .cloned()
-            .ok_or_else(|| self.err(format!("string index {i} out of range")))
+        match self.strings.get(i) {
+            Some(s) => Ok(s.as_str()),
+            None => Err(self.err(format!("string index {i} out of range"))),
+        }
+    }
+
+    fn str_idx(&mut self) -> Result<String, SdexError> {
+        Ok(self.str_ref()?.to_owned())
     }
 
     fn type_desc(&mut self) -> Result<Type, SdexError> {
@@ -604,6 +623,19 @@ impl<'b, 'p> Decoder<'b, 'p> {
     }
 }
 
+/// Checks descriptor syntax without touching a program (used by the
+/// body validators, where creating phantom classes would be premature).
+/// Mirrors [`parse_descriptor`] exactly.
+fn descriptor_syntax_ok(d: &str) -> bool {
+    let b = d.as_bytes();
+    match b.first() {
+        Some(b'V' | b'Z' | b'B' | b'C' | b'S' | b'I' | b'J' | b'F' | b'D') => d.len() == 1,
+        Some(b'L') => d.ends_with(';'),
+        Some(b'[') => descriptor_syntax_ok(&d[1..]),
+        _ => false,
+    }
+}
+
 fn parse_descriptor(program: &mut Program, d: &str) -> Option<Type> {
     let b = d.as_bytes();
     match b.first()? {
@@ -622,14 +654,28 @@ fn parse_descriptor(program: &mut Program, d: &str) -> Option<Type> {
     }
 }
 
-/// Decodes SDEX bytes, declaring all contained classes into `program`.
-/// Returns the declared class ids.
-///
-/// # Errors
-///
-/// Returns [`SdexError`] on truncated input, bad magic/version, invalid
-/// indices, malformed descriptors or class redeclaration.
-pub fn decode(program: &mut Program, bytes: &[u8]) -> Result<Vec<ClassId>, SdexError> {
+fn read_uleb_raw(bytes: &[u8], pos: &mut usize) -> Result<u64, SdexError> {
+    let mut v: u64 = 0;
+    let mut shift = 0;
+    loop {
+        let b = *bytes
+            .get(*pos)
+            .ok_or_else(|| SdexError { message: "unexpected end of input".into(), offset: *pos })?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(SdexError { message: "uleb128 overflow".into(), offset: *pos });
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Validates magic/version and reads the string pool. Returns the pool
+/// and the byte offset where the class section starts.
+fn read_header(bytes: &[u8]) -> Result<(Vec<String>, usize), SdexError> {
     if bytes.len() < 6 || &bytes[..4] != MAGIC {
         return Err(SdexError { message: "bad magic".into(), offset: 0 });
     }
@@ -640,22 +686,37 @@ pub fn decode(program: &mut Program, bytes: &[u8]) -> Result<Vec<ClassId>, SdexE
             offset: 4,
         });
     }
-    let mut dec = Decoder { bytes, pos: 6, strings: Vec::new(), program };
-    let nstrings = dec.uleb()? as usize;
+    let mut pos = 6;
+    let nstrings = read_uleb_raw(bytes, &mut pos)? as usize;
+    let mut strings = Vec::new();
     for _ in 0..nstrings {
-        let len = dec.uleb()? as usize;
-        if dec.pos + len > dec.bytes.len() {
-            return Err(dec.err("string overruns input"));
+        let len = read_uleb_raw(bytes, &mut pos)? as usize;
+        if pos + len > bytes.len() {
+            return Err(SdexError { message: "string overruns input".into(), offset: pos });
         }
-        let s = std::str::from_utf8(&dec.bytes[dec.pos..dec.pos + len])
-            .map_err(|_| dec.err("invalid UTF-8 in string pool"))?
+        let s = std::str::from_utf8(&bytes[pos..pos + len])
+            .map_err(|_| SdexError { message: "invalid UTF-8 in string pool".into(), offset: pos })?
             .to_owned();
-        dec.pos += len;
-        dec.strings.push(s);
+        pos += len;
+        strings.push(s);
     }
+    Ok((strings, pos))
+}
+
+/// Decodes SDEX bytes, declaring all contained classes into `program`.
+/// Returns the declared class ids.
+///
+/// # Errors
+///
+/// Returns [`SdexError`] on truncated input, bad magic/version, invalid
+/// indices, malformed descriptors or class redeclaration.
+pub fn decode(program: &mut Program, bytes: &[u8]) -> Result<Vec<ClassId>, SdexError> {
+    let (strings, body_start) = read_header(bytes)?;
+    let mut dec = Decoder { bytes, pos: body_start, strings: &strings, program };
     let nclasses = dec.uleb()? as usize;
     let mut headers = Vec::with_capacity(nclasses);
-    // Pass 1: declarations (classes, fields, method signatures).
+    // Pass 1: declarations (classes, fields, method signatures); each
+    // body is structurally validated in full while being skipped.
     for _ in 0..nclasses {
         headers.push(decode_class_decl(&mut dec)?);
     }
@@ -665,7 +726,70 @@ pub fn decode(program: &mut Program, bytes: &[u8]) -> Result<Vec<ClassId>, SdexE
         ids.push(cid);
         for (mid, body_bytes_start) in methods {
             dec.pos = body_bytes_start;
-            decode_body(&mut dec, mid)?;
+            let body = decode_body(&mut dec)?;
+            dec.program.set_body(mid, body);
+        }
+    }
+    Ok(ids)
+}
+
+/// The deferred-body source for lazily loaded SDEX images: the raw bytes
+/// plus the decoded string pool, shared by every method of the image.
+/// The token of each pending body is its byte offset.
+struct LazySdex {
+    bytes: Arc<[u8]>,
+    strings: Vec<String>,
+}
+
+impl BodySource for LazySdex {
+    fn materialize(
+        &self,
+        program: &mut Program,
+        _method: flowdroid_ir::MethodId,
+        token: u64,
+    ) -> Result<Body, String> {
+        let mut dec = Decoder {
+            bytes: &self.bytes,
+            pos: token as usize,
+            strings: &self.strings,
+            program,
+        };
+        decode_body(&mut dec).map_err(|e| e.to_string())
+    }
+}
+
+/// Decodes SDEX bytes like [`decode`], but defers method-body decoding:
+/// classes, fields and method signatures are declared eagerly while each
+/// body is registered as a pending body (token = byte offset) that
+/// [`Program::ensure_body`] materializes on first access.
+///
+/// Bodies are still *validated* in full here — the declaration pass walks
+/// every body checking opcodes, tags, string indices, descriptors, local
+/// slots and branch targets — so a later materialization of accepted
+/// bytes cannot fail. Malformed images are rejected now, exactly like
+/// the eager path.
+///
+/// # Errors
+///
+/// Returns [`SdexError`] on truncated input, bad magic/version, invalid
+/// indices, malformed descriptors or class redeclaration.
+pub fn decode_lazy(program: &mut Program, bytes: Arc<[u8]>) -> Result<Vec<ClassId>, SdexError> {
+    let (strings, body_start) = read_header(&bytes)?;
+    let headers = {
+        let mut dec = Decoder { bytes: &bytes, pos: body_start, strings: &strings, program };
+        let nclasses = dec.uleb()? as usize;
+        let mut headers = Vec::with_capacity(nclasses);
+        for _ in 0..nclasses {
+            headers.push(decode_class_decl(&mut dec)?);
+        }
+        headers
+    };
+    let source = Arc::new(LazySdex { bytes, strings });
+    let mut ids = Vec::with_capacity(headers.len());
+    for (cid, methods) in headers {
+        ids.push(cid);
+        for (mid, body_bytes_start) in methods {
+            program.defer_body(mid, source.clone(), body_bytes_start as u64);
         }
     }
     Ok(ids)
@@ -673,7 +797,7 @@ pub fn decode(program: &mut Program, bytes: &[u8]) -> Result<Vec<ClassId>, SdexE
 
 type ClassHeader = (ClassId, Vec<(flowdroid_ir::MethodId, usize)>);
 
-fn decode_class_decl(dec: &mut Decoder<'_, '_>) -> Result<ClassHeader, SdexError> {
+fn decode_class_decl(dec: &mut Decoder<'_, '_, '_>) -> Result<ClassHeader, SdexError> {
     let name = dec.str_idx()?;
     let flags = dec.u8()?;
     let has_super = dec.u8()?;
@@ -729,25 +853,70 @@ fn decode_class_decl(dec: &mut Decoder<'_, '_>) -> Result<ClassHeader, SdexError
     Ok((cid, methods))
 }
 
-/// Skips over an encoded body (used during the declaration pass).
-fn skip_body(dec: &mut Decoder<'_, '_>) -> Result<(), SdexError> {
+// ----- body validators ---------------------------------------------------
+//
+// The declaration pass walks each body once to find where the next one
+// starts. These "skip" functions double as full structural validators:
+// every opcode, tag, string index, descriptor, local slot and branch
+// target is checked here, so a body accepted by the declaration pass is
+// guaranteed to decode (the lazy loader relies on this to make deferred
+// materialization infallible).
+
+impl<'b, 's, 'p> Decoder<'b, 's, 'p> {
+    /// Validates a string-pool reference to a type descriptor.
+    fn check_desc(&mut self) -> Result<(), SdexError> {
+        let d = self.str_ref()?;
+        if !descriptor_syntax_ok(d) {
+            let msg = format!("bad descriptor `{d}`");
+            return Err(self.err(msg));
+        }
+        Ok(())
+    }
+
+    /// Validates a local slot (uleb that must fit in `u32`).
+    fn check_local(&mut self) -> Result<(), SdexError> {
+        let v = self.uleb()?;
+        u32::try_from(v).map_err(|_| self.err("local index overflow"))?;
+        Ok(())
+    }
+}
+
+/// Skips and validates an encoded body (used during the declaration pass).
+fn skip_body(dec: &mut Decoder<'_, '_, '_>) -> Result<(), SdexError> {
     let nlocals = dec.uleb()? as usize;
     for _ in 0..nlocals {
-        dec.uleb()?;
-        dec.uleb()?;
+        dec.str_ref()?; // local name
+        dec.check_desc()?; // local type
     }
     let nstmts = dec.uleb()? as usize;
     for _ in 0..nstmts {
-        dec.uleb()?; // line
-        skip_stmt(dec)?;
+        let line = dec.uleb()?;
+        u32::try_from(line).map_err(|_| dec.err("line number overflow"))?;
+        skip_stmt(dec, nstmts)?;
     }
     Ok(())
 }
 
-fn skip_operand(dec: &mut Decoder<'_, '_>) -> Result<(), SdexError> {
+fn skip_const(dec: &mut Decoder<'_, '_, '_>) -> Result<(), SdexError> {
     match dec.u8()? {
-        OPR_LOCAL | OPR_STR | OPR_CLASS => {
-            dec.uleb()?;
+        OPR_STR | OPR_CLASS => {
+            dec.str_ref()?;
+        }
+        OPR_INT => {
+            dec.ileb()?;
+        }
+        OPR_NULL => {}
+        OPR_LOCAL => return Err(dec.err("const tag holds a local")),
+        t => return Err(dec.err(format!("bad operand tag {t}"))),
+    }
+    Ok(())
+}
+
+fn skip_operand(dec: &mut Decoder<'_, '_, '_>) -> Result<(), SdexError> {
+    match dec.u8()? {
+        OPR_LOCAL => dec.check_local()?,
+        OPR_STR | OPR_CLASS => {
+            dec.str_ref()?;
         }
         OPR_INT => {
             dec.ileb()?;
@@ -758,24 +927,22 @@ fn skip_operand(dec: &mut Decoder<'_, '_>) -> Result<(), SdexError> {
     Ok(())
 }
 
-fn skip_place(dec: &mut Decoder<'_, '_>) -> Result<(), SdexError> {
+fn skip_place(dec: &mut Decoder<'_, '_, '_>) -> Result<(), SdexError> {
     match dec.u8()? {
-        PL_LOCAL => {
-            dec.uleb()?;
-        }
+        PL_LOCAL => dec.check_local()?,
         PL_IFIELD => {
-            dec.uleb()?;
-            dec.uleb()?;
-            dec.uleb()?;
-            dec.uleb()?;
+            dec.check_local()?; // base
+            dec.str_ref()?; // class name
+            dec.str_ref()?; // field name
+            dec.check_desc()?; // field type
         }
         PL_SFIELD => {
-            dec.uleb()?;
-            dec.uleb()?;
-            dec.uleb()?;
+            dec.str_ref()?;
+            dec.str_ref()?;
+            dec.check_desc()?;
         }
         PL_ARRAY => {
-            dec.uleb()?;
+            dec.check_local()?;
             skip_operand(dec)?;
         }
         t => return Err(dec.err(format!("bad place tag {t}"))),
@@ -783,32 +950,43 @@ fn skip_place(dec: &mut Decoder<'_, '_>) -> Result<(), SdexError> {
     Ok(())
 }
 
-fn skip_stmt(dec: &mut Decoder<'_, '_>) -> Result<(), SdexError> {
+fn skip_stmt(dec: &mut Decoder<'_, '_, '_>, nstmts: usize) -> Result<(), SdexError> {
+    let target_check = |dec: &Decoder<'_, '_, '_>, t: u64| -> Result<(), SdexError> {
+        if t as usize >= nstmts {
+            Err(dec.err(format!("branch target {t} out of range")))
+        } else {
+            Ok(())
+        }
+    };
     match dec.u8()? {
         OP_NOP => {}
         OP_ASSIGN => {
             skip_place(dec)?;
             match dec.u8()? {
                 RV_READ => skip_place(dec)?,
-                RV_CONST => skip_operand(dec)?,
+                RV_CONST => skip_const(dec)?,
                 RV_NEW => {
-                    dec.uleb()?;
+                    dec.str_ref()?;
                 }
                 RV_NEWARRAY => {
-                    dec.uleb()?;
+                    dec.check_desc()?;
                     skip_operand(dec)?;
                 }
                 RV_BINOP => {
-                    dec.u8()?;
+                    let code = dec.u8()?;
+                    decode_binop(code).ok_or_else(|| dec.err("bad binop"))?;
                     skip_operand(dec)?;
                     skip_operand(dec)?;
                 }
                 RV_UNOP => {
-                    dec.u8()?;
+                    let code = dec.u8()?;
+                    if code > 1 {
+                        return Err(dec.err("bad unop"));
+                    }
                     skip_operand(dec)?;
                 }
                 RV_CAST | RV_INSTANCEOF => {
-                    dec.uleb()?;
+                    dec.check_desc()?;
                     skip_operand(dec)?;
                 }
                 t => return Err(dec.err(format!("bad rvalue tag {t}"))),
@@ -816,33 +994,43 @@ fn skip_stmt(dec: &mut Decoder<'_, '_>) -> Result<(), SdexError> {
         }
         OP_INVOKE => {
             if dec.u8()? == 1 {
-                dec.uleb()?;
+                dec.check_local()?; // result
             }
-            dec.u8()?;
+            let kind = dec.u8()?;
+            if kind > 3 {
+                return Err(dec.err(format!("bad invoke kind {kind}")));
+            }
             if dec.u8()? == 1 {
-                dec.uleb()?;
+                dec.check_local()?; // base
             }
-            dec.uleb()?;
-            dec.uleb()?;
-            dec.uleb()?;
-            let n = dec.uleb()? as usize;
-            for _ in 0..n {
-                dec.uleb()?;
+            dec.str_ref()?; // class name
+            dec.str_ref()?; // method name
+            dec.check_desc()?; // return type
+            let nparams = dec.uleb()? as usize;
+            for _ in 0..nparams {
+                dec.check_desc()?;
             }
-            let n = dec.uleb()? as usize;
-            for _ in 0..n {
+            let nargs = dec.uleb()? as usize;
+            for _ in 0..nargs {
                 skip_operand(dec)?;
+            }
+            if nargs != nparams {
+                return Err(dec.err("argument/parameter count mismatch"));
             }
         }
         OP_IF => {
-            if dec.u8()? > 0 {
+            let ctag = dec.u8()?;
+            if ctag > 0 {
+                decode_cmpop(ctag - 1).ok_or_else(|| dec.err("bad cmp op"))?;
                 skip_operand(dec)?;
                 skip_operand(dec)?;
             }
-            dec.uleb()?;
+            let t = dec.uleb()?;
+            target_check(dec, t)?;
         }
         OP_GOTO => {
-            dec.uleb()?;
+            let t = dec.uleb()?;
+            target_check(dec, t)?;
         }
         OP_RETURN => {
             if dec.u8()? == 1 {
@@ -855,7 +1043,7 @@ fn skip_stmt(dec: &mut Decoder<'_, '_>) -> Result<(), SdexError> {
     Ok(())
 }
 
-fn decode_body(dec: &mut Decoder<'_, '_>, mid: flowdroid_ir::MethodId) -> Result<(), SdexError> {
+fn decode_body(dec: &mut Decoder<'_, '_, '_>) -> Result<Body, SdexError> {
     let nlocals = dec.uleb()? as usize;
     let mut locals = Vec::with_capacity(nlocals);
     for _ in 0..nlocals {
@@ -871,13 +1059,11 @@ fn decode_body(dec: &mut Decoder<'_, '_>, mid: flowdroid_ir::MethodId) -> Result
         lines.push(line);
         stmts.push(decode_stmt(dec, nstmts)?);
     }
-    let body = Body::new(locals, stmts, lines);
-    dec.program.set_body(mid, body);
-    Ok(())
+    Ok(Body::new(locals, stmts, lines))
 }
 
-fn decode_stmt(dec: &mut Decoder<'_, '_>, nstmts: usize) -> Result<Stmt, SdexError> {
-    let target_check = |dec: &Decoder<'_, '_>, t: u64| -> Result<usize, SdexError> {
+fn decode_stmt(dec: &mut Decoder<'_, '_, '_>, nstmts: usize) -> Result<Stmt, SdexError> {
+    let target_check = |dec: &Decoder<'_, '_, '_>, t: u64| -> Result<usize, SdexError> {
         let t = t as usize;
         if t >= nstmts {
             Err(dec.err(format!("branch target {t} out of range")))

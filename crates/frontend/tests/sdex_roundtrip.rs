@@ -163,6 +163,58 @@ proptest! {
         let mut q = Program::new();
         let _ = sdex::decode(&mut q, &bytes); // must not panic
     }
+
+    /// Lazy decode + materializing every pending body yields exactly the
+    /// same program as the eager decoder.
+    #[test]
+    fn lazy_decode_materializes_to_same_class(
+        recipes in proptest::collection::vec(recipe_strategy(), 0..24)
+    ) {
+        let (p, c) = build_program(&recipes);
+        let bytes = sdex::encode(&p, &[c]);
+
+        let mut eager = Program::new();
+        let eager_ids = sdex::decode(&mut eager, &bytes).expect("eager decode");
+
+        let mut lazy = Program::new();
+        let lazy_ids = sdex::decode_lazy(&mut lazy, bytes.into()).expect("lazy decode");
+        prop_assert_eq!(eager_ids.len(), lazy_ids.len());
+        // Nothing decoded yet beyond the declarations.
+        let pending: Vec<_> = lazy.methods().filter(|m| m.body_is_pending()).map(|m| m.id()).collect();
+        prop_assert!(pending.iter().all(|&m| lazy.method(m).body().is_none()));
+        for m in pending {
+            lazy.ensure_body(m);
+        }
+        prop_assert_eq!(lazy.pending_body_count(), 0);
+        let before = ProgramPrinter::new(&eager).class_to_string(eager_ids[0]);
+        let after = ProgramPrinter::new(&lazy).class_to_string(lazy_ids[0]);
+        prop_assert_eq!(before, after);
+    }
+
+    /// The lazy declaration pass validates bodies up front: corrupted
+    /// bytes are rejected at load time (or load identically to eager),
+    /// never at materialization.
+    #[test]
+    fn lazy_decode_of_corrupted_bytes_rejects_at_load(
+        recipes in proptest::collection::vec(recipe_strategy(), 0..8),
+        flip in 6usize..256,
+        val in any::<u8>(),
+    ) {
+        let (p, c) = build_program(&recipes);
+        let mut bytes = sdex::encode(&p, &[c]);
+        if flip < bytes.len() {
+            bytes[flip] = val;
+        }
+        let mut q = Program::new();
+        if sdex::decode_lazy(&mut q, bytes.into()).is_ok() {
+            // Whatever loaded must materialize without panicking.
+            let pending: Vec<_> =
+                q.methods().filter(|m| m.body_is_pending()).map(|m| m.id()).collect();
+            for m in pending {
+                q.ensure_body(m);
+            }
+        }
+    }
 }
 
 #[test]

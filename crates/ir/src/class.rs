@@ -118,6 +118,7 @@ pub struct Method {
     pub(crate) is_native: bool,
     pub(crate) is_abstract: bool,
     pub(crate) body: Option<Body>,
+    pub(crate) body_pending: bool,
 }
 
 impl Method {
@@ -156,14 +157,24 @@ impl Method {
         self.is_abstract
     }
 
-    /// The body, if the method has one.
+    /// The body, if the method has one *and* it is materialized. Deferred
+    /// bodies (see [`crate::Program::defer_body`]) return `None` until
+    /// [`crate::Program::ensure_body`] decodes them.
     pub fn body(&self) -> Option<&Body> {
         self.body.as_ref()
     }
 
-    /// Returns `true` if the method has an analyzable body.
+    /// Returns `true` if the method has an analyzable body — decoded or
+    /// deferred. Signature-level decisions (overrides, callback wiring,
+    /// real-vs-stub call edges) key on this, so they are identical under
+    /// eager and lazy loading.
     pub fn has_body(&self) -> bool {
-        self.body.is_some()
+        self.body.is_some() || self.body_pending
+    }
+
+    /// Returns `true` if the body is deferred and not yet materialized.
+    pub fn body_is_pending(&self) -> bool {
+        self.body_pending
     }
 
     /// Number of declared parameters (excluding `this`).

@@ -2,9 +2,46 @@
 
 use crate::body::Body;
 use crate::class::{Class, ClassId, Field, FieldId, Method, MethodId, MethodRef, SubSig};
+use crate::fxhash::FxHashMap;
 use crate::symbols::{Interner, Symbol};
 use crate::types::Type;
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Produces a method body on demand.
+///
+/// Frontends that can locate a method's body cheaply (e.g. a byte offset
+/// into an SDEX image) register one of these via [`Program::defer_body`]
+/// instead of decoding every body up front. The callgraph closure then
+/// materializes only the bodies it actually reaches.
+///
+/// `materialize` receives the owning program because decoding may intern
+/// strings or create phantom classes for referenced types. It must not
+/// touch `method`'s own body slot; the caller installs the returned body.
+pub trait BodySource: Send + Sync {
+    /// Decodes the body identified by `token` (frontend-defined, e.g. a
+    /// byte offset recorded while indexing).
+    fn materialize(
+        &self,
+        program: &mut Program,
+        method: MethodId,
+        token: u64,
+    ) -> Result<Body, String>;
+}
+
+/// A deferred body: the source that can decode it plus its token.
+#[derive(Clone)]
+pub(crate) struct PendingBody {
+    pub(crate) source: Arc<dyn BodySource>,
+    pub(crate) token: u64,
+}
+
+impl fmt::Debug for PendingBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PendingBody").field("token", &self.token).finish()
+    }
+}
 
 /// A whole program: the unit of analysis.
 ///
@@ -19,6 +56,8 @@ pub struct Program {
     class_by_name: HashMap<Symbol, ClassId>,
     methods: Vec<Method>,
     fields: Vec<Field>,
+    pending: FxHashMap<MethodId, PendingBody>,
+    bodies_materialized: u64,
 }
 
 impl Program {
@@ -204,6 +243,11 @@ impl Program {
         None
     }
 
+    /// Iterates all fields in declaration (arena) order.
+    pub fn fields(&self) -> impl Iterator<Item = &Field> {
+        self.fields.iter()
+    }
+
     /// Number of fields.
     pub fn field_count(&self) -> usize {
         self.fields.len()
@@ -244,6 +288,7 @@ impl Program {
             is_native: false,
             is_abstract: false,
             body: None,
+            body_pending: false,
         });
         id
     }
@@ -262,11 +307,75 @@ impl Program {
     ///
     /// # Panics
     ///
-    /// Panics if the method already has a body.
+    /// Panics if the method already has a body (decoded or deferred).
     pub fn set_body(&mut self, method: MethodId, body: Body) {
         let m = &mut self.methods[method.index()];
         assert!(m.body.is_none(), "method body set twice");
+        assert!(!m.body_pending, "method body already deferred");
         m.body = Some(body);
+    }
+
+    // ----- deferred bodies ----------------------------------------------
+
+    /// Registers a deferred body for `method`. The method reports
+    /// [`Method::has_body`] from here on, but [`Method::body`] stays
+    /// `None` until [`Program::ensure_body`] materializes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the method already has a decoded or deferred body.
+    pub fn defer_body(&mut self, method: MethodId, source: Arc<dyn BodySource>, token: u64) {
+        let m = &mut self.methods[method.index()];
+        assert!(m.body.is_none(), "method body set twice");
+        assert!(!m.body_pending, "method body already deferred");
+        m.body_pending = true;
+        self.pending.insert(method, PendingBody { source, token });
+    }
+
+    /// Materializes `method`'s deferred body if it has one. Returns
+    /// `true` if a body was decoded by this call.
+    ///
+    /// Installation is atomic: the pending registration is cleared only
+    /// after the source returns a complete body, so a panicking decode
+    /// (or an aborted job unwinding mid-call) never leaves a
+    /// partially-materialized body behind — the method simply stays
+    /// pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registered [`BodySource`] reports a decode error;
+    /// frontends validate body bytes when they defer, so an error here is
+    /// a frontend bug, not bad input.
+    pub fn ensure_body(&mut self, method: MethodId) -> bool {
+        let Some(pending) = self.pending.get(&method).cloned() else {
+            return false;
+        };
+        let body = match pending.source.materialize(self, method, pending.token) {
+            Ok(body) => body,
+            Err(e) => panic!("deferred body for {}: {e}", self.signature(method)),
+        };
+        self.pending.remove(&method);
+        let m = &mut self.methods[method.index()];
+        m.body_pending = false;
+        m.body = Some(body);
+        self.bodies_materialized += 1;
+        true
+    }
+
+    /// Number of deferred bodies not yet materialized.
+    pub fn pending_body_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Returns `true` if any deferred bodies remain unmaterialized.
+    pub fn has_pending_bodies(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Number of deferred bodies materialized so far (monotonic counter;
+    /// cloning a program clones the counter).
+    pub fn bodies_materialized(&self) -> u64 {
+        self.bodies_materialized
     }
 
     /// A method by id.
@@ -431,6 +540,84 @@ mod tests {
             p.signature(m),
             "<com.example.Foo: java.lang.String bar(int,java.lang.String)>"
         );
+    }
+
+    struct TestSource {
+        stmts: Vec<crate::Stmt>,
+        fail: bool,
+    }
+
+    impl BodySource for TestSource {
+        fn materialize(
+            &self,
+            _program: &mut Program,
+            _method: MethodId,
+            _token: u64,
+        ) -> Result<Body, String> {
+            if self.fail {
+                return Err("synthetic decode failure".into());
+            }
+            Ok(Body::new(Vec::new(), self.stmts.clone(), vec![0; self.stmts.len()]))
+        }
+    }
+
+    #[test]
+    fn deferred_body_counts_as_has_body_until_materialized() {
+        let mut p = Program::new();
+        let c = p.declare_class("C", None, &[]);
+        let m = p.declare_method(c, "f", vec![], Type::Void, true);
+        let src = Arc::new(TestSource { stmts: vec![crate::Stmt::Return { value: None }], fail: false });
+        p.defer_body(m, src, 0);
+        assert!(p.method(m).has_body());
+        assert!(p.method(m).body_is_pending());
+        assert!(p.method(m).body().is_none());
+        assert_eq!(p.pending_body_count(), 1);
+
+        assert!(p.ensure_body(m));
+        assert!(p.method(m).has_body());
+        assert!(!p.method(m).body_is_pending());
+        assert_eq!(p.method(m).body().unwrap().stmts().len(), 1);
+        assert_eq!(p.pending_body_count(), 0);
+        assert_eq!(p.bodies_materialized(), 1);
+
+        // Second call is a no-op.
+        assert!(!p.ensure_body(m));
+        assert_eq!(p.bodies_materialized(), 1);
+    }
+
+    #[test]
+    fn failed_materialization_leaves_method_pending() {
+        let mut p = Program::new();
+        let c = p.declare_class("C", None, &[]);
+        let m = p.declare_method(c, "f", vec![], Type::Void, true);
+        p.defer_body(m, Arc::new(TestSource { stmts: vec![], fail: true }), 0);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.ensure_body(m);
+        }));
+        assert!(err.is_err());
+        // No partially-materialized body: the method is still pending and
+        // body-less, exactly as before the attempt.
+        assert!(p.method(m).body().is_none());
+        assert!(p.method(m).body_is_pending());
+        assert_eq!(p.pending_body_count(), 1);
+        assert_eq!(p.bodies_materialized(), 0);
+    }
+
+    #[test]
+    fn cloned_program_materializes_independently() {
+        let mut p = Program::new();
+        let c = p.declare_class("C", None, &[]);
+        let m = p.declare_method(c, "f", vec![], Type::Void, true);
+        let src = Arc::new(TestSource { stmts: vec![crate::Stmt::Return { value: None }], fail: false });
+        p.defer_body(m, src, 0);
+
+        let mut clone = p.clone();
+        assert!(clone.ensure_body(m));
+        // The original is untouched by the clone's materialization.
+        assert!(p.method(m).body().is_none());
+        assert!(p.method(m).body_is_pending());
+        assert_eq!(p.bodies_materialized(), 0);
+        assert_eq!(clone.bodies_materialized(), 1);
     }
 
     #[test]

@@ -11,12 +11,21 @@
 //! buys. Leak reports are compared byte-for-byte across every mode;
 //! the binary exits non-zero if any run diverges.
 //!
+//! The `demand-lazy` mode runs the corpus through the demand-driven
+//! frontend (platform snapshot clone + lazy method bodies); its report
+//! is compared byte-for-byte against the eager baseline and the run
+//! must skip at least one method body, or the binary exits non-zero.
+//!
 //! `--mode service` benchmarks the analysis *daemon* instead: it
-//! binds an in-process daemon on an ephemeral port, floods it with the
-//! whole corpus twice (cold then warm against one shared summary
-//! cache), and records per-job wall-clock and queue-wait times as a
-//! `"service"` section spliced into the same output file (the
-//! `available_cores` field and the solver-mode sections are kept).
+//! saves a `platform.fdps` snapshot, binds an in-process daemon on an
+//! ephemeral port that boots from it, floods it with the whole corpus
+//! twice (cold then warm against one shared summary cache), and
+//! records per-job wall-clock, queue-wait and setup/dataflow split
+//! times as a `"service"` section spliced into the same output file
+//! (the `available_cores` field and the solver-mode sections are
+//! kept). The warm insecurebank job must spend no more time in setup
+//! than in the data-flow solver, and the lazy frontend must skip at
+//! least one method body, or the binary exits non-zero.
 //!
 //! Usage: `solver_stats [--mode full|service] [output.json]`
 //! (default mode `full`, default output `BENCH_solver.json`).
@@ -63,6 +72,8 @@ struct ModeStats {
     setup_ms: f64,
     forward_propagations: u64,
     backward_propagations: u64,
+    bodies_materialized: u64,
+    bodies_skipped: u64,
     leaks: usize,
     allocations: u64,
     distinct_facts: usize,
@@ -86,6 +97,7 @@ fn measure(
     let run: CorpusRun = run_corpus(jobs, config, threads);
     let allocations = ALLOCATIONS.load(Ordering::Relaxed);
     let (fw, bw) = run.total_propagations();
+    let (materialized, skipped) = run.total_bodies();
     let app_time = run.total_app_time();
     let dataflow = run.total_dataflow_time();
     ModeStats {
@@ -97,6 +109,8 @@ fn measure(
         setup_ms: ms(app_time.saturating_sub(dataflow)),
         forward_propagations: fw,
         backward_propagations: bw,
+        bodies_materialized: materialized,
+        bodies_skipped: skipped,
         leaks: run.total_leaks(),
         allocations,
         distinct_facts: run.total_distinct_facts(),
@@ -150,6 +164,8 @@ fn mode_json(m: &ModeStats, report_identical: bool) -> String {
             "      \"setup_ms\": {:.3},\n",
             "      \"forward_propagations\": {},\n",
             "      \"backward_propagations\": {},\n",
+            "      \"bodies_materialized\": {},\n",
+            "      \"bodies_skipped\": {},\n",
             "      \"leaks\": {},\n",
             "      \"allocations\": {},\n",
             "      \"distinct_facts\": {},\n",
@@ -167,6 +183,8 @@ fn mode_json(m: &ModeStats, report_identical: bool) -> String {
         m.setup_ms,
         m.forward_propagations,
         m.backward_propagations,
+        m.bodies_materialized,
+        m.bodies_skipped,
         m.leaks,
         m.allocations,
         m.distinct_facts,
@@ -260,6 +278,13 @@ fn run_full(out_path: &str) {
         eprintln!("running parallel taint engine ({name}) ...");
         modes.push(measure(name, &jobs, config, 1));
     }
+
+    // The demand-driven frontend: each job clones the shared platform
+    // snapshot and decodes only the method bodies the callgraph
+    // closure reaches. Reports must stay byte-identical to eager
+    // loading; the skipped-body count is what laziness bought.
+    eprintln!("running demand-driven frontend (lazy bodies) ...");
+    modes.push(measure("demand-lazy", &jobs, &interned.clone().with_lazy_frontend(true), 1));
 
     // The persistent summary store: a cold pass populates the cache,
     // the flush promotes it, and a warm pass replays the stored end
@@ -364,6 +389,16 @@ fn run_full(out_path: &str) {
     .unwrap();
     writeln!(json, "    \"cache_dataflow_ms_cold\": {:.3},", cold.dataflow_ms).unwrap();
     writeln!(json, "    \"cache_dataflow_ms_warm\": {:.3},", warm.dataflow_ms).unwrap();
+    let lazy = mode_of("demand-lazy");
+    writeln!(json, "    \"lazy_bodies_materialized\": {},", lazy.bodies_materialized).unwrap();
+    writeln!(json, "    \"lazy_bodies_skipped\": {},", lazy.bodies_skipped).unwrap();
+    writeln!(json, "    \"lazy_setup_ms\": {:.3},", lazy.setup_ms).unwrap();
+    writeln!(
+        json,
+        "    \"lazy_report_identical\": {},",
+        lazy.report == baseline_report
+    )
+    .unwrap();
     if cores < 2 {
         // Wall-clock speedup needs real hardware parallelism; on a
         // single core the measurement degenerates to pool overhead
@@ -396,6 +431,13 @@ fn run_full(out_path: &str) {
         );
         std::process::exit(1);
     }
+    if lazy.bodies_skipped == 0 {
+        eprintln!(
+            "FAIL: demand-lazy mode decoded every body ({} materialized, 0 skipped)",
+            lazy.bodies_materialized
+        );
+        std::process::exit(1);
+    }
     // Since access-path field sequences moved into the global arena,
     // whole-fact keys are `Copy` and the direct mode no longer pays
     // per-propagation allocations — fact interning is now about compact
@@ -421,10 +463,18 @@ fn run_service(out_path: &str) {
         .join(format!("flowdroid-solver-stats-service-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&cache);
 
+    // Boot the daemon from a platform snapshot file, the deployment
+    // configuration the benchmark is meant to measure.
+    let snap_path = std::env::temp_dir()
+        .join(format!("flowdroid-solver-stats-platform-{}.fdps", std::process::id()));
+    flowdroid_android::save_snapshot(&snap_path, &flowdroid_android::build_snapshot())
+        .expect("save platform snapshot");
+
     let daemon = Daemon::bind(DaemonOptions {
         listen: Listen::parse("127.0.0.1:0"),
         workers,
         summary_cache: Some(cache.clone()),
+        platform_snapshot: Some(snap_path.clone()),
     })
     .expect("bind daemon");
     let addr = daemon.local_addr().to_string();
@@ -459,6 +509,7 @@ fn run_service(out_path: &str) {
     ctl.shutdown().expect("shutdown");
     accept_loop.join().expect("accept loop exits cleanly");
     let _ = std::fs::remove_dir_all(&cache);
+    let _ = std::fs::remove_file(&snap_path);
 
     let aborted = cold.iter().chain(&warm).filter(|(_, r)| r.aborted).count();
     let reports_identical = cold
@@ -474,15 +525,50 @@ fn run_service(out_path: &str) {
         pass.iter().map(|(_, r)| f(r)).max().unwrap_or(0)
     };
 
+    let warm_setup_us = total(&warm, |r| r.setup_us);
+    let warm_dataflow_us = total(&warm, |r| r.dataflow_us);
+    // The "warm job wall time ≈ dataflow time" claim is gated on the
+    // substantial app: micro benchmark apps finish their data-flow in
+    // tens of microseconds, below any per-job call-graph cost, so an
+    // aggregate would only measure corpus composition.
+    let warm_bank = warm
+        .iter()
+        .find(|(name, _)| name == "insecurebank")
+        .map(|(_, r)| (r.setup_us, r.dataflow_us))
+        .expect("insecurebank is in the corpus");
+    let bodies_materialized = total(&cold, |r| r.bodies_materialized)
+        + total(&warm, |r| r.bodies_materialized);
+    let bodies_skipped =
+        total(&cold, |r| r.bodies_skipped) + total(&warm, |r| r.bodies_skipped);
+    let snapshot_load_ms = stats.u64_field("snapshot_load_ms").unwrap_or(0);
+    let snapshot_source = stats.str_field("snapshot_source").unwrap_or("unknown").to_string();
+
     let mut section = String::new();
     writeln!(section, "{{").unwrap();
     writeln!(section, "    \"workers\": {workers},").unwrap();
     writeln!(section, "    \"jobs_per_pass\": {},", names.len()).unwrap();
     writeln!(section, "    \"completed\": {},", stats.u64_field("completed").unwrap_or(0)).unwrap();
+    writeln!(section, "    \"snapshot_load_ms\": {snapshot_load_ms},").unwrap();
+    writeln!(section, "    \"snapshot_source\": \"{snapshot_source}\",").unwrap();
     writeln!(section, "    \"cold_wall_ms_total\": {},", total(&cold, |r| r.wall_ms)).unwrap();
     writeln!(section, "    \"warm_wall_ms_total\": {},", total(&warm, |r| r.wall_ms)).unwrap();
     writeln!(section, "    \"cold_queue_ms_max\": {},", peak(&cold, |r| r.queue_ms)).unwrap();
     writeln!(section, "    \"warm_queue_ms_max\": {},", peak(&warm, |r| r.queue_ms)).unwrap();
+    writeln!(section, "    \"cold_setup_us_total\": {},", total(&cold, |r| r.setup_us)).unwrap();
+    writeln!(section, "    \"cold_dataflow_us_total\": {},", total(&cold, |r| r.dataflow_us))
+        .unwrap();
+    writeln!(section, "    \"warm_setup_us_total\": {warm_setup_us},").unwrap();
+    writeln!(section, "    \"warm_dataflow_us_total\": {warm_dataflow_us},").unwrap();
+    writeln!(section, "    \"warm_insecurebank_setup_us\": {},", warm_bank.0).unwrap();
+    writeln!(section, "    \"warm_insecurebank_dataflow_us\": {},", warm_bank.1).unwrap();
+    writeln!(
+        section,
+        "    \"warm_setup_below_dataflow\": {},",
+        warm_bank.0 <= warm_bank.1
+    )
+    .unwrap();
+    writeln!(section, "    \"bodies_materialized_total\": {bodies_materialized},").unwrap();
+    writeln!(section, "    \"bodies_skipped_total\": {bodies_skipped},").unwrap();
     writeln!(section, "    \"warm_summary_hits\": {warm_hits},").unwrap();
     writeln!(section, "    \"reports_identical\": {reports_identical},").unwrap();
     writeln!(section, "    \"jobs\": [").unwrap();
@@ -494,9 +580,19 @@ fn run_service(out_path: &str) {
             format!(
                 concat!(
                     "      {{ \"app\": \"{}\", \"pass\": \"{}\", \"wall_ms\": {}, ",
-                    "\"queue_ms\": {}, \"summary_hits\": {} }}"
+                    "\"queue_ms\": {}, \"setup_us\": {}, \"dataflow_us\": {}, ",
+                    "\"bodies_materialized\": {}, \"bodies_skipped\": {}, ",
+                    "\"summary_hits\": {} }}"
                 ),
-                name, pass, r.wall_ms, r.queue_ms, r.summary_hits
+                name,
+                pass,
+                r.wall_ms,
+                r.queue_ms,
+                r.setup_us,
+                r.dataflow_us,
+                r.bodies_materialized,
+                r.bodies_skipped,
+                r.summary_hits
             )
         })
         .collect();
@@ -523,6 +619,22 @@ fn run_service(out_path: &str) {
     }
     if warm_hits == 0 {
         eprintln!("FAIL: warm pass replayed no summaries from the shared cache");
+        std::process::exit(1);
+    }
+    if snapshot_source != "file" {
+        eprintln!("FAIL: daemon did not boot from the saved platform snapshot");
+        std::process::exit(1);
+    }
+    if bodies_skipped == 0 {
+        eprintln!("FAIL: the daemon's lazy frontend decoded every method body");
+        std::process::exit(1);
+    }
+    if warm_bank.0 > warm_bank.1 {
+        eprintln!(
+            "FAIL: warm insecurebank job spent more time in setup ({} us) than in the \
+             data-flow solver ({} us)",
+            warm_bank.0, warm_bank.1
+        );
         std::process::exit(1);
     }
 }

@@ -9,6 +9,15 @@
 //! starts from a warm cache. Aborted jobs never stage summaries, so a
 //! deadline or cancel can't poison the cache for later jobs.
 //!
+//! The Android platform model is built (or loaded from a
+//! `platform.fdps` snapshot, see [`DaemonOptions::platform_snapshot`])
+//! exactly once at bind time and shared read-only across all worker
+//! jobs. Each job clones the snapshot program and loads app code
+//! through the demand-driven frontend, so per-job setup cost is the
+//! app decode plus call-graph work — not the platform build — and an
+//! aborted job can never leave partially materialized bodies behind:
+//! materialization happens in the job's private clone only.
+//!
 //! Concurrency layout:
 //!
 //! * the **accept loop** ([`Daemon::run`]) spawns one thread per
@@ -30,7 +39,8 @@
 use crate::json::{obj, Json};
 use crate::net::{connect, Conn, Listen, Listener};
 use crate::proto::{error_line, JobResult, Request};
-use flowdroid_bench::{find_job, run_single, CorpusJob};
+use flowdroid_android::{build_snapshot, load_snapshot, PlatformSnapshot};
+use flowdroid_bench::{find_job, run_single_lazy, CorpusJob};
 use flowdroid_core::{flush_summary_cache, AbortHandle, InfoflowConfig};
 use std::io::{self, BufRead, BufReader, Write};
 use std::path::PathBuf;
@@ -48,12 +58,18 @@ pub struct DaemonOptions {
     pub workers: usize,
     /// Persistent summary store shared by all jobs (optional).
     pub summary_cache: Option<PathBuf>,
+    /// Path to a `platform.fdps` platform snapshot. When set and valid,
+    /// the daemon loads the Android platform model from it at bind time
+    /// instead of rebuilding it; a missing or corrupt file falls back to
+    /// the eager in-process build (the daemon still starts, just
+    /// slower). `None` always builds eagerly.
+    pub platform_snapshot: Option<PathBuf>,
 }
 
 impl DaemonOptions {
     /// Options for the given address with defaults otherwise.
     pub fn new(listen: Listen) -> DaemonOptions {
-        DaemonOptions { listen, workers: 0, summary_cache: None }
+        DaemonOptions { listen, workers: 0, summary_cache: None, platform_snapshot: None }
     }
 }
 
@@ -111,6 +127,12 @@ struct Shared {
     /// Set before the accept loop is woken for the last time.
     stop_accept: AtomicBool,
     summary_cache: Option<PathBuf>,
+    /// The shared, read-only platform model every job clones from.
+    snapshot: Arc<PlatformSnapshot>,
+    /// Time spent obtaining the platform model at bind time.
+    snapshot_load_ms: u64,
+    /// `"file"` when loaded from a `platform.fdps`, `"built"` otherwise.
+    snapshot_source: &'static str,
     /// Resolved listen address (used to self-connect on shutdown).
     addr: Listen,
     workers: usize,
@@ -135,6 +157,23 @@ impl Daemon {
         } else {
             opts.workers
         };
+        let load_start = Instant::now();
+        let (snapshot, snapshot_source) = match &opts.platform_snapshot {
+            Some(path) => match load_snapshot(path) {
+                Ok(snap) => (snap, "file"),
+                Err(e) => {
+                    // A bad snapshot must not keep the daemon down:
+                    // fall back to the eager platform build.
+                    eprintln!(
+                        "flowdroid-service: ignoring platform snapshot {}: {e}",
+                        path.display()
+                    );
+                    (build_snapshot(), "built")
+                }
+            },
+            None => (build_snapshot(), "built"),
+        };
+        let snapshot_load_ms = load_start.elapsed().as_millis() as u64;
         let (tx, rx) = mpsc::channel::<(u64, CorpusJob)>();
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner::default()),
@@ -142,6 +181,9 @@ impl Daemon {
             sender: Mutex::new(Some(tx)),
             stop_accept: AtomicBool::new(false),
             summary_cache: opts.summary_cache,
+            snapshot: Arc::new(snapshot),
+            snapshot_load_ms,
+            snapshot_source,
             addr,
             workers,
             started: Instant::now(),
@@ -226,11 +268,11 @@ fn run_one(shared: &Shared, id: u64, job: &CorpusJob) {
             ..JobResult::default()
         }
     } else {
-        let mut config = InfoflowConfig::default().with_abort(abort);
+        let mut config = InfoflowConfig::default().with_abort(abort).with_lazy_frontend(true);
         config.max_propagations = spec.max_propagations;
         config.taint_threads = spec.taint_threads;
         config.summary_cache.clone_from(&shared.summary_cache);
-        let run = run_single(job, &config);
+        let mut run = run_single_lazy(job, &config, &shared.snapshot);
         if !run.aborted {
             if let Some(dir) = &shared.summary_cache {
                 // Promote this job's staged summaries so the *next* job
@@ -239,7 +281,7 @@ fn run_one(shared: &Shared, id: u64, job: &CorpusJob) {
                 let _ = flush_summary_cache(dir);
             }
         }
-        sched = run.scheduler;
+        sched = run.scheduler.take();
         let sc = run.summary_cache.as_ref();
         JobResult {
             job: id,
@@ -249,6 +291,10 @@ fn run_one(shared: &Shared, id: u64, job: &CorpusJob) {
             abort_reason: run.abort_reason.map(|r| r.as_str().to_string()),
             wall_ms: run.total.as_millis() as u64,
             queue_ms,
+            setup_us: run.setup().as_micros() as u64,
+            dataflow_us: run.dataflow.as_micros() as u64,
+            bodies_materialized: run.bodies_materialized,
+            bodies_skipped: run.bodies_skipped,
             forward_propagations: run.forward_propagations,
             backward_propagations: run.backward_propagations,
             summary_hits: sc.map_or(0, |s| s.hits),
@@ -420,6 +466,8 @@ fn stats(shared: &Shared) -> Json {
     let mut misses = 0u64;
     let mut stale = 0u64;
     let mut recorded = 0u64;
+    let mut materialized = 0u64;
+    let mut skipped = 0u64;
     let mut jobs = Vec::new();
     for (i, e) in inner.jobs.iter().enumerate() {
         by_state[e.state as usize] += 1;
@@ -438,7 +486,11 @@ fn stats(shared: &Shared) -> Json {
             misses += r.summary_misses;
             stale += r.summary_stale;
             recorded += r.summary_recorded;
+            materialized += r.bodies_materialized;
+            skipped += r.bodies_skipped;
             fields.push(("wall_ms", Json::from(r.wall_ms)));
+            fields.push(("setup_us", Json::from(r.setup_us)));
+            fields.push(("dataflow_us", Json::from(r.dataflow_us)));
             fields.push(("leaks", Json::from(r.leaks)));
             fields.push(("aborted", Json::from(r.aborted)));
             if let Some(why) = &r.abort_reason {
@@ -460,6 +512,10 @@ fn stats(shared: &Shared) -> Json {
         ("summary_misses", Json::from(misses)),
         ("summary_stale", Json::from(stale)),
         ("summary_recorded", Json::from(recorded)),
+        ("snapshot_load_ms", Json::from(shared.snapshot_load_ms)),
+        ("snapshot_source", Json::from(shared.snapshot_source)),
+        ("bodies_materialized", Json::from(materialized)),
+        ("bodies_skipped", Json::from(skipped)),
         ("sched_pushed", Json::from(inner.sched_pushed)),
         ("sched_claims", Json::from(inner.sched_claims)),
         ("sched_steals", Json::from(inner.sched_steals)),

@@ -115,6 +115,19 @@ pub struct JobResult {
     pub wall_ms: u64,
     /// Time the job waited in the queue before a worker claimed it.
     pub queue_ms: u64,
+    /// Setup phase of the run in microseconds: parse/decode, entry-point
+    /// model, dummy main and call-graph construction — everything before
+    /// the data-flow solver. Warm daemon jobs against the shared
+    /// platform snapshot keep this below `dataflow_us`.
+    pub setup_us: u64,
+    /// Data-flow (solver) phase in microseconds.
+    pub dataflow_us: u64,
+    /// Method bodies the demand-driven frontend decoded for this job
+    /// (0 on eager runs).
+    pub bodies_materialized: u64,
+    /// Method bodies indexed but never decoded because the callgraph
+    /// closure never reached them (0 on eager runs).
+    pub bodies_skipped: u64,
     /// Forward path-edge propagations.
     pub forward_propagations: u64,
     /// Backward (alias) path-edge propagations.
@@ -147,6 +160,10 @@ impl JobResult {
         fields.extend([
             ("wall_ms", Json::from(self.wall_ms)),
             ("queue_ms", Json::from(self.queue_ms)),
+            ("setup_us", Json::from(self.setup_us)),
+            ("dataflow_us", Json::from(self.dataflow_us)),
+            ("bodies_materialized", Json::from(self.bodies_materialized)),
+            ("bodies_skipped", Json::from(self.bodies_skipped)),
             ("forward_propagations", Json::from(self.forward_propagations)),
             ("backward_propagations", Json::from(self.backward_propagations)),
             ("summary_hits", Json::from(self.summary_hits)),
@@ -171,6 +188,10 @@ impl JobResult {
             abort_reason: v.str_field("abort_reason").map(str::to_string),
             wall_ms: v.u64_field("wall_ms")?,
             queue_ms: v.u64_field("queue_ms")?,
+            setup_us: v.u64_field("setup_us").unwrap_or(0),
+            dataflow_us: v.u64_field("dataflow_us").unwrap_or(0),
+            bodies_materialized: v.u64_field("bodies_materialized").unwrap_or(0),
+            bodies_skipped: v.u64_field("bodies_skipped").unwrap_or(0),
             forward_propagations: v.u64_field("forward_propagations")?,
             backward_propagations: v.u64_field("backward_propagations")?,
             summary_hits: v.u64_field("summary_hits").unwrap_or(0),
@@ -227,6 +248,10 @@ mod tests {
             abort_reason: Some("deadline".to_string()),
             wall_ms: 120,
             queue_ms: 3,
+            setup_us: 2500,
+            dataflow_us: 117_000,
+            bodies_materialized: 42,
+            bodies_skipped: 7,
             forward_propagations: 123456,
             backward_propagations: 7,
             summary_hits: 2,

@@ -1,5 +1,6 @@
 //! End-to-end daemon round trips over a real TCP socket: cold→warm
-//! cache sharing between jobs, deadline aborts, cross-connection
+//! cache sharing between jobs, platform-snapshot boot (including the
+//! corrupt-file fallback), deadline aborts, cross-connection
 //! cancellation, stats and clean shutdown.
 
 use flowdroid_service::{Client, Daemon, DaemonOptions, Listen, Request};
@@ -10,10 +11,18 @@ use std::time::{Duration, Instant};
 /// background thread, and returns the resolved address plus the join
 /// handle (joined by each test to prove a leak-free shutdown).
 fn spawn_daemon(cache: Option<PathBuf>) -> (String, std::thread::JoinHandle<()>) {
+    spawn_daemon_with(cache, None)
+}
+
+fn spawn_daemon_with(
+    cache: Option<PathBuf>,
+    snapshot: Option<PathBuf>,
+) -> (String, std::thread::JoinHandle<()>) {
     let daemon = Daemon::bind(DaemonOptions {
         listen: Listen::parse("127.0.0.1:0"),
         workers: 2,
         summary_cache: cache,
+        platform_snapshot: snapshot,
     })
     .expect("bind daemon");
     let addr = daemon.local_addr().to_string();
@@ -54,6 +63,67 @@ fn cold_then_warm_job_shares_summary_cache() {
     c2.shutdown().expect("shutdown");
     daemon.join().expect("accept loop exits cleanly");
     let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn daemon_boots_from_snapshot_and_skips_unreachable_bodies() {
+    let snap = std::env::temp_dir()
+        .join(format!("flowdroid-svc-snap-{}.fdps", std::process::id()));
+    flowdroid_android::save_snapshot(&snap, &flowdroid_android::build_snapshot())
+        .expect("save snapshot");
+    let (addr, daemon) = spawn_daemon_with(None, Some(snap.clone()));
+    let mut c = Client::connect(&addr).expect("connect");
+
+    let (_, r) = c.analyze("insecurebank", None, None, None).expect("job");
+    assert!(!r.aborted);
+    assert!(r.bodies_materialized > 0, "the lazy frontend decodes reached bodies");
+
+    // The daemon's report must match a standalone eager run exactly.
+    let job = flowdroid_bench::find_job("insecurebank").expect("corpus job");
+    let eager =
+        flowdroid_bench::run_single(&job, &flowdroid_core::InfoflowConfig::default());
+    assert_eq!(r.report, eager.report, "lazy daemon run must match eager run");
+
+    // An app with helper classes the callgraph never reaches: those
+    // bodies must stay undecoded.
+    let (_, r2) =
+        c.analyze("securibench/Collections/Collections5", None, None, None).expect("job 2");
+    assert!(!r2.aborted);
+    assert!(r2.bodies_skipped > 0, "unreachable bodies stay undecoded");
+
+    let stats = c.stats().expect("stats");
+    assert_eq!(stats.str_field("snapshot_source"), Some("file"));
+    assert!(stats.u64_field("bodies_skipped").unwrap() > 0);
+
+    c.shutdown().expect("shutdown");
+    daemon.join().expect("accept loop exits cleanly");
+    let _ = std::fs::remove_file(&snap);
+}
+
+#[test]
+fn corrupt_snapshot_falls_back_to_eager_platform_build() {
+    let snap = std::env::temp_dir()
+        .join(format!("flowdroid-svc-corrupt-{}.fdps", std::process::id()));
+    let mut bytes =
+        flowdroid_android::encode_snapshot(&flowdroid_android::build_snapshot());
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40; // checksum mismatch at minimum
+    std::fs::write(&snap, &bytes).expect("write corrupt snapshot");
+
+    // The daemon must come up anyway (eager fallback) and serve jobs
+    // with unchanged results.
+    let (addr, daemon) = spawn_daemon_with(None, Some(snap.clone()));
+    let mut c = Client::connect(&addr).expect("connect");
+    let (_, r) = c.analyze("insecurebank", None, None, None).expect("job");
+    assert!(!r.aborted);
+    assert!(r.leaks > 0);
+
+    let stats = c.stats().expect("stats");
+    assert_eq!(stats.str_field("snapshot_source"), Some("built"));
+
+    c.shutdown().expect("shutdown");
+    daemon.join().expect("accept loop exits cleanly");
+    let _ = std::fs::remove_file(&snap);
 }
 
 #[test]

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Serving-mode smoke test: boots the analysis daemon, proves cold->warm
-# summary-cache sharing between two jobs for the same app, cancels a
-# third in-flight job from a second connection, and shuts down cleanly.
+# Serving-mode smoke test: writes a platform snapshot, boots the
+# analysis daemon from it, proves cold->warm summary-cache sharing
+# between two jobs for the same app, checks that warm jobs spend less
+# time in setup than in the data-flow solver, cancels an in-flight job
+# from a second connection, and shuts down cleanly.
 #
 # Expects target/release/flowdroid to exist (scripts/verify.sh builds
 # it first). Exits nonzero on any failed check.
@@ -17,14 +19,24 @@ fi
 cache=$(mktemp -d)
 log=$(mktemp)
 job3_out=$(mktemp)
+snap=$(mktemp -d)/platform.fdps
 svc_pid=""
 cleanup() {
     [[ -n "$svc_pid" ]] && kill "$svc_pid" 2>/dev/null || true
-    rm -rf "$cache" "$log" "$job3_out"
+    rm -rf "$cache" "$log" "$job3_out" "$(dirname "$snap")"
 }
 trap cleanup EXIT
 
-"$bin" serve --listen 127.0.0.1:0 --workers 2 --summary-cache "$cache" >"$log" 2>&1 &
+# Platform snapshot round trip: build it once, boot the daemon from it.
+"$bin" snapshot "$snap"
+if [[ ! -s "$snap" ]]; then
+    echo "FAIL: flowdroid snapshot wrote no file" >&2
+    exit 1
+fi
+echo "platform snapshot: OK"
+
+"$bin" serve --listen 127.0.0.1:0 --workers 2 --summary-cache "$cache" \
+    --platform-snapshot "$snap" >"$log" 2>&1 &
 svc_pid=$!
 
 addr=""
@@ -55,6 +67,22 @@ if ! grep -q '"summary_hits":[1-9]' <<<"$warm"; then
     exit 1
 fi
 echo "cold->warm summary-cache sharing: OK"
+
+# Demand-driven frontend: jobs run against the shared platform
+# snapshot, decode bodies on demand, and a warm job spends less time
+# in setup than in the data-flow solver.
+if ! grep -q '"bodies_materialized":[1-9]' <<<"$cold"; then
+    echo "FAIL: cold job decoded no bodies on demand: $cold" >&2
+    exit 1
+fi
+warm_setup=$(grep -o '"setup_us":[0-9]*' <<<"$warm" | grep -o '[0-9]*$')
+warm_dataflow=$(grep -o '"dataflow_us":[0-9]*' <<<"$warm" | grep -o '[0-9]*$')
+echo "warm job: setup ${warm_setup:-?} us, dataflow ${warm_dataflow:-?} us"
+if [[ -z "$warm_setup" || -z "$warm_dataflow" || "$warm_setup" -gt "$warm_dataflow" ]]; then
+    echo "FAIL: warm job setup (${warm_setup:-?} us) exceeds dataflow (${warm_dataflow:-?} us)" >&2
+    exit 1
+fi
+echo "warm setup below dataflow: OK"
 
 # Cancel an in-flight job: submit a long synthetic job, wait until a
 # worker picks it up, then cancel it from a second connection. The

@@ -40,8 +40,25 @@ if [[ -z "${edges_saved}" || "${edges_saved}" -eq 0 ]]; then
     exit 1
 fi
 
-# Serving-mode smoke: daemon boot, cold->warm cache sharing between
-# jobs, in-flight cancellation, clean shutdown.
+# Demand-driven frontend: the lazy sweep must produce the same report
+# as the eager baseline while leaving bodies undecoded (solver_stats
+# exits nonzero otherwise; re-check the counters here for the log).
+echo "== demand-driven frontend smoke"
+lazy_skipped=$(grep -o '"lazy_bodies_skipped": [0-9]*' BENCH_solver.json | grep -o '[0-9]*$' || true)
+lazy_identical=$(grep -o '"lazy_report_identical": [a-z]*' BENCH_solver.json | grep -o '[a-z]*$' || true)
+echo "lazy bodies skipped: ${lazy_skipped:-none}, report identical: ${lazy_identical:-none}"
+if [[ -z "${lazy_skipped}" || "${lazy_skipped}" -eq 0 ]]; then
+    echo "FAIL: demand-driven run skipped no method bodies" >&2
+    exit 1
+fi
+if [[ "${lazy_identical}" != "true" ]]; then
+    echo "FAIL: demand-driven leak report diverged from the eager baseline" >&2
+    exit 1
+fi
+
+# Serving-mode smoke: platform-snapshot round trip, daemon boot from
+# the snapshot, cold->warm cache sharing between jobs, warm setup below
+# dataflow, in-flight cancellation, clean shutdown.
 echo "== serving-mode smoke"
 scripts/service_smoke.sh
 
@@ -54,6 +71,22 @@ svc_hits=$(grep -o '"warm_summary_hits": [0-9]*' BENCH_solver.json | grep -o '[0
 echo "service warm hits: ${svc_hits:-none}"
 if [[ -z "${svc_hits}" || "${svc_hits}" -eq 0 ]]; then
     echo "FAIL: service warm pass replayed no summaries" >&2
+    exit 1
+fi
+svc_source=$(grep -o '"snapshot_source": "[a-z]*"' BENCH_solver.json | grep -o '"[a-z]*"$' | tr -d '"' || true)
+svc_skipped=$(grep -o '"bodies_skipped_total": [0-9]*' BENCH_solver.json | grep -o '[0-9]*$' || true)
+svc_warm_gate=$(grep -o '"warm_setup_below_dataflow": [a-z]*' BENCH_solver.json | grep -o '[a-z]*$' || true)
+echo "service snapshot source: ${svc_source:-none}, bodies skipped: ${svc_skipped:-none}, warm setup<=dataflow: ${svc_warm_gate:-none}"
+if [[ "${svc_source}" != "file" ]]; then
+    echo "FAIL: service benchmark did not boot from the platform snapshot" >&2
+    exit 1
+fi
+if [[ -z "${svc_skipped}" || "${svc_skipped}" -eq 0 ]]; then
+    echo "FAIL: service jobs decoded every method body" >&2
+    exit 1
+fi
+if [[ "${svc_warm_gate}" != "true" ]]; then
+    echo "FAIL: warm daemon job spent more time in setup than in the data-flow solver" >&2
     exit 1
 fi
 

@@ -7,6 +7,7 @@
 //! flowdroid pack <app-dir> -o <app.rpk>             bundle an app directory
 //! flowdroid disas <app-dir | app.rpk>               disassemble app code to jasm
 //! flowdroid permissions <app-dir | app.rpk>         permission-gap report
+//! flowdroid snapshot <platform.fdps>                write the platform snapshot
 //! flowdroid droidbench                              run the DroidBench suite
 //!
 //! analyze options:
@@ -39,6 +40,7 @@ fn main() -> ExitCode {
         Some("pack") => pack(&args[1..]),
         Some("disas") => disas(&args[1..]),
         Some("permissions") => permissions(&args[1..]),
+        Some("snapshot") => snapshot(&args[1..]),
         Some("droidbench") => droidbench(),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
@@ -56,11 +58,13 @@ fn print_usage() {
     eprintln!("usage:");
     eprintln!("  flowdroid analyze <app-dir | app.rpk> [options]");
     eprintln!("  flowdroid serve --listen <addr> [--summary-cache <dir>] [--workers <n>]");
+    eprintln!("                  [--platform-snapshot <platform.fdps>]");
     eprintln!("  flowdroid client <addr> analyze <app> [--deadline-ms <ms>] [--max-propagations <n>] [--taint-threads <n>]");
     eprintln!("  flowdroid client <addr> cancel <job> | stats | shutdown");
     eprintln!("  flowdroid pack <app-dir> -o <app.rpk>");
     eprintln!("  flowdroid disas <app-dir | app.rpk>");
     eprintln!("  flowdroid permissions <app-dir | app.rpk>");
+    eprintln!("  flowdroid snapshot <platform.fdps>");
     eprintln!("  flowdroid droidbench");
     eprintln!();
     eprintln!("analyze options:");
@@ -236,12 +240,14 @@ fn analyze(args: &[String]) -> ExitCode {
     }
 }
 
-/// `flowdroid serve --listen <addr> [--summary-cache <dir>] [--workers <n>]`
+/// `flowdroid serve --listen <addr> [--summary-cache <dir>] [--workers <n>]
+/// [--platform-snapshot <platform.fdps>]`
 fn serve(args: &[String]) -> ExitCode {
     use flowdroid_service::{Daemon, DaemonOptions, Listen};
     let mut listen = None;
     let mut workers = 0usize;
     let mut summary_cache = None;
+    let mut platform_snapshot = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -269,6 +275,14 @@ fn serve(args: &[String]) -> ExitCode {
                 };
                 summary_cache = Some(dir.into());
             }
+            "--platform-snapshot" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--platform-snapshot needs a platform.fdps path");
+                    return ExitCode::FAILURE;
+                };
+                platform_snapshot = Some(path.into());
+            }
             other => {
                 eprintln!("serve: unknown option `{other}` (run `flowdroid help` for usage)");
                 return ExitCode::FAILURE;
@@ -280,7 +294,8 @@ fn serve(args: &[String]) -> ExitCode {
         eprintln!("serve: missing --listen <addr>");
         return ExitCode::FAILURE;
     };
-    let daemon = match Daemon::bind(DaemonOptions { listen, workers, summary_cache }) {
+    let daemon =
+        match Daemon::bind(DaemonOptions { listen, workers, summary_cache, platform_snapshot }) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("serve: {e}");
@@ -504,6 +519,31 @@ fn permissions(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `flowdroid snapshot <platform.fdps>` — build the Android platform
+/// model once and write it as a versioned, checksummed snapshot the
+/// daemon can boot from (`serve --platform-snapshot`).
+fn snapshot(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: flowdroid snapshot <platform.fdps>");
+        return ExitCode::FAILURE;
+    };
+    let snap = flowdroid::android::build_snapshot();
+    match flowdroid::android::save_snapshot(Path::new(path), &snap) {
+        Ok(()) => {
+            println!(
+                "wrote {path}: {} classes, {} methods",
+                snap.program.class_count(),
+                snap.program.method_count()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("snapshot: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn pack(args: &[String]) -> ExitCode {

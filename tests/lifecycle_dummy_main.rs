@@ -57,7 +57,7 @@ fn build() -> (Program, flowdroid::ir::MethodId) {
     let platform = install_platform(&mut p);
     let app =
         App::from_parts(&mut p, MANIFEST, &[("main", LAYOUT)], CODE_WITH_LAYOUT_HOOK).unwrap();
-    let model = EntryPointModel::build(&p, &platform, &app, CallbackAssociation::PerComponent);
+    let model = EntryPointModel::build(&mut p, &platform, &app, CallbackAssociation::PerComponent);
     let main = generate_dummy_main(&mut p, &platform, &model, "fig1");
     (p, main)
 }
@@ -139,7 +139,7 @@ fn components_can_repeat_in_any_order() {
     let mut p = Program::new();
     let platform = install_platform(&mut p);
     let app = App::from_parts(&mut p, MANIFEST, &[], CODE).unwrap();
-    let model = EntryPointModel::build(&p, &platform, &app, CallbackAssociation::PerComponent);
+    let model = EntryPointModel::build(&mut p, &platform, &app, CallbackAssociation::PerComponent);
     assert_eq!(model.components.len(), 2);
     let main = generate_dummy_main(&mut p, &platform, &model, "order");
     let body = p.method(main).body().unwrap();
