@@ -16,7 +16,7 @@ use flowdroid_core::{
 use flowdroid_droidbench::{all_apps, insecurebank, BenchApp};
 use flowdroid_frontend::layout::{Layout, ResourceTable};
 use flowdroid_frontend::manifest::Manifest;
-use flowdroid_core::{SchedulerStats, SummaryCacheStats};
+use flowdroid_core::{SchedulerStats, SummaryCacheStats, TableStats};
 use std::path::Path;
 use flowdroid_frontend::{parse_jasm, sdex, App};
 use flowdroid_ir::{FxHashMap, Program};
@@ -213,6 +213,8 @@ pub struct AppRun {
     pub dataflow: Duration,
     /// Work-stealing scheduler counters (parallel taint engine only).
     pub scheduler: Option<SchedulerStats>,
+    /// Tabulation-table density/widening counters (bitset tables only).
+    pub fact_tables: Option<TableStats>,
     /// Summary-cache counters (persistent summary store only).
     pub summary_cache: Option<SummaryCacheStats>,
     /// Whether the run aborted before the fixpoint (budget, deadline or
@@ -359,6 +361,7 @@ fn finish_run(
         total: start.elapsed(),
         dataflow: results.duration,
         scheduler: results.scheduler.clone(),
+        fact_tables: results.fact_tables,
         summary_cache: results.summary_cache.clone(),
         aborted: results.aborted,
         abort_reason: results.abort_reason,
@@ -417,6 +420,16 @@ impl CorpusRun {
         let m = self.apps.iter().map(|a| a.bodies_materialized).sum();
         let s = self.apps.iter().map(|a| a.bodies_skipped).sum();
         (m, s)
+    }
+
+    /// Tabulation-table density/widening counters summed across the
+    /// corpus (`None` when no app ran on bitset tables).
+    pub fn fact_table_totals(&self) -> Option<TableStats> {
+        let mut total: Option<TableStats> = None;
+        for s in self.apps.iter().filter_map(|a| a.fact_tables.as_ref()) {
+            total.get_or_insert_with(TableStats::default).merge(s);
+        }
+        total
     }
 
     /// Summary-cache counters summed across the corpus (`None` when no

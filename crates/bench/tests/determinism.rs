@@ -88,6 +88,37 @@ fn interned_and_direct_keys_agree() {
     assert_eq!(interned, direct);
 }
 
+/// Bitset-backed tabulation tables (the default) produce byte-identical
+/// corpus reports to the hash-map tables they replaced — sequentially
+/// and through the parallel taint engine at 1 and 4 workers. The table
+/// layout is pure representation; the fixpoint and its canonicalized
+/// reports must not see it.
+#[test]
+fn bitset_tables_report_identical_to_hash_tables() {
+    use flowdroid_bench::full_corpus;
+    let jobs = full_corpus();
+    for taint_threads in [0usize, 1, 4] {
+        let bitset = InfoflowConfig::default().with_taint_threads(taint_threads);
+        let hash = bitset.clone().with_bitset_tables(false);
+        let bitset_run = run_corpus(&jobs, &bitset, 1);
+        let hash_run = run_corpus(&jobs, &hash, 1);
+        assert_eq!(
+            corpus_report(&bitset_run),
+            corpus_report(&hash_run),
+            "bitset-table report diverged from hash tables at {taint_threads} taint thread(s)"
+        );
+        // The sweep must actually exercise both representations.
+        assert!(
+            bitset_run.fact_table_totals().is_some_and(|t| t.rows > 0),
+            "bitset run recorded no table rows at {taint_threads} taint thread(s)"
+        );
+        assert!(
+            hash_run.fact_table_totals().is_none(),
+            "hash-table run unexpectedly reported density counters"
+        );
+    }
+}
+
 /// Fact for [`DefinedLocals`]: `None` is zero, `Some(l)` means local
 /// `l` may have been written on some path.
 type Fact = Option<Local>;

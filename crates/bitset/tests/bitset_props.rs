@@ -1,0 +1,135 @@
+//! Property tests for the bitset structures against a `BTreeSet`
+//! model: whatever operation sequence is thrown at them, a
+//! [`HybridBitSet`] must behave exactly like a set of integers across
+//! its sparse→dense promotion, and a [`SparseBitMatrix`] exactly like a
+//! map of row sets. These are the invariants the IFDS tabulators'
+//! correctness rides on when fact sets switch representation.
+
+use flowdroid_bitset::{BitSet, HybridBitSet, SparseBitMatrix, SPARSE_MAX};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Element strategy: a universe small enough to collide often (the
+/// interesting case) but larger than a few words.
+fn elem() -> impl Strategy<Value = u32> {
+    0u32..200
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A hybrid set agrees with a `BTreeSet` model on insert return
+    /// values, membership, count and iteration order — including runs
+    /// long enough to cross the sparse→dense promotion threshold.
+    #[test]
+    fn hybrid_matches_btreeset_model(elems in proptest::collection::vec(elem(), 0..40)) {
+        let mut h: HybridBitSet<u32> = HybridBitSet::new();
+        let mut model: BTreeSet<u32> = BTreeSet::new();
+        for e in &elems {
+            prop_assert_eq!(h.insert(*e), model.insert(*e), "insert({}) novelty", e);
+            prop_assert!(h.contains(*e));
+        }
+        prop_assert_eq!(h.count(), model.len());
+        prop_assert_eq!(h.is_empty(), model.is_empty());
+        // Iteration is ascending-index — i.e. exactly the model's order.
+        let got: Vec<u32> = h.iter().collect();
+        let want: Vec<u32> = model.iter().copied().collect();
+        prop_assert_eq!(got, want);
+        // Membership agrees across the whole universe, not just inserted
+        // elements.
+        for probe in 0u32..200 {
+            prop_assert_eq!(h.contains(probe), model.contains(&probe), "contains({})", probe);
+        }
+        // Density is determined by the distinct-element count.
+        prop_assert_eq!(h.is_dense(), model.len() > SPARSE_MAX);
+    }
+
+    /// Insertion is idempotent: re-inserting every element reports
+    /// nothing new and leaves contents untouched (the tabulator relies
+    /// on `insert` novelty to decide scheduling).
+    #[test]
+    fn hybrid_insert_is_idempotent(elems in proptest::collection::vec(elem(), 1..32)) {
+        let mut h: HybridBitSet<u32> = HybridBitSet::new();
+        for e in &elems {
+            h.insert(*e);
+        }
+        let before: Vec<u32> = h.iter().collect();
+        for e in &elems {
+            prop_assert!(!h.insert(*e), "re-insert({}) claimed novelty", e);
+        }
+        let after: Vec<u32> = h.iter().collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Sparse and dense representations of the same contents are
+    /// observationally identical: a set built straight into a dense
+    /// `BitSet` agrees with the hybrid set fed the same elements.
+    #[test]
+    fn promotion_preserves_contents(elems in proptest::collection::vec(elem(), 0..40)) {
+        let mut h: HybridBitSet<u32> = HybridBitSet::new();
+        let mut d: BitSet<u32> = BitSet::new();
+        for e in &elems {
+            prop_assert_eq!(h.insert(*e), d.insert(*e));
+        }
+        prop_assert_eq!(h.count(), d.count());
+        let hv: Vec<u32> = h.iter().collect();
+        let dv: Vec<u32> = d.iter().collect();
+        prop_assert_eq!(hv, dv);
+    }
+
+    /// Union via repeated insert reaches the model union whatever the
+    /// interleaving of the two input sets.
+    #[test]
+    fn union_matches_model(
+        a in proptest::collection::vec(elem(), 0..24),
+        b in proptest::collection::vec(elem(), 0..24),
+    ) {
+        let mut h: HybridBitSet<u32> = HybridBitSet::new();
+        // Interleave: a[0], b[0], a[1], b[1], ...
+        let mut model: BTreeSet<u32> = BTreeSet::new();
+        for i in 0..a.len().max(b.len()) {
+            if let Some(e) = a.get(i) {
+                h.insert(*e);
+                model.insert(*e);
+            }
+            if let Some(e) = b.get(i) {
+                h.insert(*e);
+                model.insert(*e);
+            }
+        }
+        let got: Vec<u32> = h.iter().collect();
+        let want: Vec<u32> = model.iter().copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// A matrix row holds exactly the columns inserted under that row:
+    /// rows never bleed into each other, and row iteration matches the
+    /// per-row model.
+    #[test]
+    fn matrix_rows_match_model(
+        pairs in proptest::collection::vec((0u32..12, elem()), 0..60),
+    ) {
+        let mut m: SparseBitMatrix<u32, u32> = SparseBitMatrix::new();
+        let mut model: std::collections::BTreeMap<u32, BTreeSet<u32>> = Default::default();
+        for (r, c) in &pairs {
+            prop_assert_eq!(
+                m.insert(*r, *c),
+                model.entry(*r).or_default().insert(*c),
+                "insert({}, {}) novelty", r, c
+            );
+        }
+        let rows: Vec<u32> = m.rows().collect();
+        let want_rows: Vec<u32> = model.keys().copied().collect();
+        prop_assert_eq!(rows, want_rows);
+        for (r, cols) in &model {
+            let got: Vec<u32> = m.row(*r).expect("touched row").iter().collect();
+            let want: Vec<u32> = cols.iter().copied().collect();
+            prop_assert_eq!(got, want, "row {}", r);
+            for c in cols {
+                prop_assert!(m.contains(*r, *c));
+            }
+        }
+        // Untouched rows read as absent.
+        prop_assert!(!m.contains(100, 0));
+    }
+}

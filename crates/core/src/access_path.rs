@@ -158,6 +158,25 @@ impl AccessPath {
         }
     }
 
+    /// The canonical widened form of the path under bound `max_len`:
+    /// a field chain longer than the bound is cut to its first
+    /// `max_len` fields and marked truncated, so it stands for every
+    /// extension of that prefix. Paths within the bound are returned
+    /// unchanged. This is how the interner collapses over-long paths
+    /// (e.g. replayed from a summary store recorded under a larger
+    /// bound) into one widened id, keeping the dense fact universe
+    /// bounded.
+    pub fn widened(&self, max_len: usize) -> AccessPath {
+        if self.fields.len() <= max_len {
+            return *self;
+        }
+        AccessPath {
+            base: self.base,
+            fields: intern_fields(&self.fields[..max_len]),
+            truncated: true,
+        }
+    }
+
     /// Appends `field`, truncating at `max_len`. A truncated path
     /// absorbs appends (it already covers all suffixes).
     pub fn append(&self, field: FieldId, max_len: usize) -> AccessPath {

@@ -46,6 +46,12 @@ pub struct InfoflowConfig {
     /// whole facts instead; results are identical, only speed and
     /// memory differ (kept for the benchmark comparison).
     pub intern_facts: bool,
+    /// Store interned fact sets as bitset rows (hybrid sparse/dense,
+    /// default) instead of nested hash maps in the tabulation tables.
+    /// Requires `intern_facts` (id keys); ignored without it. Results
+    /// are identical either way — the toggle exists for one release so
+    /// the representations can be compared on identical inputs.
+    pub bitset_tables: bool,
     /// Worker threads for the parallel bidirectional taint engine.
     /// `0` (default) runs the sequential solver; `n > 0` runs forward
     /// and backward propagation as interleaved jobs over a work-stealing
@@ -89,6 +95,7 @@ impl Default for InfoflowConfig {
             callback_association: CallbackAssociation::PerComponent,
             max_propagations: 0,
             intern_facts: true,
+            bitset_tables: true,
             taint_threads: 0,
             summary_cache: None,
             abort: None,
@@ -138,6 +145,12 @@ impl InfoflowConfig {
     /// Builder-style setter for fact interning.
     pub fn with_fact_interning(mut self, on: bool) -> Self {
         self.intern_facts = on;
+        self
+    }
+
+    /// Builder-style setter for bitset-backed tabulation tables.
+    pub fn with_bitset_tables(mut self, on: bool) -> Self {
+        self.bitset_tables = on;
         self
     }
 

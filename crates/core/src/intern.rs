@@ -21,10 +21,11 @@
 
 use crate::access_path::AccessPath;
 use crate::taint::{Fact, Taint};
+use flowdroid_ifds::{BitsetSets, ConcurrentKeyDomain, FactSetDomain, HashSets};
 use flowdroid_ir::{fxhash64, FieldId, FxHashMap, FxHashSet, StmtRef};
 use std::fmt::Debug;
 use std::hash::Hash;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 // ================= field-sequence arena =================
 
@@ -104,6 +105,18 @@ impl FactId {
     }
 }
 
+/// Fact ids are dense indices, so the tabulators can store fact sets
+/// as bitset rows (`flowdroid_bitset`) keyed by id.
+impl flowdroid_bitset::Idx for FactId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    fn from_index(i: usize) -> Self {
+        FactId(u32::try_from(i).expect("fact id overflow"))
+    }
+}
+
 /// The compact, arena-internal form of a fact: the access path replaced
 /// by its id. This is what the fact dedup table hashes, so interning a
 /// fact whose path is already interned costs a single-word hash.
@@ -114,18 +127,51 @@ enum FactRepr {
 }
 
 /// Hash-consing arenas for access paths and facts.
-#[derive(Debug, Default)]
+///
+/// The interner enforces the access-path length bound at the id
+/// boundary: a fact whose path exceeds `max_ap_len` fields is
+/// **widened** — collapsed onto the id of its truncated (and therefore
+/// covering) `max_ap_len`-prefix. Normal fact construction already
+/// truncates, so widening fires only on paths that bypass it (e.g.
+/// summary-store entries recorded under a larger bound), but it is what
+/// guarantees the dense fact universe stays bounded no matter where
+/// facts come from.
+#[derive(Debug)]
 pub struct Interner {
     aps: Vec<AccessPath>,
     ap_ids: FxHashMap<AccessPath, ApId>,
     facts: Vec<FactRepr>,
     fact_ids: FxHashMap<FactRepr, FactId>,
+    /// Access-path length bound applied at intern time.
+    max_ap_len: usize,
+    /// Intern calls that had to widen their access path.
+    widened: u64,
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Interner::new()
+    }
 }
 
 impl Interner {
-    /// Creates an interner with [`Fact::Zero`] pre-interned as id 0.
+    /// Creates an unbounded interner with [`Fact::Zero`] pre-interned
+    /// as id 0 (paths are stored as given).
     pub fn new() -> Self {
-        let mut i = Interner::default();
+        Self::with_bound(usize::MAX)
+    }
+
+    /// Creates an interner that widens access paths longer than
+    /// `max_ap_len` fields, with [`Fact::Zero`] pre-interned as id 0.
+    pub fn with_bound(max_ap_len: usize) -> Self {
+        let mut i = Interner {
+            aps: Vec::new(),
+            ap_ids: FxHashMap::default(),
+            facts: Vec::new(),
+            fact_ids: FxHashMap::default(),
+            max_ap_len,
+            widened: 0,
+        };
         let zero = i.intern_repr(FactRepr::Zero);
         debug_assert_eq!(zero, FactId::ZERO);
         i
@@ -158,17 +204,39 @@ impl Interner {
         id
     }
 
-    /// Interns a fact, returning its id.
+    /// Interns a fact, returning its id. A fact whose access path
+    /// exceeds the length bound maps to the id of its widened form —
+    /// distinct over-long extensions of one prefix share one id.
     pub fn intern_fact(&mut self, f: &Fact) -> FactId {
         let repr = match f {
             Fact::Zero => FactRepr::Zero,
-            Fact::T(t) => FactRepr::T {
-                ap: self.intern_ap(&t.ap),
-                active: t.active,
-                activation: t.activation,
-            },
+            Fact::T(t) => {
+                let ap = t.ap.widened(self.max_ap_len);
+                if ap != t.ap {
+                    self.widened += 1;
+                }
+                FactRepr::T { ap: self.intern_ap(&ap), active: t.active, activation: t.activation }
+            }
         };
         self.intern_repr(repr)
+    }
+
+    /// The id of `f` if (the widened form of) `f` has been interned,
+    /// without interning it. This is the read-only fast path of
+    /// [`SharedInterner`].
+    pub fn lookup_fact(&self, f: &Fact) -> Option<FactId> {
+        let repr = match f {
+            Fact::Zero => FactRepr::Zero,
+            Fact::T(t) => {
+                let ap = t.ap.widened(self.max_ap_len);
+                FactRepr::T {
+                    ap: *self.ap_ids.get(&ap)?,
+                    active: t.active,
+                    activation: t.activation,
+                }
+            }
+        };
+        self.fact_ids.get(&repr).copied()
     }
 
     /// Reconstructs the fact behind `id`. Since access paths hold
@@ -194,19 +262,121 @@ impl Interner {
     pub fn ap_count(&self) -> usize {
         self.aps.len()
     }
+
+    /// Number of intern calls whose access path was widened to the
+    /// length bound.
+    pub fn widened_count(&self) -> u64 {
+        self.widened
+    }
 }
 
-/// The solver's key choice: how facts are represented in its tables.
+// ================= shared (parallel) interner =================
+
+/// An [`Interner`] behind a read/write lock, shared by the parallel
+/// taint workers.
+///
+/// Interning is read-mostly once the fact universe stabilizes: the
+/// common case is a fact already interned, served by `lookup_fact`
+/// under the read lock; only first encounters take the write lock.
+/// Id *values* depend on which worker wins the first-encounter race,
+/// but the *set* of interned facts is the order-independent closure of
+/// flow-function outputs, so counts (and everything keyed back through
+/// `resolve`) stay deterministic.
+#[derive(Debug)]
+pub struct SharedInterner {
+    inner: RwLock<Interner>,
+}
+
+impl SharedInterner {
+    /// Creates a shared interner widening paths longer than
+    /// `max_ap_len` fields.
+    pub fn with_bound(max_ap_len: usize) -> Self {
+        SharedInterner { inner: RwLock::new(Interner::with_bound(max_ap_len)) }
+    }
+
+    /// Interns `f`, taking the write lock only on first encounter.
+    pub fn intern(&self, f: &Fact) -> FactId {
+        if let Some(id) = self.inner.read().unwrap().lookup_fact(f) {
+            return id;
+        }
+        self.inner.write().unwrap().intern_fact(f)
+    }
+
+    /// Reconstructs the fact behind `id`.
+    pub fn resolve(&self, id: FactId) -> Fact {
+        self.inner.read().unwrap().resolve_fact(id)
+    }
+
+    /// `(distinct facts, distinct access paths)` interned so far.
+    pub fn counts(&self) -> (usize, usize) {
+        let i = self.inner.read().unwrap();
+        (i.fact_count(), i.ap_count())
+    }
+
+    /// Number of intern calls that widened their access path.
+    pub fn widened_count(&self) -> u64 {
+        self.inner.read().unwrap().widened_count()
+    }
+}
+
+/// Keys the concurrent tabulators on [`FactId`]s from a shared
+/// interner, with bitset-backed tables ([`BitsetSets`]).
+///
+/// Cloning shares the interner, so the forward and backward tabulators
+/// of one solve agree on ids.
+#[derive(Clone, Debug)]
+pub struct SharedInternedKeys {
+    interner: Arc<SharedInterner>,
+}
+
+impl SharedInternedKeys {
+    /// Creates a domain whose interner widens paths longer than
+    /// `max_ap_len` fields.
+    pub fn new(max_ap_len: usize) -> Self {
+        SharedInternedKeys { interner: Arc::new(SharedInterner::with_bound(max_ap_len)) }
+    }
+}
+
+impl ConcurrentKeyDomain<Fact> for SharedInternedKeys {
+    type Key = FactId;
+    type Sets = BitsetSets;
+
+    fn key(&self, f: &Fact) -> FactId {
+        self.interner.intern(f)
+    }
+
+    fn fact(&self, k: &FactId) -> Fact {
+        self.interner.resolve(*k)
+    }
+
+    fn stats(&self) -> Option<(usize, usize)> {
+        Some(self.interner.counts())
+    }
+
+    fn widened_count(&self) -> u64 {
+        self.interner.widened_count()
+    }
+}
+
+/// The solver's key choice: how facts are represented in its tables,
+/// and which table layout those keys get.
 ///
 /// `intern` is the only way keys are produced and `resolve` the only way
 /// they are read back, so an implementation either hands facts through
-/// unchanged ([`DirectDomain`]) or hash-conses them ([`InternedDomain`]).
+/// unchanged ([`DirectDomain`]) or hash-conses them ([`InternedDomain`],
+/// [`InternedHashDomain`]). `Sets` picks the tabulator's table
+/// representation for the keys — bitset rows require dense id keys, so
+/// the choice lives here rather than on the solver.
 pub trait FactDomain {
     /// The table key type.
     type Key: Clone + Eq + Hash + Debug;
+    /// Tabulation-table representation for the keys.
+    type Sets: FactSetDomain<Self::Key>;
 
-    /// Creates the domain.
-    fn new() -> Self;
+    /// Creates the domain; access paths longer than `max_ap_len` fields
+    /// are widened at the key boundary (ignored by non-interning
+    /// domains, whose keys carry the path verbatim).
+    fn new(max_ap_len: usize) -> Self;
     /// Maps a fact to its key.
     fn intern(&mut self, f: &Fact) -> Self::Key;
     /// Maps a key back to its fact.
@@ -217,6 +387,11 @@ pub trait FactDomain {
     fn is_zero(&self, k: &Self::Key) -> bool;
     /// `(distinct facts, distinct access paths)` seen, when tracked.
     fn stats(&self) -> Option<(usize, usize)>;
+    /// Intern calls that widened their access path (0 when the domain
+    /// does not widen).
+    fn widened_count(&self) -> u64 {
+        0
+    }
 }
 
 /// Keys tables on whole [`Fact`] values (the pre-interning behavior,
@@ -226,8 +401,9 @@ pub struct DirectDomain;
 
 impl FactDomain for DirectDomain {
     type Key = Fact;
+    type Sets = HashSets;
 
-    fn new() -> Self {
+    fn new(_max_ap_len: usize) -> Self {
         DirectDomain
     }
 
@@ -252,17 +428,19 @@ impl FactDomain for DirectDomain {
     }
 }
 
-/// Keys tables on [`FactId`]s via an [`Interner`] (the default).
-#[derive(Debug, Default)]
+/// Keys tables on [`FactId`]s via an [`Interner`], with bitset-backed
+/// tables (the default).
+#[derive(Debug)]
 pub struct InternedDomain {
     interner: Interner,
 }
 
 impl FactDomain for InternedDomain {
     type Key = FactId;
+    type Sets = BitsetSets;
 
-    fn new() -> Self {
-        InternedDomain { interner: Interner::new() }
+    fn new(max_ap_len: usize) -> Self {
+        InternedDomain { interner: Interner::with_bound(max_ap_len) }
     }
 
     fn intern(&mut self, f: &Fact) -> FactId {
@@ -283,6 +461,51 @@ impl FactDomain for InternedDomain {
 
     fn stats(&self) -> Option<(usize, usize)> {
         Some((self.interner.fact_count(), self.interner.ap_count()))
+    }
+
+    fn widened_count(&self) -> u64 {
+        self.interner.widened_count()
+    }
+}
+
+/// [`FactId`] keys with the original hash-map tables — the
+/// `bitset_tables = false` escape hatch, kept for one release so the
+/// table representations can be compared on identical inputs.
+#[derive(Debug)]
+pub struct InternedHashDomain {
+    interner: Interner,
+}
+
+impl FactDomain for InternedHashDomain {
+    type Key = FactId;
+    type Sets = HashSets;
+
+    fn new(max_ap_len: usize) -> Self {
+        InternedHashDomain { interner: Interner::with_bound(max_ap_len) }
+    }
+
+    fn intern(&mut self, f: &Fact) -> FactId {
+        self.interner.intern_fact(f)
+    }
+
+    fn resolve(&self, k: &FactId) -> Fact {
+        self.interner.resolve_fact(*k)
+    }
+
+    fn zero(&self) -> FactId {
+        FactId::ZERO
+    }
+
+    fn is_zero(&self, k: &FactId) -> bool {
+        *k == FactId::ZERO
+    }
+
+    fn stats(&self) -> Option<(usize, usize)> {
+        Some((self.interner.fact_count(), self.interner.ap_count()))
+    }
+
+    fn widened_count(&self) -> u64 {
+        self.interner.widened_count()
     }
 }
 
@@ -346,14 +569,81 @@ mod tests {
 
     #[test]
     fn domains_agree_on_zero() {
-        let mut d = DirectDomain::new();
-        let mut n = InternedDomain::new();
+        let mut d = DirectDomain::new(5);
+        let mut n = InternedDomain::new(5);
+        let mut h = InternedHashDomain::new(5);
         let z1 = d.intern(&Fact::Zero);
         let z2 = n.intern(&Fact::Zero);
-        assert!(d.is_zero(&z1) && n.is_zero(&z2));
+        let z3 = h.intern(&Fact::Zero);
+        assert!(d.is_zero(&z1) && n.is_zero(&z2) && h.is_zero(&z3));
         assert_eq!(d.zero(), z1);
         assert_eq!(n.zero(), z2);
+        assert_eq!(h.zero(), z3);
         assert!(d.stats().is_none());
         assert_eq!(n.stats(), Some((1, 0)));
+        assert_eq!(h.stats(), Some((1, 0)));
+    }
+
+    /// Distinct over-long extensions of one prefix collapse onto the
+    /// id of the truncated prefix.
+    #[test]
+    fn overlong_paths_widen_to_prefix_id() {
+        use crate::access_path::ApBase;
+        let mut i = Interner::with_bound(2);
+        let base = ApBase::Local(Local(7));
+        let fid = FieldId::from_index;
+        // Build paths longer than the bound by hand (append truncates,
+        // so go through raw parts like the summary store does).
+        let long_a = AccessPath::from_raw_parts(base, &[fid(1), fid(2), fid(3)], false);
+        let long_b = AccessPath::from_raw_parts(base, &[fid(1), fid(2), fid(9)], false);
+        // The canonical widened form: the 2-prefix, marked truncated.
+        let widened = AccessPath::from_raw_parts(base, &[fid(1), fid(2)], true);
+        let ia = i.intern_fact(&Fact::T(Taint::active(long_a)));
+        let ib = i.intern_fact(&Fact::T(Taint::active(long_b)));
+        let iw = i.intern_fact(&Fact::T(Taint::active(widened)));
+        assert_eq!(ia, ib);
+        assert_eq!(ia, iw);
+        assert_eq!(i.widened_count(), 2);
+        // The widened fact resolves to the truncated prefix.
+        match i.resolve_fact(ia) {
+            Fact::T(t) => {
+                assert_eq!(t.ap.fields(), &[fid(1), fid(2)]);
+                assert!(t.ap.is_truncated());
+            }
+            Fact::Zero => panic!("widened fact resolved to zero"),
+        }
+    }
+
+    /// `lookup_fact` agrees with `intern_fact` without mutating.
+    #[test]
+    fn lookup_matches_intern() {
+        let mut i = Interner::with_bound(3);
+        let f = Fact::T(Taint::active(ap(2, &[4])));
+        assert_eq!(i.lookup_fact(&f), None);
+        let id = i.intern_fact(&f);
+        assert_eq!(i.lookup_fact(&f), Some(id));
+        assert_eq!(i.lookup_fact(&Fact::Zero), Some(FactId::ZERO));
+    }
+
+    /// The shared interner agrees with itself across threads: every
+    /// thread's id for a fact resolves back to that fact.
+    #[test]
+    fn shared_interner_round_trips_across_threads() {
+        let s = SharedInterner::with_bound(5);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = &s;
+                scope.spawn(move || {
+                    for l in 0..50u32 {
+                        let f = Fact::T(Taint::active(ap(l, &[(l % 3) as usize])));
+                        let id = s.intern(&f);
+                        assert_eq!(s.resolve(id), f);
+                    }
+                });
+            }
+        });
+        // 50 distinct facts + zero, regardless of interleaving.
+        assert_eq!(s.counts().0, 51);
+        assert_eq!(s.widened_count(), 0);
     }
 }

@@ -47,8 +47,11 @@ pub use access_path::{AccessPath, ApBase};
 pub use analysis::{AppAnalysis, Infoflow};
 pub use config::InfoflowConfig;
 pub use icc::{analyze_app_linked, IccResults};
-pub use intern::{ApId, DirectDomain, FactDomain, FactId, InternedDomain, Interner};
-pub use flowdroid_ifds::{AbortHandle, AbortReason, SchedulerStats};
+pub use intern::{
+    ApId, DirectDomain, FactDomain, FactId, InternedDomain, InternedHashDomain, Interner,
+    SharedInternedKeys, SharedInterner,
+};
+pub use flowdroid_ifds::{AbortHandle, AbortReason, SchedulerStats, TableStats};
 pub use results::{InfoflowResults, Leak};
 pub use sourcesink::{SourceSinkManager, SourceSinkParseError};
 pub use summary_cache::{flush_summary_cache, SummaryCacheStats};

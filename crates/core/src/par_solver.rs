@@ -47,8 +47,8 @@ use crate::taint::{Fact, Taint};
 use crate::wrappers::TaintWrapper;
 use flowdroid_callgraph::Icfg;
 use flowdroid_ifds::{
-    drive, AbortHandle, AbortReason, ConcurrentTabulator, WorkStealScheduler, WorkerState,
-    DEFAULT_BATCH, DEFAULT_SHARDS,
+    drive, AbortHandle, AbortReason, ConcurrentKeyDomain, ConcurrentTabulator, IdentityKeys,
+    WorkStealScheduler, WorkerState, DEFAULT_BATCH, DEFAULT_SHARDS,
 };
 use flowdroid_ir::{fxhash64, FxHashMap, MethodId, Stmt, StmtRef};
 use std::sync::Mutex;
@@ -104,11 +104,18 @@ impl WorkerState<Job> for WorkerCtx {
 
 /// The parallel engine. Public API mirrors
 /// [`BiSolver`](crate::solver::BiSolver).
-pub(crate) struct ParBiSolver<'a> {
+///
+/// Generic over a [`ConcurrentKeyDomain`]: the engine itself always
+/// speaks [`Fact`]s (jobs, transfer functions, provenance), while the
+/// domain decides how the tabulators key and lay out their tables —
+/// [`IdentityKeys`] keeps the fact-keyed hash maps, the shared-interner
+/// domain ([`crate::intern::SharedInternedKeys`]) stores id-indexed
+/// bitset rows.
+pub(crate) struct ParBiSolver<'a, D: ConcurrentKeyDomain<Fact> = IdentityKeys> {
     flows: Flows<'a>,
     threads: usize,
-    fw: ConcurrentTabulator<Fact>,
-    bw: ConcurrentTabulator<Fact>,
+    fw: ConcurrentTabulator<Fact, D>,
+    bw: ConcurrentTabulator<Fact, D>,
     sched: WorkStealScheduler<Job>,
     prov: Vec<Mutex<ProvShard>>,
     /// Persistent end-summary store session, when configured.
@@ -119,14 +126,18 @@ pub(crate) struct ParBiSolver<'a> {
     abort: AbortHandle,
 }
 
-impl<'a> ParBiSolver<'a> {
-    /// Creates an engine with `threads` workers (at least 1).
+impl<'a, D: ConcurrentKeyDomain<Fact> + Clone> ParBiSolver<'a, D> {
+    /// Creates an engine with `threads` workers (at least 1). Both
+    /// directions share `dom` (cloning must share interning state, as
+    /// `SharedInternedKeys` does), so forward and backward tables agree
+    /// on keys.
     pub fn new(
         icfg: Icfg<'a>,
         sources: &'a SourceSinkManager,
         wrapper: &'a TaintWrapper,
         config: &'a InfoflowConfig,
         threads: usize,
+        dom: D,
     ) -> Self {
         let cache = config
             .summary_cache
@@ -135,14 +146,17 @@ impl<'a> ParBiSolver<'a> {
         ParBiSolver {
             flows: Flows { icfg, sources, wrapper, config },
             threads: threads.max(1),
-            fw: ConcurrentTabulator::new(),
-            bw: ConcurrentTabulator::new(),
+            fw: ConcurrentTabulator::with_domain(dom.clone()),
+            bw: ConcurrentTabulator::with_domain(dom),
             sched: WorkStealScheduler::new(DEFAULT_SHARDS, DEFAULT_BATCH),
             prov: (0..PROV_SHARDS).map(|_| Mutex::new(ProvShard::default())).collect(),
             cache,
             abort: config.abort.clone().unwrap_or_default(),
         }
     }
+}
+
+impl<'a, D: ConcurrentKeyDomain<Fact>> ParBiSolver<'a, D> {
 
     fn config(&self) -> &'a InfoflowConfig {
         self.flows.config
@@ -609,17 +623,27 @@ impl<'a> ParBiSolver<'a> {
             });
         }
         leaks.sort_by_key(|l| (l.sink, l.source));
+        // The set of interned facts is the deterministic closure of
+        // flow-function outputs (id *values* may race, counts do not).
+        let (distinct_facts, distinct_aps) = self.fw.domain().stats().unwrap_or((0, 0));
+        let fact_tables = {
+            let mut t = self.fw.table_stats();
+            t.merge(&self.bw.table_stats());
+            t.widened_facts = self.fw.domain().widened_count();
+            (t.any() || t.widened_facts > 0).then_some(t)
+        };
         InfoflowResults {
             leaks,
             forward_propagations: self.fw.propagation_count(),
             backward_propagations: self.bw.propagation_count(),
             reachable_methods: self.flows.icfg.callgraph().reachable_methods().len(),
-            distinct_facts: 0,
-            distinct_aps: 0,
+            distinct_facts,
+            distinct_aps,
             duration,
             aborted: abort_reason.is_some(),
             abort_reason,
             scheduler: Some(stats),
+            fact_tables,
             summary_cache,
         }
     }

@@ -66,6 +66,10 @@ pub struct InfoflowResults {
     /// Work-stealing scheduler counters, present when the parallel taint
     /// engine ran ([`crate::InfoflowConfig::taint_threads`] > 0).
     pub scheduler: Option<flowdroid_ifds::SchedulerStats>,
+    /// Tabulation-table density and widening counters, present when the
+    /// solver ran on bitset-backed tables
+    /// ([`crate::InfoflowConfig::bitset_tables`]).
+    pub fact_tables: Option<flowdroid_ifds::TableStats>,
     /// Summary-cache counters, present when a persistent summary store
     /// was configured ([`crate::InfoflowConfig::summary_cache`]).
     pub summary_cache: Option<crate::summary_cache::SummaryCacheStats>,
@@ -118,6 +122,14 @@ impl InfoflowResults {
                 out,
                 "  ({} distinct facts, {} distinct access paths interned)",
                 self.distinct_facts, self.distinct_aps
+            )
+            .unwrap();
+        }
+        if let Some(ft) = &self.fact_tables {
+            writeln!(
+                out,
+                "  (fact tables: {} rows, {} sparse / {} dense ({} words), {} widened facts)",
+                ft.rows, ft.sparse_rows, ft.dense_rows, ft.dense_words, ft.widened_facts
             )
             .unwrap();
         }

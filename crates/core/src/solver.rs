@@ -55,8 +55,8 @@ const ABORT_CHECK_EVERY: usize = 128;
 pub struct BiSolver<'a, D: FactDomain> {
     flows: Flows<'a>,
     dom: D,
-    fw: Tabulator<D::Key>,
-    bw: Tabulator<D::Key>,
+    fw: Tabulator<D::Key, D::Sets>,
+    bw: Tabulator<D::Key, D::Sets>,
     leaks: Vec<(StmtRef, Taint)>,
     /// (stmt, fact) → all offered predecessor (stmt, fact) origins, for
     /// path reconstruction. The *set* of offers at the fixpoint is
@@ -86,7 +86,7 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
             .map(|dir| SummaryCacheSession::new(dir, &icfg, sources, wrapper, config));
         BiSolver {
             flows: Flows { icfg, sources, wrapper, config },
-            dom: D::new(),
+            dom: D::new(config.max_access_path_length),
             fw: Tabulator::new(),
             bw: Tabulator::new(),
             leaks: Vec::new(),
@@ -584,6 +584,12 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
         }
         leaks.sort_by_key(|l| (l.sink, l.source));
         let (distinct_facts, distinct_aps) = self.dom.stats().unwrap_or((0, 0));
+        let fact_tables = {
+            let mut t = self.fw.table_stats();
+            t.merge(&self.bw.table_stats());
+            t.widened_facts = self.dom.widened_count();
+            (t.any() || t.widened_facts > 0).then_some(t)
+        };
         InfoflowResults {
             leaks,
             forward_propagations: self.fw.propagation_count(),
@@ -595,6 +601,7 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
             aborted: self.abort_reason.is_some(),
             abort_reason: self.abort_reason,
             scheduler: None,
+            fact_tables,
             summary_cache,
         }
     }

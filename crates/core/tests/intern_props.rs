@@ -57,7 +57,7 @@ proptest! {
     /// the solver actually uses).
     #[test]
     fn fact_interning_round_trips(f in fact_strategy()) {
-        let mut dom = InternedDomain::new();
+        let mut dom = InternedDomain::new(5);
         let id = dom.intern(&f);
         prop_assert_eq!(dom.resolve(&id), f.clone());
         prop_assert_eq!(dom.is_zero(&id), f.is_zero());
@@ -66,7 +66,7 @@ proptest! {
     /// `intern(a) == intern(b)  ⇔  a == b` for facts.
     #[test]
     fn fact_ids_identify_equal_facts(a in fact_strategy(), b in fact_strategy()) {
-        let mut dom = InternedDomain::new();
+        let mut dom = InternedDomain::new(5);
         let ia = dom.intern(&a);
         let ib = dom.intern(&b);
         prop_assert_eq!(ia == ib, a == b);
@@ -75,7 +75,7 @@ proptest! {
     /// Interning is idempotent and never grows the arena on re-intern.
     #[test]
     fn reinterning_is_stable(facts in proptest::collection::vec(fact_strategy(), 1..16)) {
-        let mut dom = InternedDomain::new();
+        let mut dom = InternedDomain::new(5);
         let first: Vec<_> = facts.iter().map(|f| dom.intern(f)).collect();
         let count = dom.stats().unwrap();
         let second: Vec<_> = facts.iter().map(|f| dom.intern(f)).collect();
@@ -87,8 +87,8 @@ proptest! {
     /// interners fed the same sequence assign identical ids.
     #[test]
     fn encounter_order_determines_ids(facts in proptest::collection::vec(fact_strategy(), 1..16)) {
-        let mut a = InternedDomain::new();
-        let mut b = InternedDomain::new();
+        let mut a = InternedDomain::new(5);
+        let mut b = InternedDomain::new(5);
         let ids_a: Vec<_> = facts.iter().map(|f| a.intern(f)).collect();
         let ids_b: Vec<_> = facts.iter().map(|f| b.intern(f)).collect();
         prop_assert_eq!(ids_a, ids_b);

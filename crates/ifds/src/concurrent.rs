@@ -7,8 +7,14 @@
 //! work-stealing scheduler. Shards are addressed by the Fx hash of the
 //! outer key (statement for edges, callee for summaries/incoming);
 //! workers touching different statements or callees never contend.
-//! Within a shard the maps are nested (`stmt → fact → …`), so lookups
-//! borrow instead of cloning facts into tuple keys.
+//!
+//! The table representation is chosen by a [`ConcurrentKeyDomain`]:
+//! [`IdentityKeys`] stores facts as-is in nested hash maps (any
+//! hashable fact), while a fact-interning domain (e.g. the taint
+//! engine's shared interner) maps facts to dense ids at the table
+//! boundary and stores bitset rows instead. The public API always
+//! speaks facts; keying is an internal representation choice, so the
+//! solver code is identical for both.
 //!
 //! The cross-table handshake discipline (register your own half, then
 //! read the other's) works across threads because each shard is a
@@ -16,7 +22,8 @@
 //! summary shard orders the accesses such that of two racing
 //! (call-side, exit-side) updates at least one side observes the other.
 
-use flowdroid_ir::{fxhash64, FxHashMap, FxHashSet, MethodId, StmtRef};
+use crate::factset::{FactRel, FactSetDomain, HashSets, PairSet, TableStats};
+use flowdroid_ir::{fxhash64, FxHashMap, MethodId, StmtRef};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -25,8 +32,62 @@ use std::sync::Mutex;
 /// Number of independently locked shards per table (power of two).
 const SHARD_COUNT: usize = 16;
 
-/// `callee → fact → (statement, fact)` pairs, one shard's worth.
-type MethodFactMap<F> = FxHashMap<MethodId, FxHashMap<F, Vec<(StmtRef, F)>>>;
+/// Maps solver facts to the keys actually stored in the concurrent
+/// tables, and picks the table representation for those keys.
+///
+/// `key` may intern (allocate an id for a first-seen fact) behind
+/// interior mutability; it is called under no table lock. Key
+/// assignment may race across threads — correctness only requires the
+/// fact ↔ key mapping to be a bijection within one domain instance,
+/// not any particular id order.
+pub trait ConcurrentKeyDomain<F>: Sync {
+    /// The stored key type.
+    type Key: Clone + Eq + Hash + Send;
+    /// Table representation for the stored keys (`Send` tables, so the
+    /// shards can be locked from any worker thread).
+    type Sets: FactSetDomain<Self::Key, Rel: Send, Pairs: Send>;
+    /// The key for a fact (interning it on first sight).
+    fn key(&self, f: &F) -> Self::Key;
+    /// The fact a stored key denotes.
+    fn fact(&self, k: &Self::Key) -> F;
+    /// `(distinct facts, distinct access paths)` interned so far, when
+    /// the domain tracks them.
+    fn stats(&self) -> Option<(usize, usize)> {
+        None
+    }
+    /// Fact interns whose access path was widened to the length bound,
+    /// when the domain widens.
+    fn widened_count(&self) -> u64 {
+        0
+    }
+}
+
+/// The identity domain: facts are their own keys, tables are nested
+/// hash maps. The only choice for non-interned fact types.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdentityKeys;
+
+impl<F: Clone + Eq + Hash + Send + Sync> ConcurrentKeyDomain<F> for IdentityKeys {
+    type Key = F;
+    type Sets = HashSets;
+
+    fn key(&self, f: &F) -> F {
+        f.clone()
+    }
+
+    fn fact(&self, k: &F) -> F {
+        k.clone()
+    }
+}
+
+type Rel<F, D> =
+    <<D as ConcurrentKeyDomain<F>>::Sets as FactSetDomain<<D as ConcurrentKeyDomain<F>>::Key>>::Rel;
+type Pairs<F, D> =
+    <<D as ConcurrentKeyDomain<F>>::Sets as FactSetDomain<<D as ConcurrentKeyDomain<F>>::Key>>::Pairs;
+
+/// `callee → key → (statement, key)` pairs, one shard's worth.
+type MethodFactMap<F, D> =
+    FxHashMap<MethodId, FxHashMap<<D as ConcurrentKeyDomain<F>>::Key, Pairs<F, D>>>;
 
 /// A table split into independently locked shards, addressed by the Fx
 /// hash of a chosen outer key.
@@ -50,26 +111,37 @@ impl<T: Default> Shards<T> {
 
 /// Sharded path-edge / end-summary / incoming tables for one direction
 /// of a parallel tabulation.
-pub struct ConcurrentTabulator<F> {
+pub struct ConcurrentTabulator<F, D: ConcurrentKeyDomain<F> = IdentityKeys> {
+    dom: D,
     /// n → d2 → d1 set, sharded by n.
-    edges: Shards<FxHashMap<StmtRef, FxHashMap<F, FxHashSet<F>>>>,
+    edges: Shards<FxHashMap<StmtRef, Rel<F, D>>>,
     /// callee → d1 → exit facts, sharded by callee.
-    summaries: Shards<MethodFactMap<F>>,
+    summaries: Shards<MethodFactMap<F, D>>,
     /// callee → d3 → call contexts, sharded by callee.
-    incoming: Shards<MethodFactMap<F>>,
+    incoming: Shards<MethodFactMap<F, D>>,
     propagations: AtomicU64,
 }
 
-impl<F: Clone + Eq + Hash> Default for ConcurrentTabulator<F> {
+impl<F: Clone + Eq + Hash, D: ConcurrentKeyDomain<F> + Default> Default
+    for ConcurrentTabulator<F, D>
+{
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<F: Clone + Eq + Hash> ConcurrentTabulator<F> {
-    /// Creates empty tables.
+impl<F: Clone + Eq + Hash, D: ConcurrentKeyDomain<F> + Default> ConcurrentTabulator<F, D> {
+    /// Creates empty tables with a default key domain.
     pub fn new() -> Self {
+        Self::with_domain(D::default())
+    }
+}
+
+impl<F: Clone + Eq + Hash, D: ConcurrentKeyDomain<F>> ConcurrentTabulator<F, D> {
+    /// Creates empty tables keyed through `dom`.
+    pub fn with_domain(dom: D) -> Self {
         ConcurrentTabulator {
+            dom,
             edges: Shards::new(),
             summaries: Shards::new(),
             incoming: Shards::new(),
@@ -77,98 +149,100 @@ impl<F: Clone + Eq + Hash> ConcurrentTabulator<F> {
         }
     }
 
+    /// The key domain (e.g. to read interner statistics).
+    pub fn domain(&self) -> &D {
+        &self.dom
+    }
+
+    fn facts(&self, keys: &[D::Key]) -> Vec<F> {
+        keys.iter().map(|k| self.dom.fact(k)).collect()
+    }
+
+    fn pairs(&self, pairs: Vec<(StmtRef, D::Key)>) -> Vec<(StmtRef, F)> {
+        pairs.into_iter().map(|(s, k)| (s, self.dom.fact(&k))).collect()
+    }
+
     /// Records the path edge `⟨·, d1⟩ → ⟨n, d2⟩`; returns `true` if it
     /// was new (the caller then schedules it).
     pub fn record_edge(&self, d1: &F, n: StmtRef, d2: &F) -> bool {
-        let inserted = self
-            .edges
-            .for_key(&n)
-            .lock()
-            .unwrap()
-            .entry(n)
-            .or_default()
-            .entry(d2.clone())
-            .or_default()
-            .insert(d1.clone());
+        let (k1, k2) = (self.dom.key(d1), self.dom.key(d2));
+        let inserted = self.edges.for_key(&n).lock().unwrap().entry(n).or_default().insert(&k2, &k1);
         if inserted {
             self.propagations.fetch_add(1, Ordering::Relaxed);
         }
         inserted
     }
 
-    /// All `d1` contexts recorded for `(n, d2)`. The lookup borrows
-    /// `d2`; only the found facts are cloned, under the shard lock.
+    /// All `d1` contexts recorded for `(n, d2)`. Keys are collected
+    /// under the shard lock; facts are resolved after it is released.
     pub fn d1s_at(&self, n: StmtRef, d2: &F) -> Vec<F> {
-        self.edges
+        let k2 = self.dom.key(d2);
+        let keys = self
+            .edges
             .for_key(&n)
             .lock()
             .unwrap()
             .get(&n)
-            .and_then(|by_fact| by_fact.get(d2))
-            .map(|s| s.iter().cloned().collect())
-            .unwrap_or_default()
+            .map(|rel| rel.d1s(&k2))
+            .unwrap_or_default();
+        self.facts(&keys)
     }
 
     /// Records a call context: the callee was entered with `d3` from
     /// `call_site` where `d2` held. Returns `true` if new.
     pub fn add_incoming(&self, callee: MethodId, d3: &F, call_site: StmtRef, d2: &F) -> bool {
+        let (k3, k2) = (self.dom.key(d3), self.dom.key(d2));
         let mut shard = self.incoming.for_key(&callee).lock().unwrap();
-        let v = shard.entry(callee).or_default().entry(d3.clone()).or_default();
-        let entry = (call_site, d2.clone());
-        if v.contains(&entry) {
-            false
-        } else {
-            v.push(entry);
-            true
-        }
+        shard.entry(callee).or_default().entry(k3).or_default().insert(call_site, &k2)
     }
 
     /// The call contexts recorded for `(callee, d1)`.
     pub fn incoming_for(&self, callee: MethodId, d1: &F) -> Vec<(StmtRef, F)> {
-        self.incoming
+        let k1 = self.dom.key(d1);
+        let pairs = self
+            .incoming
             .for_key(&callee)
             .lock()
             .unwrap()
             .get(&callee)
-            .and_then(|by_fact| by_fact.get(d1))
-            .cloned()
-            .unwrap_or_default()
+            .and_then(|by_fact| by_fact.get(&k1))
+            .map(|s| s.to_vec())
+            .unwrap_or_default();
+        self.pairs(pairs)
     }
 
     /// Installs `(exit, d2)` as an end summary; returns `true` if new.
     pub fn install_summary(&self, callee: MethodId, d1: &F, exit: StmtRef, d2: &F) -> bool {
+        let (k1, k2) = (self.dom.key(d1), self.dom.key(d2));
         let mut shard = self.summaries.for_key(&callee).lock().unwrap();
-        let v = shard.entry(callee).or_default().entry(d1.clone()).or_default();
-        let entry = (exit, d2.clone());
-        if v.contains(&entry) {
-            false
-        } else {
-            v.push(entry);
-            true
-        }
+        shard.entry(callee).or_default().entry(k1).or_default().insert(exit, &k2)
     }
 
     /// The end summaries recorded for `(callee, d1)`.
     pub fn summaries_for(&self, callee: MethodId, d1: &F) -> Vec<(StmtRef, F)> {
-        self.summaries
+        let k1 = self.dom.key(d1);
+        let pairs = self
+            .summaries
             .for_key(&callee)
             .lock()
             .unwrap()
             .get(&callee)
-            .and_then(|by_fact| by_fact.get(d1))
-            .cloned()
-            .unwrap_or_default()
+            .and_then(|by_fact| by_fact.get(&k1))
+            .map(|s| s.to_vec())
+            .unwrap_or_default();
+        self.pairs(pairs)
     }
 
     /// Returns `true` if at least one end summary exists for
     /// `(callee, d1)` (cheaper than cloning them out).
     pub fn has_summaries(&self, callee: MethodId, d1: &F) -> bool {
+        let k1 = self.dom.key(d1);
         self.summaries
             .for_key(&callee)
             .lock()
             .unwrap()
             .get(&callee)
-            .and_then(|by_fact| by_fact.get(d1))
+            .and_then(|by_fact| by_fact.get(&k1))
             .is_some_and(|v| !v.is_empty())
     }
 
@@ -176,16 +250,16 @@ impl<F: Clone + Eq + Hash> ConcurrentTabulator<F> {
     /// (used to persist summaries at the fixpoint; locks each shard
     /// once).
     pub fn all_summaries(&self) -> Vec<(MethodId, F, Vec<(StmtRef, F)>)> {
-        let mut out = Vec::new();
+        let mut raw = Vec::new();
         for shard in &self.summaries.shards {
             let shard = shard.lock().unwrap();
             for (m, by_fact) in shard.iter() {
                 for (d1, exits) in by_fact {
-                    out.push((*m, d1.clone(), exits.clone()));
+                    raw.push((*m, d1.clone(), exits.to_vec()));
                 }
             }
         }
-        out
+        raw.into_iter().map(|(m, k1, exits)| (m, self.dom.fact(&k1), self.pairs(exits))).collect()
     }
 
     /// Number of `record_edge` calls that inserted a new edge.
@@ -193,13 +267,35 @@ impl<F: Clone + Eq + Hash> ConcurrentTabulator<F> {
         self.propagations.load(Ordering::Relaxed)
     }
 
+    /// Density counters across all shards of all tables (all zeros on
+    /// the hash-map representation).
+    pub fn table_stats(&self) -> TableStats {
+        let mut stats = TableStats::default();
+        for shard in &self.edges.shards {
+            for rel in shard.lock().unwrap().values() {
+                rel.collect_stats(&mut stats);
+            }
+        }
+        for table in [&self.summaries, &self.incoming] {
+            for shard in &table.shards {
+                for by_fact in shard.lock().unwrap().values() {
+                    for pairs in by_fact.values() {
+                        pairs.collect_stats(&mut stats);
+                    }
+                }
+            }
+        }
+        stats
+    }
+
     /// Consumes the tables into `n → facts-at-n` (the result shape of
     /// the generic IFDS solver).
     pub fn into_facts(self) -> HashMap<StmtRef, Vec<F>> {
         let mut facts: HashMap<StmtRef, Vec<F>> = HashMap::new();
-        for shard in self.edges.shards {
-            for (n, by_fact) in shard.into_inner().unwrap() {
-                facts.entry(n).or_default().extend(by_fact.into_keys());
+        for shard in &self.edges.shards {
+            let shard = shard.lock().unwrap();
+            for (n, rel) in shard.iter() {
+                facts.entry(*n).or_default().extend(rel.keys().iter().map(|k| self.dom.fact(k)));
             }
         }
         facts

@@ -27,6 +27,7 @@
 mod abort;
 mod concurrent;
 mod drive;
+pub mod factset;
 pub mod ide;
 mod parallel;
 mod problem;
@@ -35,7 +36,8 @@ mod solver;
 mod tabulator;
 
 pub use abort::{AbortHandle, AbortReason};
-pub use concurrent::ConcurrentTabulator;
+pub use concurrent::{ConcurrentKeyDomain, ConcurrentTabulator, IdentityKeys};
+pub use factset::{BitsetSets, FactSetDomain, HashSets, TableStats};
 pub use drive::{drive, spill_threshold, WorkerState, DEFAULT_SPILL};
 pub use ide::{EdgeTransfer, IdeProblem, IdeResults, IdeSolver};
 pub use parallel::ParallelSolver;

@@ -77,7 +77,7 @@ impl<'a, P: IfdsProblem> Solver<'a, P> {
         }
         let mut facts: HashMap<StmtRef, Vec<P::Fact>> = HashMap::new();
         for (n, d) in tab.reached() {
-            facts.entry(*n).or_default().push(d.clone());
+            facts.entry(n).or_default().push(d);
         }
         IfdsResults { facts, propagation_count: tab.propagation_count() }
     }

@@ -1,7 +1,8 @@
 //! The path-edge / summary / incoming-set state machine underlying the
 //! IFDS tabulation algorithm.
 
-use flowdroid_ir::{FxHashMap, FxHashSet, MethodId, StmtRef};
+use crate::factset::{FactRel, FactSetDomain, HashSets, PairSet, TableStats};
+use flowdroid_ir::{FxHashMap, MethodId, StmtRef};
 use std::collections::VecDeque;
 use std::hash::Hash;
 
@@ -24,34 +25,34 @@ pub struct PathEdge<F> {
 /// Worklist, path-edge table, end summaries and incoming sets for one
 /// IFDS solver instance.
 ///
-/// All tables are nested maps (`stmt → fact → …`) hashed with the Fx
-/// hasher, so lookups borrow their key parts instead of cloning facts
-/// into tuple keys, and the per-operation hash cost stays proportional
-/// to the small outer key.
+/// The table layout is chosen by the [`FactSetDomain`] parameter `S`:
+/// nested hash maps ([`HashSets`], the default, any hashable fact) or
+/// fact-id-indexed bitset rows ([`crate::BitsetSets`], interned ids).
+/// Outer keys (statement, callee) stay Fx-hashed either way; `S` only
+/// decides the inner `fact → …` sets — the hot part.
 ///
 /// [`crate::Solver`] drives a `Tabulator` automatically; the FlowDroid
 /// bidirectional analysis drives two of them manually so it can hand
 /// edges from one to the other (context injection).
-#[derive(Debug)]
-pub struct Tabulator<F> {
+pub struct Tabulator<F, S: FactSetDomain<F> = HashSets> {
     worklist: VecDeque<PathEdge<F>>,
     /// n → d2 → set of d1 for all recorded path edges.
-    edges: FxHashMap<StmtRef, FxHashMap<F, FxHashSet<F>>>,
+    edges: FxHashMap<StmtRef, S::Rel>,
     /// callee → d1-at-entry → exit facts (exit stmt, d2-at-exit).
-    end_summaries: FxHashMap<MethodId, FxHashMap<F, Vec<(StmtRef, F)>>>,
+    end_summaries: FxHashMap<MethodId, FxHashMap<F, S::Pairs>>,
     /// callee → d3-at-entry → call contexts (call site, d2-at-call).
-    incoming: FxHashMap<MethodId, FxHashMap<F, Vec<(StmtRef, F)>>>,
+    incoming: FxHashMap<MethodId, FxHashMap<F, S::Pairs>>,
     /// Number of path edges ever propagated (for statistics).
     propagation_count: u64,
 }
 
-impl<F: Clone + Eq + Hash> Default for Tabulator<F> {
+impl<F: Clone + Eq + Hash, S: FactSetDomain<F>> Default for Tabulator<F, S> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<F: Clone + Eq + Hash> Tabulator<F> {
+impl<F: Clone + Eq + Hash, S: FactSetDomain<F>> Tabulator<F, S> {
     /// Creates an empty tabulator.
     pub fn new() -> Self {
         Self {
@@ -66,13 +67,7 @@ impl<F: Clone + Eq + Hash> Tabulator<F> {
     /// Records the path edge `⟨·, d1⟩ → ⟨n, d2⟩` and schedules it if it
     /// is new. Returns `true` if the edge was new.
     pub fn propagate(&mut self, d1: F, n: StmtRef, d2: F) -> bool {
-        let inserted = self
-            .edges
-            .entry(n)
-            .or_default()
-            .entry(d2.clone())
-            .or_default()
-            .insert(d1.clone());
+        let inserted = self.edges.entry(n).or_default().insert(&d2, &d1);
         if inserted {
             self.propagation_count += 1;
             self.worklist.push_back(PathEdge { d1, n, d2 });
@@ -91,34 +86,20 @@ impl<F: Clone + Eq + Hash> Tabulator<F> {
     }
 
     /// All source facts `d1` of path edges targeting `(n, d2)`. The
-    /// lookup borrows `d2`; only the returned facts are cloned.
+    /// lookup borrows `d2`; only the returned facts are materialized.
     pub fn d1s_at(&self, n: StmtRef, d2: &F) -> Vec<F> {
-        self.edges
-            .get(&n)
-            .and_then(|by_fact| by_fact.get(d2))
-            .map(|s| s.iter().cloned().collect())
-            .unwrap_or_default()
+        self.edges.get(&n).map(|rel| rel.d1s(d2)).unwrap_or_default()
     }
 
     /// Returns `true` if the edge `⟨·, d1⟩ → ⟨n, d2⟩` has been recorded.
     pub fn has_edge(&self, d1: &F, n: StmtRef, d2: &F) -> bool {
-        self.edges
-            .get(&n)
-            .and_then(|by_fact| by_fact.get(d2))
-            .is_some_and(|s| s.contains(d1))
+        self.edges.get(&n).is_some_and(|rel| rel.contains(d2, d1))
     }
 
     /// Records a call context: the callee was entered with `d3` from
     /// `call_site` where `d2` held. Returns `true` if new.
     pub fn add_incoming(&mut self, callee: MethodId, d3: F, call_site: StmtRef, d2: F) -> bool {
-        let v = self.incoming.entry(callee).or_default().entry(d3).or_default();
-        let entry = (call_site, d2);
-        if v.contains(&entry) {
-            false
-        } else {
-            v.push(entry);
-            true
-        }
+        self.incoming.entry(callee).or_default().entry(d3).or_default().insert(call_site, &d2)
     }
 
     /// The call contexts recorded for `(callee, d3)`.
@@ -126,7 +107,7 @@ impl<F: Clone + Eq + Hash> Tabulator<F> {
         self.incoming
             .get(&callee)
             .and_then(|by_fact| by_fact.get(d3))
-            .cloned()
+            .map(|s| s.to_vec())
             .unwrap_or_default()
     }
 
@@ -141,14 +122,7 @@ impl<F: Clone + Eq + Hash> Tabulator<F> {
     /// Installs the end summary `⟨callee, d1⟩ → (exit, d2)`. Returns
     /// `true` if new.
     pub fn install_summary(&mut self, callee: MethodId, d1: F, exit: StmtRef, d2: F) -> bool {
-        let v = self.end_summaries.entry(callee).or_default().entry(d1).or_default();
-        let entry = (exit, d2);
-        if v.contains(&entry) {
-            false
-        } else {
-            v.push(entry);
-            true
-        }
+        self.end_summaries.entry(callee).or_default().entry(d1).or_default().insert(exit, &d2)
     }
 
     /// The end summaries recorded for `(callee, d1)`.
@@ -156,7 +130,7 @@ impl<F: Clone + Eq + Hash> Tabulator<F> {
         self.end_summaries
             .get(&callee)
             .and_then(|by_fact| by_fact.get(d1))
-            .cloned()
+            .map(|s| s.to_vec())
             .unwrap_or_default()
     }
 
@@ -166,7 +140,7 @@ impl<F: Clone + Eq + Hash> Tabulator<F> {
         let mut out = Vec::new();
         for (m, by_fact) in &self.end_summaries {
             for (d1, exits) in by_fact {
-                out.push((*m, d1.clone(), exits.clone()));
+                out.push((*m, d1.clone(), exits.to_vec()));
             }
         }
         out
@@ -174,26 +148,43 @@ impl<F: Clone + Eq + Hash> Tabulator<F> {
 
     /// All facts recorded as holding before `n` (ignoring source facts).
     pub fn facts_at(&self, n: StmtRef) -> Vec<F> {
-        self.edges
-            .get(&n)
-            .map(|by_fact| by_fact.keys().cloned().collect())
-            .unwrap_or_default()
+        self.edges.get(&n).map(|rel| rel.keys()).unwrap_or_default()
     }
 
-    /// Iterates over all `(n, d2)` pairs with at least one path edge.
-    pub fn reached(&self) -> impl Iterator<Item = (&StmtRef, &F)> {
-        self.edges.iter().flat_map(|(n, by_fact)| by_fact.keys().map(move |d| (n, d)))
+    /// All `(n, d2)` pairs with at least one path edge.
+    pub fn reached(&self) -> Vec<(StmtRef, F)> {
+        let mut out = Vec::new();
+        for (n, rel) in &self.edges {
+            out.extend(rel.keys().into_iter().map(|d| (*n, d)));
+        }
+        out
     }
 
     /// Number of `propagate` calls that inserted a new edge.
     pub fn propagation_count(&self) -> u64 {
         self.propagation_count
     }
+
+    /// Density counters across the edge, incoming and summary tables
+    /// (all zeros on the hash-map representation).
+    pub fn table_stats(&self) -> TableStats {
+        let mut stats = TableStats::default();
+        for rel in self.edges.values() {
+            rel.collect_stats(&mut stats);
+        }
+        for by_fact in self.end_summaries.values().chain(self.incoming.values()) {
+            for pairs in by_fact.values() {
+                pairs.collect_stats(&mut stats);
+            }
+        }
+        stats
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::factset::BitsetSets;
     use flowdroid_ir::MethodId;
 
     fn sr(i: usize) -> StmtRef {
@@ -248,8 +239,51 @@ mod tests {
         assert!(t.has_edge(&0, sr(2), &5));
         assert!(!t.has_edge(&1, sr(2), &5));
         assert!(!t.has_edge(&0, sr(3), &5));
-        let mut reached: Vec<(StmtRef, u32)> = t.reached().map(|(n, d)| (*n, *d)).collect();
+        let mut reached = t.reached();
         reached.sort();
         assert_eq!(reached, vec![(sr(2), 5)]);
+    }
+
+    /// The bitset-backed tabulator behaves identically to the hash-map
+    /// one over the full API surface.
+    #[test]
+    fn bitset_tabulator_matches_hash_tabulator() {
+        let m = MethodId::from_index(2);
+        let mut h: Tabulator<u32> = Tabulator::new();
+        let mut b: Tabulator<u32, BitsetSets> = Tabulator::new();
+        for (d1, n, d2) in [(0, 1, 7), (0, 1, 7), (1, 1, 7), (0, 2, 3), (2, 1, 9)] {
+            assert_eq!(h.propagate(d1, sr(n), d2), b.propagate(d1, sr(n), d2));
+        }
+        assert_eq!(h.propagation_count(), b.propagation_count());
+        for (n, d2) in [(1, 7), (1, 9), (2, 3), (3, 0)] {
+            let mut hd = h.d1s_at(sr(n), &d2);
+            hd.sort_unstable();
+            assert_eq!(hd, b.d1s_at(sr(n), &d2));
+        }
+        assert_eq!(h.has_edge(&1, sr(1), &7), b.has_edge(&1, sr(1), &7));
+        assert_eq!(h.has_edge(&1, sr(1), &8), b.has_edge(&1, sr(1), &8));
+        let (mut hf, mut bf) = (h.facts_at(sr(1)), b.facts_at(sr(1)));
+        hf.sort_unstable();
+        bf.sort_unstable();
+        assert_eq!(hf, bf);
+        let (mut hr, mut br) = (h.reached(), b.reached());
+        hr.sort();
+        br.sort();
+        assert_eq!(hr, br);
+
+        assert_eq!(h.add_incoming(m, 1, sr(4), 5), b.add_incoming(m, 1, sr(4), 5));
+        assert_eq!(h.add_incoming(m, 1, sr(4), 5), b.add_incoming(m, 1, sr(4), 5));
+        assert_eq!(h.install_summary(m, 1, sr(9), 2), b.install_summary(m, 1, sr(9), 2));
+        let mut hi = h.incoming_for(m, &1);
+        hi.sort();
+        assert_eq!(hi, b.incoming_for(m, &1));
+        let mut hs = h.summaries_for(m, &1);
+        hs.sort();
+        assert_eq!(hs, b.summaries_for(m, &1));
+
+        assert!(!h.table_stats().any());
+        let bstats = b.table_stats();
+        assert!(bstats.any());
+        assert_eq!(bstats.dense_rows, 0);
     }
 }

@@ -31,7 +31,7 @@
 //! (default mode `full`, default output `BENCH_solver.json`).
 
 use flowdroid_bench::driver::{corpus_report, full_corpus, run_corpus, CorpusJob, CorpusRun};
-use flowdroid_core::{InfoflowConfig, SchedulerStats, SummaryCacheStats};
+use flowdroid_core::{InfoflowConfig, SchedulerStats, SummaryCacheStats, TableStats};
 use flowdroid_service::{Client, Daemon, DaemonOptions, JobResult, Listen};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -79,6 +79,7 @@ struct ModeStats {
     distinct_facts: usize,
     distinct_aps: usize,
     scheduler: Option<SchedulerStats>,
+    fact_tables: Option<TableStats>,
     summary_cache: Option<SummaryCacheStats>,
     report: String,
 }
@@ -116,6 +117,7 @@ fn measure(
         distinct_facts: run.total_distinct_facts(),
         distinct_aps: run.total_distinct_aps(),
         scheduler: run.scheduler_totals(),
+        fact_tables: run.fact_table_totals(),
         summary_cache: run.summary_cache_totals(),
         report: corpus_report(&run),
     }
@@ -152,6 +154,30 @@ fn scheduler_json(s: &Option<SchedulerStats>) -> String {
     }
 }
 
+fn fact_tables_json(s: &Option<TableStats>) -> String {
+    match s {
+        None => "null".to_string(),
+        Some(t) => format!(
+            concat!(
+                "{{ \"rows\": {}, \"sparse_rows\": {}, \"dense_rows\": {}, ",
+                "\"dense_words\": {}, \"widened_facts\": {} }}"
+            ),
+            t.rows, t.sparse_rows, t.dense_rows, t.dense_words, t.widened_facts
+        ),
+    }
+}
+
+/// Interning counters as JSON: `null` when untracked (interning off —
+/// the interner always holds at least the zero fact when it runs, so
+/// `0` can only mean "not measured" and is reported as such).
+fn count_json(n: usize) -> String {
+    if n == 0 {
+        "null".to_string()
+    } else {
+        n.to_string()
+    }
+}
+
 fn mode_json(m: &ModeStats, report_identical: bool) -> String {
     format!(
         concat!(
@@ -171,6 +197,7 @@ fn mode_json(m: &ModeStats, report_identical: bool) -> String {
             "      \"distinct_facts\": {},\n",
             "      \"distinct_aps\": {},\n",
             "      \"scheduler\": {},\n",
+            "      \"fact_tables\": {},\n",
             "      \"summary_cache\": {},\n",
             "      \"report_identical_to_baseline\": {}\n",
             "    }}"
@@ -187,9 +214,10 @@ fn mode_json(m: &ModeStats, report_identical: bool) -> String {
         m.bodies_skipped,
         m.leaks,
         m.allocations,
-        m.distinct_facts,
-        m.distinct_aps,
+        count_json(m.distinct_facts),
+        count_json(m.distinct_aps),
         scheduler_json(&m.scheduler),
+        fact_tables_json(&m.fact_tables),
         summary_cache_json(&m.summary_cache),
         report_identical
     )
@@ -244,8 +272,14 @@ fn run_full(out_path: &str) {
     let mut modes = Vec::new();
     eprintln!("running sequential-direct (whole-fact keys) ...");
     modes.push(measure("sequential-direct", &jobs, &direct, 1));
-    eprintln!("running sequential-interned (u32 fact ids) ...");
+    eprintln!("running sequential-interned (u32 fact ids, bitset tables) ...");
     modes.push(measure("sequential-interned", &jobs, &interned, 1));
+    // The table-representation toggle: same id keys, nested hash maps
+    // instead of bitset rows. What the bitset tables buy is the delta
+    // between this row and sequential-interned.
+    let interned_hash = InfoflowConfig::default().with_bitset_tables(false);
+    eprintln!("running sequential-interned-hash (u32 fact ids, hash-map tables) ...");
+    modes.push(measure("sequential-interned-hash", &jobs, &interned_hash, 1));
     for threads in [1usize, 2, 4, 8] {
         eprintln!("running parallel corpus driver with {threads} thread(s) ...");
         modes.push(measure(
@@ -345,6 +379,19 @@ fn run_full(out_path: &str) {
         interned_allocs < direct_allocs
     )
     .unwrap();
+    let mode_by = |name: &str| modes.iter().find(|m| m.name == name).unwrap();
+    let bitset_mode = mode_by("sequential-interned");
+    let hash_mode = mode_by("sequential-interned-hash");
+    writeln!(json, "    \"hash_table_allocations\": {},", hash_mode.allocations).unwrap();
+    writeln!(json, "    \"bitset_table_allocations\": {},", bitset_mode.allocations).unwrap();
+    writeln!(
+        json,
+        "    \"bitset_strictly_fewer_allocations\": {},",
+        bitset_mode.allocations < hash_mode.allocations
+    )
+    .unwrap();
+    writeln!(json, "    \"hash_table_dataflow_ms\": {:.3},", hash_mode.dataflow_ms).unwrap();
+    writeln!(json, "    \"bitset_table_dataflow_ms\": {:.3},", bitset_mode.dataflow_ms).unwrap();
     writeln!(json, "    \"speedup_2t\": {:.3},", speedup("parallel-2")).unwrap();
     writeln!(json, "    \"speedup_4t\": {:.3},", speedup("parallel-4")).unwrap();
     writeln!(json, "    \"speedup_8t\": {:.3},", speedup("parallel-8")).unwrap();
@@ -446,6 +493,20 @@ fn run_full(out_path: &str) {
     if interned_allocs as f64 > direct_allocs as f64 * 1.05 {
         eprintln!(
             "FAIL: interned mode allocates >5% more than direct ({interned_allocs} vs {direct_allocs})"
+        );
+        std::process::exit(1);
+    }
+    // Bitset rows replace the per-(statement, fact) hash sets; if they
+    // ever stop being strictly cheaper than the hash-map tables the
+    // representation has regressed.
+    let (bitset_allocs, hash_allocs) = {
+        let get = |name: &str| modes.iter().find(|m| m.name == name).unwrap().allocations;
+        (get("sequential-interned"), get("sequential-interned-hash"))
+    };
+    if bitset_allocs >= hash_allocs {
+        eprintln!(
+            "FAIL: bitset tables allocate no less than hash-map tables \
+             ({bitset_allocs} vs {hash_allocs})"
         );
         std::process::exit(1);
     }

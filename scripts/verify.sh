@@ -18,11 +18,45 @@ if [[ "${1:-}" == "--full" ]]; then
     cargo test --workspace -q
 fi
 
+# Snapshot the committed benchmark numbers before solver_stats
+# overwrites the file — the regression gate below compares against them.
+git show HEAD:BENCH_solver.json > BENCH_solver.baseline.json 2>/dev/null || : > BENCH_solver.baseline.json
+
 echo "== solver stats (writes BENCH_solver.json)"
 cargo run --release -p flowdroid-service --bin solver_stats -- BENCH_solver.json >/dev/null
 
 echo "== BENCH_solver.json comparison block"
 sed -n '/"comparison"/,$p' BENCH_solver.json
+
+# Allocation/latency regression gate: the default sequential corpus
+# sweep must not allocate more than ~5% over the committed baseline,
+# and dataflow time must stay within 1.5x (generous — wall time on the
+# shared single-core runner is noisy; allocations are deterministic).
+mode_field() { # <file> <mode> <field>
+    awk -v mode="\"$2\"," -v field="\"$3\":" '
+        $1 == "\"mode\":" { in_mode = ($2 == mode) }
+        in_mode && $1 == field { gsub(/,/, "", $2); print $2; exit }
+    ' "$1"
+}
+echo "== regression gate vs committed BENCH_solver.json"
+base_allocs=$(mode_field BENCH_solver.baseline.json sequential-interned allocations)
+base_dataflow=$(mode_field BENCH_solver.baseline.json sequential-interned dataflow_ms)
+rm -f BENCH_solver.baseline.json
+if [[ -z "${base_allocs}" || -z "${base_dataflow}" ]]; then
+    echo "no committed sequential-interned baseline; skipping regression gate"
+else
+    new_allocs=$(mode_field BENCH_solver.json sequential-interned allocations)
+    new_dataflow=$(mode_field BENCH_solver.json sequential-interned dataflow_ms)
+    echo "allocations: ${new_allocs} (baseline ${base_allocs}), dataflow_ms: ${new_dataflow} (baseline ${base_dataflow})"
+    if ! awk -v new="$new_allocs" -v base="$base_allocs" 'BEGIN { exit !(new <= base * 1.05) }'; then
+        echo "FAIL: corpus allocations regressed beyond 5% of the committed baseline" >&2
+        exit 1
+    fi
+    if ! awk -v new="$new_dataflow" -v base="$base_dataflow" 'BEGIN { exit !(new <= base * 1.5) }'; then
+        echo "FAIL: corpus dataflow time regressed beyond 1.5x the committed baseline" >&2
+        exit 1
+    fi
+fi
 
 # Warm summary-cache smoke: solver_stats runs the corpus cold-then-warm
 # against one cache directory; the warm pass must actually replay stored
