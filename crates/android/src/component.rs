@@ -56,7 +56,7 @@ pub struct ComponentModel {
 
 /// The complete entry-point model of an app: what the dummy main is
 /// generated from.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct EntryPointModel {
     /// Per-component models (enabled components only).
     pub components: Vec<ComponentModel>,

@@ -40,9 +40,10 @@
 
 use crate::platform::{install_platform, PlatformInfo};
 use flowdroid_frontend::sdex::{parse_type_descriptor, type_descriptor};
-use flowdroid_ir::{ClassId, FxHashSet, MethodId, Program, SubSig};
+use flowdroid_ir::{ClassId, FxHashSet, MethodId, Program, ProgramBase, SubSig};
 use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 
 /// File magic.
 pub const MAGIC: [u8; 4] = *b"FDPS";
@@ -51,12 +52,35 @@ pub const MAGIC: [u8; 4] = *b"FDPS";
 pub const VERSION: u32 = 1;
 
 /// A frozen platform model: the stub program and its handles.
+///
+/// The program lives behind a shared [`ProgramBase`] so each job takes a
+/// copy-on-write [`PlatformSnapshot::overlay_program`] instead of a deep
+/// clone; `fingerprint` is the snapshot's wire checksum, used to key
+/// derived caches (callgraphs, entry-point models) on the exact platform
+/// bytes they were computed against.
 #[derive(Debug)]
 pub struct PlatformSnapshot {
-    /// A program containing exactly the platform declarations.
-    pub program: Program,
+    /// The frozen platform declarations, shared across jobs.
+    pub base: Arc<ProgramBase>,
     /// Handles into that program.
     pub info: PlatformInfo,
+    /// FNV-1a 64 checksum of the encoded snapshot (the wire trailer).
+    pub fingerprint: u64,
+}
+
+impl PlatformSnapshot {
+    /// A cheap job-local copy-on-write program over the shared platform
+    /// base. Arena ids and symbols are numerically identical to a deep
+    /// clone, so analysis output cannot depend on which one a job uses.
+    pub fn overlay_program(&self) -> Program {
+        Program::overlay(Arc::clone(&self.base))
+    }
+
+    /// A flat deep copy of the platform program (the comparison path for
+    /// determinism tests; jobs use [`PlatformSnapshot::overlay_program`]).
+    pub fn deep_program(&self) -> Program {
+        Program::thaw(&self.base)
+    }
 }
 
 /// Errors raised while loading or decoding a snapshot.
@@ -102,7 +126,9 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 pub fn build_snapshot() -> PlatformSnapshot {
     let mut program = Program::new();
     let info = install_platform(&mut program);
-    PlatformSnapshot { program, info }
+    let bytes = encode_parts(&program, &info);
+    let fingerprint = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    PlatformSnapshot { base: program.freeze(), info, fingerprint }
 }
 
 // ================= encoding =================
@@ -128,7 +154,10 @@ impl Writer {
 
 /// Encodes a snapshot to `platform.fdps` bytes.
 pub fn encode_snapshot(snap: &PlatformSnapshot) -> Vec<u8> {
-    let p = &snap.program;
+    encode_parts(&snap.overlay_program(), &snap.info)
+}
+
+fn encode_parts(p: &Program, info: &PlatformInfo) -> Vec<u8> {
     let mut w = Writer { buf: Vec::new() };
     w.buf.extend_from_slice(&MAGIC);
     w.u32(VERSION);
@@ -192,7 +221,6 @@ pub fn encode_snapshot(snap: &PlatformSnapshot) -> Vec<u8> {
         w.u8(flags);
     }
 
-    let info = &snap.info;
     for id in [info.object, info.activity, info.service, info.receiver, info.provider] {
         w.u32(u32::try_from(id.index()).expect("class id"));
     }
@@ -444,7 +472,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<PlatformSnapshot, SnapshotError> 
 
     let [object, activity, service, receiver, provider] = core;
     Ok(PlatformSnapshot {
-        program,
+        base: program.freeze(),
         info: PlatformInfo {
             object,
             activity,
@@ -454,6 +482,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<PlatformSnapshot, SnapshotError> 
             callback_interfaces,
             stub_methods,
         },
+        fingerprint: stored,
     })
 }
 
@@ -486,9 +515,9 @@ mod tests {
         let decoded = decode_snapshot(&bytes).expect("round trip");
 
         // Ids and counts are identical to a fresh install_platform.
-        assert_eq!(decoded.program.class_count(), snap.program.class_count());
-        assert_eq!(decoded.program.method_count(), snap.program.method_count());
-        assert_eq!(decoded.program.field_count(), snap.program.field_count());
+        assert_eq!(decoded.base.class_count(), snap.base.class_count());
+        assert_eq!(decoded.base.method_count(), snap.base.method_count());
+        assert_eq!(decoded.base.field_count(), snap.base.field_count());
         assert_eq!(decoded.info.object, snap.info.object);
         assert_eq!(decoded.info.activity, snap.info.activity);
         assert_eq!(decoded.info.service, snap.info.service);
@@ -499,12 +528,38 @@ mod tests {
 
         // Every method signature string matches, which pins down names,
         // descriptors, classes and arena order at once.
-        for m in snap.program.methods() {
-            assert_eq!(decoded.program.signature(m.id()), snap.program.signature(m.id()));
+        let sp = snap.overlay_program();
+        let dp = decoded.overlay_program();
+        for m in sp.methods() {
+            assert_eq!(dp.signature(m.id()), sp.signature(m.id()));
         }
 
         // Re-encoding the decoded snapshot is byte-identical.
         assert_eq!(encode_snapshot(&decoded), bytes);
+    }
+
+    #[test]
+    fn fingerprint_is_the_wire_checksum_and_survives_round_trips() {
+        let snap = build_snapshot();
+        let bytes = encode_snapshot(&snap);
+        let trailer = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        assert_eq!(snap.fingerprint, trailer);
+        let decoded = decode_snapshot(&bytes).expect("round trip");
+        assert_eq!(decoded.fingerprint, snap.fingerprint);
+    }
+
+    #[test]
+    fn overlay_and_deep_programs_agree() {
+        let snap = build_snapshot();
+        let over = snap.overlay_program();
+        let deep = snap.deep_program();
+        assert!(over.is_overlay());
+        assert!(!deep.is_overlay());
+        assert_eq!(over.class_count(), deep.class_count());
+        assert_eq!(over.method_count(), deep.method_count());
+        for m in deep.methods() {
+            assert_eq!(over.signature(m.id()), deep.signature(m.id()));
+        }
     }
 
     #[test]

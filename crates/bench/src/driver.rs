@@ -11,7 +11,8 @@
 
 use flowdroid_android::{build_snapshot, install_platform, PlatformSnapshot};
 use flowdroid_core::{
-    AbortReason, Infoflow, InfoflowConfig, InfoflowResults, SourceSinkManager, TaintWrapper,
+    AbortReason, CgCache, Infoflow, InfoflowConfig, InfoflowResults, SourceSinkManager,
+    TaintWrapper,
 };
 use flowdroid_droidbench::{all_apps, insecurebank, BenchApp};
 use flowdroid_frontend::layout::{Layout, ResourceTable};
@@ -151,11 +152,32 @@ enum Prepared {
     Micro { sdex: Arc<[u8]>, entry_class: String },
 }
 
-/// Returns the cached [`Prepared`] form of `job`, encoding it on first
-/// use. Keyed by the job's unique name; preparation is deterministic,
-/// so a racing duplicate insert is harmless (first one wins).
-fn prepared_for(job: &CorpusJob, snapshot: &PlatformSnapshot) -> Arc<Prepared> {
-    static REG: OnceLock<Mutex<FxHashMap<String, Arc<Prepared>>>> = OnceLock::new();
+/// A [`Prepared`] job plus its fingerprint: FNV-1a 64 over the platform
+/// snapshot checksum and the SDEX bytes. The same transitive-hash
+/// discipline as the summary store — repeat jobs replay a cached
+/// callgraph only when both the app bytes and the platform they were
+/// computed against are unchanged.
+struct PreparedJob {
+    fingerprint: u64,
+    form: Prepared,
+}
+
+/// FNV-1a 64 over the platform fingerprint and the app's SDEX image.
+fn app_fingerprint(platform_fingerprint: u64, sdex: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in platform_fingerprint.to_le_bytes().into_iter().chain(sdex.iter().copied()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Returns the cached [`PreparedJob`] form of `job`, encoding it on
+/// first use. Keyed by the job's unique name; preparation is
+/// deterministic, so a racing duplicate insert is harmless (first one
+/// wins).
+fn prepared_for(job: &CorpusJob, snapshot: &PlatformSnapshot) -> Arc<PreparedJob> {
+    static REG: OnceLock<Mutex<FxHashMap<String, Arc<PreparedJob>>>> = OnceLock::new();
     let reg = REG.get_or_init(|| Mutex::new(FxHashMap::default()));
     if let Some(p) = reg.lock().unwrap().get(&job.name) {
         return p.clone();
@@ -166,17 +188,20 @@ fn prepared_for(job: &CorpusJob, snapshot: &PlatformSnapshot) -> Arc<Prepared> {
 
 /// Parses a job's `jasm` text against a scratch platform program and
 /// encodes the app classes into an SDEX image.
-fn prepare(job: &CorpusJob, snapshot: &PlatformSnapshot) -> Prepared {
-    let mut scratch = snapshot.program.clone();
+fn prepare(job: &CorpusJob, snapshot: &PlatformSnapshot) -> PreparedJob {
+    let mut scratch = snapshot.overlay_program();
     match &job.kind {
         JobKind::Droid(app) => {
             let loaded = app.load(&mut scratch).expect("suite app parses");
             let sdex: Arc<[u8]> = sdex::encode(&scratch, &loaded.classes).into();
-            Prepared::Droid {
-                manifest: loaded.manifest,
-                layouts: loaded.layouts,
-                resources: loaded.resources,
-                sdex,
+            PreparedJob {
+                fingerprint: app_fingerprint(snapshot.fingerprint, &sdex),
+                form: Prepared::Droid {
+                    manifest: loaded.manifest,
+                    layouts: loaded.layouts,
+                    resources: loaded.resources,
+                    sdex,
+                },
             }
         }
         JobKind::Micro(case) => {
@@ -185,7 +210,10 @@ fn prepare(job: &CorpusJob, snapshot: &PlatformSnapshot) -> Prepared {
             classes
                 .extend(parse_jasm(&mut scratch, &rt, &case.code).expect("micro case parses"));
             let sdex: Arc<[u8]> = sdex::encode(&scratch, &classes).into();
-            Prepared::Micro { sdex, entry_class: case.entry_class.clone() }
+            PreparedJob {
+                fingerprint: app_fingerprint(snapshot.fingerprint, &sdex),
+                form: Prepared::Micro { sdex, entry_class: case.entry_class.clone() },
+            }
         }
     }
 }
@@ -228,6 +256,13 @@ pub struct AppRun {
     /// Method bodies left pending — indexed but never decoded because
     /// the callgraph closure never reached them (0 on eager runs).
     pub bodies_skipped: u64,
+    /// Microseconds spent producing the job's private program from the
+    /// shared platform snapshot (copy-on-write overlay on lazy runs; 0
+    /// on eager runs, which build the platform from scratch).
+    pub platform_clone_us: u64,
+    /// Whether the job's analysis setup came from a callgraph cache:
+    /// `None` when no cache was offered, else hit (`true`) / miss.
+    pub cg_cache_hit: Option<bool>,
 }
 
 impl AppRun {
@@ -265,7 +300,7 @@ fn leak_report(name: &str, results: &InfoflowResults, p: &Program) -> String {
 /// leak reports are byte-identical either way.
 pub fn run_single(job: &CorpusJob, config: &InfoflowConfig) -> AppRun {
     if config.lazy_frontend {
-        return run_single_lazy(job, config, shared_platform_snapshot());
+        return run_single_lazy(job, config, shared_platform_snapshot(), None);
     }
     let start = Instant::now();
     let (results, report) = match &job.kind {
@@ -294,23 +329,54 @@ pub fn run_single(job: &CorpusJob, config: &InfoflowConfig) -> AppRun {
             (results, report)
         }
     };
-    finish_run(job, start, results, report, 0, 0)
+    finish_run(job, start, results, report, 0, 0, 0, None)
 }
 
 /// Analyzes one corpus job through the demand-driven frontend: the job
-/// program starts as a clone of `snapshot` (no platform rebuild), app
-/// code is installed via lazy SDEX decode, and only callgraph-reachable
-/// method bodies are materialized. This is the warm path the analysis
-/// daemon runs per job.
+/// program starts as a copy-on-write overlay over `snapshot`'s shared
+/// platform base (no platform rebuild, no deep clone), app code is
+/// installed via lazy SDEX decode, and only callgraph-reachable method
+/// bodies are materialized. This is the warm path the analysis daemon
+/// runs per job.
+///
+/// When `cg_cache` is given, the per-app entry-point model, reachable
+/// closure and callgraph are served from (and recorded into) it, keyed
+/// by job name and validated against the app+platform fingerprint; leak
+/// reports are byte-identical with or without the cache.
 pub fn run_single_lazy(
     job: &CorpusJob,
     config: &InfoflowConfig,
     snapshot: &PlatformSnapshot,
+    cg_cache: Option<&CgCache>,
+) -> AppRun {
+    run_single_lazy_impl(job, config, snapshot, cg_cache, false)
+}
+
+/// Like [`run_single_lazy`], but deep-clones the platform program
+/// instead of overlaying it — the comparison path determinism tests use
+/// to prove the overlay representation cannot influence results.
+pub fn run_single_lazy_deep_clone(
+    job: &CorpusJob,
+    config: &InfoflowConfig,
+    snapshot: &PlatformSnapshot,
+) -> AppRun {
+    run_single_lazy_impl(job, config, snapshot, None, true)
+}
+
+fn run_single_lazy_impl(
+    job: &CorpusJob,
+    config: &InfoflowConfig,
+    snapshot: &PlatformSnapshot,
+    cg_cache: Option<&CgCache>,
+    deep_clone: bool,
 ) -> AppRun {
     let start = Instant::now();
     let prepared = prepared_for(job, snapshot);
-    let mut p = snapshot.program.clone();
-    let (results, report) = match &*prepared {
+    let clone_start = Instant::now();
+    let mut p = if deep_clone { snapshot.deep_program() } else { snapshot.overlay_program() };
+    let platform_clone_us = u64::try_from(clone_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let mut cache_hit = None;
+    let (results, report) = match &prepared.form {
         Prepared::Droid { manifest, layouts, resources, sdex } => {
             let classes =
                 sdex::decode_lazy(&mut p, sdex.clone()).expect("prepared sdex image loads");
@@ -322,8 +388,23 @@ pub fn run_single_lazy(
             };
             let sources = SourceSinkManager::default_android();
             let wrapper = TaintWrapper::default_rules();
-            let analysis = Infoflow::new(&sources, &wrapper, config)
-                .analyze_app(&mut p, &snapshot.info, &loaded, "corpus");
+            let infoflow = Infoflow::new(&sources, &wrapper, config);
+            let analysis = match cg_cache {
+                Some(cache) => {
+                    let (analysis, hit) = infoflow.analyze_app_cached(
+                        &mut p,
+                        &snapshot.info,
+                        &loaded,
+                        "corpus",
+                        cache,
+                        &job.name,
+                        prepared.fingerprint,
+                    );
+                    cache_hit = Some(hit);
+                    analysis
+                }
+                None => infoflow.analyze_app(&mut p, &snapshot.info, &loaded, "corpus"),
+            };
             let report = leak_report(&job.name, &analysis.results, &p);
             (analysis.results, report)
         }
@@ -332,16 +413,31 @@ pub fn run_single_lazy(
             let sources = SourceSinkManager::parse(MICRO_DEFS).expect("micro defs parse");
             let wrapper = TaintWrapper::default_rules();
             let entry = p.find_method(entry_class, "main").expect("micro entry");
-            let results = Infoflow::new(&sources, &wrapper, config).run_demand(&mut p, &[entry]);
+            let infoflow = Infoflow::new(&sources, &wrapper, config);
+            let results = match cg_cache {
+                Some(cache) => {
+                    let (results, hit) = infoflow.run_demand_cached(
+                        &mut p,
+                        &[entry],
+                        cache,
+                        &job.name,
+                        prepared.fingerprint,
+                    );
+                    cache_hit = Some(hit);
+                    results
+                }
+                None => infoflow.run_demand(&mut p, &[entry]),
+            };
             let report = leak_report(&job.name, &results, &p);
             (results, report)
         }
     };
     let materialized = p.bodies_materialized();
     let skipped = p.pending_body_count() as u64;
-    finish_run(job, start, results, report, materialized, skipped)
+    finish_run(job, start, results, report, materialized, skipped, platform_clone_us, cache_hit)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn finish_run(
     job: &CorpusJob,
     start: Instant,
@@ -349,6 +445,8 @@ fn finish_run(
     report: String,
     bodies_materialized: u64,
     bodies_skipped: u64,
+    platform_clone_us: u64,
+    cg_cache_hit: Option<bool>,
 ) -> AppRun {
     AppRun {
         name: job.name.clone(),
@@ -367,6 +465,8 @@ fn finish_run(
         abort_reason: results.abort_reason,
         bodies_materialized,
         bodies_skipped,
+        platform_clone_us,
+        cg_cache_hit,
     }
 }
 

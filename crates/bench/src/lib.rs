@@ -19,7 +19,8 @@ pub mod eval;
 pub use corpus::{generate_app, AppProfile, GeneratedApp};
 pub use driver::{
     corpus_report, droidbench_corpus, find_job, full_corpus, run_corpus, run_single,
-    run_single_lazy, shared_platform_snapshot, stress_job, AppRun, CorpusJob, CorpusRun,
+    run_single_lazy, run_single_lazy_deep_clone, shared_platform_snapshot, stress_job, AppRun,
+    CorpusJob, CorpusRun,
 };
 pub use eval::{
     run_ablation_access_path, run_ablation_alias, run_ablation_callbacks, run_rq2, run_rq3,

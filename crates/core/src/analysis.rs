@@ -7,6 +7,7 @@
 //! callbacks) → generate the dummy main → build the call graph → run the
 //! bidirectional taint analysis.
 
+use crate::cg_cache::{CachedSetup, CgCache};
 use crate::config::InfoflowConfig;
 use crate::intern::{DirectDomain, InternedDomain, InternedHashDomain, SharedInternedKeys};
 use crate::par_solver::ParBiSolver;
@@ -18,6 +19,7 @@ use flowdroid_android::{generate_dummy_main, EntryPointModel, PlatformInfo};
 use flowdroid_callgraph::{materialize_reachable, CallGraph, Hierarchy, Icfg};
 use flowdroid_frontend::App;
 use flowdroid_ir::{MethodId, Program};
+use std::sync::Arc;
 
 /// The analysis driver.
 ///
@@ -140,28 +142,7 @@ impl<'a> Infoflow<'a> {
         app: &App,
         tag: &str,
     ) -> AppAnalysis {
-        // Register password widgets as UI sources.
-        let mut password_ids = Vec::new();
-        for layout in app.layouts.values() {
-            for w in &layout.widgets {
-                if w.is_password {
-                    if let Some(name) = &w.id_name {
-                        if let Some(id) = app.resources.widget_id(name) {
-                            password_ids.push(id);
-                        }
-                    }
-                }
-            }
-        }
-        let sources_owned = if password_ids.is_empty() {
-            None
-        } else {
-            let mut s = self.sources.clone();
-            for id in password_ids {
-                s.add_password_id(id);
-            }
-            Some(s)
-        };
+        let sources_owned = self.app_sources(app);
         let sources: &SourceSinkManager = sources_owned.as_ref().unwrap_or(self.sources);
         let model =
             EntryPointModel::build(program, platform, app, self.config.callback_association);
@@ -178,6 +159,145 @@ impl<'a> Infoflow<'a> {
         let icfg = Icfg::new(program, &cg);
         let results = self.solve_with_domain(icfg, sources, &[dummy_main]);
         AppAnalysis { dummy_main, model, results }
+    }
+
+    /// Like [`Infoflow::analyze_app`], but consults (and fills) a
+    /// [`CgCache`]: on a hit the component-discovery fixpoint, reachable
+    /// closure and callgraph construction are all skipped — the cached
+    /// materialization log is replayed through
+    /// [`Program::ensure_body`], which reproduces the cold path's arena
+    /// state exactly (decoding is deterministic and ids are minted in
+    /// replay order), and the cached callgraph is reused as-is. Returns
+    /// the analysis plus whether the cache hit.
+    ///
+    /// `key` names the app (the daemon uses the job name) and
+    /// `fingerprint` must cover the app bytes *and* the platform
+    /// snapshot (see [`CgCache`]); a mismatch invalidates the entry and
+    /// runs the cold path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn analyze_app_cached(
+        &self,
+        program: &mut Program,
+        platform: &PlatformInfo,
+        app: &App,
+        tag: &str,
+        cache: &CgCache,
+        key: &str,
+        fingerprint: u64,
+    ) -> (AppAnalysis, bool) {
+        let sources_owned = self.app_sources(app);
+        let sources: &SourceSinkManager = sources_owned.as_ref().unwrap_or(self.sources);
+
+        if let Some(setup) = cache.lookup(key, fingerprint) {
+            let CachedSetup::App { model, pre_main, dummy_main: expected, post_main, cg } =
+                &*setup
+            else {
+                panic!("cg-cache entry for `{key}` has the wrong shape");
+            };
+            for &m in pre_main {
+                program.ensure_body(m);
+            }
+            let dummy_main = generate_dummy_main(program, platform, model, tag);
+            assert_eq!(
+                dummy_main, *expected,
+                "cg-cache replay for `{key}` diverged from the cold path"
+            );
+            for &m in post_main {
+                program.ensure_body(m);
+            }
+            let icfg = Icfg::new(program, cg);
+            let results = self.solve_with_domain(icfg, sources, &[dummy_main]);
+            return (AppAnalysis { dummy_main, model: model.clone(), results }, true);
+        }
+
+        let log_start = program.materialization_log().len();
+        let model =
+            EntryPointModel::build(program, platform, app, self.config.callback_association);
+        let pre_main = program.materialization_log()[log_start..].to_vec();
+        let dummy_main = generate_dummy_main(program, platform, &model, tag);
+        let log_mid = program.materialization_log().len();
+        if program.has_pending_bodies() {
+            let hierarchy = Hierarchy::build(program);
+            materialize_reachable(program, &hierarchy, &[dummy_main]);
+        }
+        let post_main = program.materialization_log()[log_mid..].to_vec();
+        let cg = CallGraph::build(program, &[dummy_main], self.config.cg_algorithm);
+        let setup = Arc::new(CachedSetup::App {
+            model: model.clone(),
+            pre_main,
+            dummy_main,
+            post_main,
+            cg,
+        });
+        // Store before solving: the setup is valid even if the solver
+        // aborts on a deadline, so the retry still gets a warm start.
+        cache.insert(key, fingerprint, Arc::clone(&setup));
+        let CachedSetup::App { cg, .. } = &*setup else { unreachable!() };
+        let icfg = Icfg::new(program, cg);
+        let results = self.solve_with_domain(icfg, sources, &[dummy_main]);
+        (AppAnalysis { dummy_main, model, results }, false)
+    }
+
+    /// Like [`Infoflow::run_demand`], but consults (and fills) a
+    /// [`CgCache`] keyed like [`Infoflow::analyze_app_cached`]. Used for
+    /// non-Android jobs with explicit entry points (micro benchmarks).
+    pub fn run_demand_cached(
+        &self,
+        program: &mut Program,
+        entry_points: &[MethodId],
+        cache: &CgCache,
+        key: &str,
+        fingerprint: u64,
+    ) -> (InfoflowResults, bool) {
+        if let Some(setup) = cache.lookup(key, fingerprint) {
+            let CachedSetup::Entry { materialized, cg } = &*setup else {
+                panic!("cg-cache entry for `{key}` has the wrong shape");
+            };
+            for &m in materialized {
+                program.ensure_body(m);
+            }
+            let icfg = Icfg::new(program, cg);
+            return (self.solve_with_domain(icfg, self.sources, entry_points), true);
+        }
+
+        let log_start = program.materialization_log().len();
+        if program.has_pending_bodies() {
+            let hierarchy = Hierarchy::build(program);
+            materialize_reachable(program, &hierarchy, entry_points);
+        }
+        let materialized = program.materialization_log()[log_start..].to_vec();
+        let cg = CallGraph::build(program, entry_points, self.config.cg_algorithm);
+        let setup = Arc::new(CachedSetup::Entry { materialized, cg });
+        cache.insert(key, fingerprint, Arc::clone(&setup));
+        let CachedSetup::Entry { cg, .. } = &*setup else { unreachable!() };
+        let icfg = Icfg::new(program, cg);
+        (self.solve_with_domain(icfg, self.sources, entry_points), false)
+    }
+
+    /// UI password-field sources for `app` (paper §3: layout-declared
+    /// password widgets are sources), or `None` when the configured
+    /// source set already suffices.
+    fn app_sources(&self, app: &App) -> Option<SourceSinkManager> {
+        let mut password_ids = Vec::new();
+        for layout in app.layouts.values() {
+            for w in &layout.widgets {
+                if w.is_password {
+                    if let Some(name) = &w.id_name {
+                        if let Some(id) = app.resources.widget_id(name) {
+                            password_ids.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        if password_ids.is_empty() {
+            return None;
+        }
+        let mut s = self.sources.clone();
+        for id in password_ids {
+            s.add_password_id(id);
+        }
+        Some(s)
     }
 }
 

@@ -31,6 +31,7 @@
 
 pub mod access_path;
 pub mod analysis;
+pub mod cg_cache;
 pub mod config;
 mod flows;
 pub mod icc;
@@ -45,6 +46,7 @@ pub mod wrappers;
 
 pub use access_path::{AccessPath, ApBase};
 pub use analysis::{AppAnalysis, Infoflow};
+pub use cg_cache::{CachedSetup, CgCache, CgCacheStats};
 pub use config::InfoflowConfig;
 pub use icc::{analyze_app_linked, IccResults};
 pub use intern::{

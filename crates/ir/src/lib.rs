@@ -49,7 +49,7 @@ pub use builder::{Label, MethodBuilder};
 pub use hash::body_fingerprint;
 pub use class::{Class, ClassId, Field, FieldId, Method, MethodId, MethodRef, SubSig};
 pub use pretty::ProgramPrinter;
-pub use program::{BodySource, Program};
+pub use program::{BodySource, Program, ProgramBase};
 pub use stmt::{
     BinOp, CmpOp, Cond, Constant, InvokeExpr, InvokeKind, Local, Operand, Place, Rvalue, Stmt,
     UnOp,

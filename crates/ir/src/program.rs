@@ -43,27 +43,192 @@ impl fmt::Debug for PendingBody {
     }
 }
 
+/// The frozen, immutable half of a copy-on-write [`Program`].
+///
+/// A base holds fully built arenas (typically the Android platform model
+/// decoded from `platform.fdps`) behind an `Arc` so any number of
+/// concurrent jobs can layer cheap [`Program::overlay`]s on top of it
+/// instead of deep-cloning the whole arena per job. Bases are created by
+/// [`Program::freeze`] and are never mutated afterwards.
+#[derive(Debug)]
+pub struct ProgramBase {
+    interner: Arc<Interner>,
+    classes: Vec<Class>,
+    class_by_name: HashMap<Symbol, ClassId>,
+    methods: Vec<Method>,
+    fields: Vec<Field>,
+}
+
+impl ProgramBase {
+    /// Number of classes in the frozen arena.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of methods in the frozen arena.
+    pub fn method_count(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Number of fields in the frozen arena.
+    pub fn field_count(&self) -> usize {
+        self.fields.len()
+    }
+}
+
 /// A whole program: the unit of analysis.
 ///
 /// All other IR entities live inside a `Program` and are addressed by
 /// copyable ids. Classes referenced before (or without) being declared
 /// exist as *phantom* classes so that incremental construction and
 /// linking against framework stubs always succeeds.
+///
+/// A program is either *flat* (every arena owned directly — the default)
+/// or an *overlay* over a shared frozen [`ProgramBase`]
+/// ([`Program::overlay`]): base entities are read through the `Arc`,
+/// job-local additions append to overlay arenas whose ids continue the
+/// base numbering, and the rare mutation of a base entity (declaring a
+/// phantom platform class, attaching a decoded body) copies just that
+/// entity into a private override slot. Ids and symbols are numerically
+/// identical to what a flat deep clone of the base would have produced,
+/// so analysis results cannot depend on the representation.
 #[derive(Default, Debug, Clone)]
 pub struct Program {
+    base: Option<Arc<ProgramBase>>,
     interner: Interner,
     classes: Vec<Class>,
     class_by_name: HashMap<Symbol, ClassId>,
     methods: Vec<Method>,
     fields: Vec<Field>,
+    class_overrides: FxHashMap<u32, Class>,
+    method_overrides: FxHashMap<u32, Method>,
     pending: FxHashMap<MethodId, PendingBody>,
     bodies_materialized: u64,
+    materialization_log: Vec<MethodId>,
 }
 
 impl Program {
     /// Creates an empty program.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    // ----- copy-on-write layering ---------------------------------------
+
+    /// Freezes a flat program into an immutable shared base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program is itself an overlay or still has deferred
+    /// bodies (a base must be self-contained: every job layered on top
+    /// shares it byte-for-byte and must never need to mutate it).
+    pub fn freeze(self) -> Arc<ProgramBase> {
+        assert!(self.base.is_none(), "cannot freeze an overlay program");
+        assert!(self.pending.is_empty(), "cannot freeze a program with pending bodies");
+        Arc::new(ProgramBase {
+            interner: Arc::new(self.interner),
+            classes: self.classes,
+            class_by_name: self.class_by_name,
+            methods: self.methods,
+            fields: self.fields,
+        })
+    }
+
+    /// Creates a cheap job-local overlay over a frozen base: no arena is
+    /// copied; new classes/methods/fields/symbols append after the base's
+    /// ids and mutations of base entities copy only the touched entity.
+    pub fn overlay(base: Arc<ProgramBase>) -> Program {
+        Program {
+            interner: Interner::with_base(Arc::clone(&base.interner)),
+            base: Some(base),
+            classes: Vec::new(),
+            class_by_name: HashMap::new(),
+            methods: Vec::new(),
+            fields: Vec::new(),
+            class_overrides: FxHashMap::default(),
+            method_overrides: FxHashMap::default(),
+            pending: FxHashMap::default(),
+            bodies_materialized: 0,
+            materialization_log: Vec::new(),
+        }
+    }
+
+    /// Deep-copies a frozen base back into a flat program (the
+    /// deep-clone comparison path; overlays are the fast path).
+    pub fn thaw(base: &ProgramBase) -> Program {
+        Program {
+            base: None,
+            interner: (*base.interner).clone(),
+            classes: base.classes.clone(),
+            class_by_name: base.class_by_name.clone(),
+            methods: base.methods.clone(),
+            fields: base.fields.clone(),
+            class_overrides: FxHashMap::default(),
+            method_overrides: FxHashMap::default(),
+            pending: FxHashMap::default(),
+            bodies_materialized: 0,
+            materialization_log: Vec::new(),
+        }
+    }
+
+    /// Returns `true` if this program is an overlay over a shared base.
+    pub fn is_overlay(&self) -> bool {
+        self.base.is_some()
+    }
+
+    fn base_class_len(&self) -> usize {
+        self.base.as_ref().map_or(0, |b| b.classes.len())
+    }
+
+    fn base_method_len(&self) -> usize {
+        self.base.as_ref().map_or(0, |b| b.methods.len())
+    }
+
+    fn base_field_len(&self) -> usize {
+        self.base.as_ref().map_or(0, |b| b.fields.len())
+    }
+
+    /// Mutable access to a class, copying a base class into a private
+    /// override slot on first touch.
+    fn class_mut(&mut self, id: ClassId) -> &mut Class {
+        let i = id.index();
+        if let Some(base) = &self.base {
+            if i < base.classes.len() {
+                return self
+                    .class_overrides
+                    .entry(i as u32)
+                    .or_insert_with(|| base.classes[i].clone());
+            }
+            let off = base.classes.len();
+            return &mut self.classes[i - off];
+        }
+        &mut self.classes[i]
+    }
+
+    /// Mutable access to a method, copying a base method into a private
+    /// override slot on first touch.
+    fn method_mut(&mut self, id: MethodId) -> &mut Method {
+        let i = id.index();
+        if let Some(base) = &self.base {
+            if i < base.methods.len() {
+                return self
+                    .method_overrides
+                    .entry(i as u32)
+                    .or_insert_with(|| base.methods[i].clone());
+            }
+            let off = base.methods.len();
+            return &mut self.methods[i - off];
+        }
+        &mut self.methods[i]
+    }
+
+    fn lookup_class_sym(&self, sym: Symbol) -> Option<ClassId> {
+        if let Some(base) = &self.base {
+            if let Some(&id) = base.class_by_name.get(&sym) {
+                return Some(id);
+            }
+        }
+        self.class_by_name.get(&sym).copied()
     }
 
     // ----- symbols ------------------------------------------------------
@@ -89,10 +254,10 @@ impl Program {
     /// exist yet.
     pub fn class_id(&mut self, name: &str) -> ClassId {
         let sym = self.interner.intern(name);
-        if let Some(&id) = self.class_by_name.get(&sym) {
+        if let Some(id) = self.lookup_class_sym(sym) {
             return id;
         }
-        let id = ClassId::from_index(self.classes.len());
+        let id = ClassId::from_index(self.base_class_len() + self.classes.len());
         self.classes.push(Class {
             id,
             name: sym,
@@ -125,7 +290,7 @@ impl Program {
         let id = self.class_id(name);
         let superclass = superclass.map(|s| self.class_id(s));
         let interfaces: Vec<ClassId> = interfaces.iter().map(|s| self.class_id(s)).collect();
-        let c = &mut self.classes[id.index()];
+        let c = self.class_mut(id);
         assert!(!c.is_declared, "class {name} declared twice");
         c.superclass = superclass;
         c.interfaces = interfaces;
@@ -140,39 +305,51 @@ impl Program {
     /// Panics if the interface was already declared.
     pub fn declare_interface(&mut self, name: &str, extends: &[&str]) -> ClassId {
         let id = self.declare_class(name, None, extends);
-        self.classes[id.index()].is_interface = true;
+        self.class_mut(id).is_interface = true;
         id
     }
 
     /// Marks a class as abstract.
     pub fn set_abstract(&mut self, class: ClassId, is_abstract: bool) {
-        self.classes[class.index()].is_abstract = is_abstract;
+        self.class_mut(class).is_abstract = is_abstract;
     }
 
     /// A class by id.
     pub fn class(&self, id: ClassId) -> &Class {
-        &self.classes[id.index()]
+        let i = id.index();
+        if let Some(base) = &self.base {
+            if i < base.classes.len() {
+                if !self.class_overrides.is_empty() {
+                    if let Some(c) = self.class_overrides.get(&(i as u32)) {
+                        return c;
+                    }
+                }
+                return &base.classes[i];
+            }
+            return &self.classes[i - base.classes.len()];
+        }
+        &self.classes[i]
     }
 
     /// Looks up a class by name without creating a phantom.
     pub fn find_class(&self, name: &str) -> Option<ClassId> {
         let sym = self.interner.get(name)?;
-        self.class_by_name.get(&sym).copied()
+        self.lookup_class_sym(sym)
     }
 
     /// The fully qualified name of a class.
     pub fn class_name(&self, id: ClassId) -> &str {
-        self.str(self.classes[id.index()].name)
+        self.str(self.class(id).name)
     }
 
     /// Iterates all classes (declared and phantom).
     pub fn classes(&self) -> impl Iterator<Item = &Class> {
-        self.classes.iter()
+        (0..self.class_count()).map(move |i| self.class(ClassId::from_index(i)))
     }
 
     /// Number of classes (including phantoms).
     pub fn class_count(&self) -> usize {
-        self.classes.len()
+        self.base_class_len() + self.classes.len()
     }
 
     /// A `Type::Ref` for the named class (interning it as needed).
@@ -215,8 +392,8 @@ impl Program {
     /// Panics if a field of that name already exists on the class.
     pub fn declare_field(&mut self, class: ClassId, name: &str, ty: Type, is_static: bool) -> FieldId {
         let sym = self.interner.intern(name);
-        let id = FieldId::from_index(self.fields.len());
-        let c = &mut self.classes[class.index()];
+        let id = FieldId::from_index(self.base_field_len() + self.fields.len());
+        let c = self.class_mut(class);
         assert!(
             !c.field_by_name.contains_key(&sym),
             "field declared twice on class"
@@ -229,7 +406,14 @@ impl Program {
 
     /// A field by id.
     pub fn field(&self, id: FieldId) -> &Field {
-        &self.fields[id.index()]
+        let i = id.index();
+        if let Some(base) = &self.base {
+            if i < base.fields.len() {
+                return &base.fields[i];
+            }
+            return &self.fields[i - base.fields.len()];
+        }
+        &self.fields[i]
     }
 
     /// Resolves a field by name on `class`, walking up the superclass
@@ -245,12 +429,12 @@ impl Program {
 
     /// Iterates all fields in declaration (arena) order.
     pub fn fields(&self) -> impl Iterator<Item = &Field> {
-        self.fields.iter()
+        (0..self.field_count()).map(move |i| self.field(FieldId::from_index(i)))
     }
 
     /// Number of fields.
     pub fn field_count(&self) -> usize {
-        self.fields.len()
+        self.base_field_len() + self.fields.len()
     }
 
     // ----- methods ------------------------------------------------------
@@ -272,8 +456,8 @@ impl Program {
     ) -> MethodId {
         let name = self.interner.intern(name);
         let subsig = SubSig { name, params, ret };
-        let id = MethodId::from_index(self.methods.len());
-        let c = &mut self.classes[class.index()];
+        let id = MethodId::from_index(self.base_method_len() + self.methods.len());
+        let c = self.class_mut(class);
         assert!(
             !c.method_by_subsig.contains_key(&subsig),
             "method declared twice on class"
@@ -295,12 +479,12 @@ impl Program {
 
     /// Marks a method native (modeled by explicit rules, never analyzed).
     pub fn set_native(&mut self, method: MethodId, is_native: bool) {
-        self.methods[method.index()].is_native = is_native;
+        self.method_mut(method).is_native = is_native;
     }
 
     /// Marks a method abstract.
     pub fn set_method_abstract(&mut self, method: MethodId, is_abstract: bool) {
-        self.methods[method.index()].is_abstract = is_abstract;
+        self.method_mut(method).is_abstract = is_abstract;
     }
 
     /// Attaches a body to a method.
@@ -309,7 +493,7 @@ impl Program {
     ///
     /// Panics if the method already has a body (decoded or deferred).
     pub fn set_body(&mut self, method: MethodId, body: Body) {
-        let m = &mut self.methods[method.index()];
+        let m = self.method_mut(method);
         assert!(m.body.is_none(), "method body set twice");
         assert!(!m.body_pending, "method body already deferred");
         m.body = Some(body);
@@ -325,7 +509,7 @@ impl Program {
     ///
     /// Panics if the method already has a decoded or deferred body.
     pub fn defer_body(&mut self, method: MethodId, source: Arc<dyn BodySource>, token: u64) {
-        let m = &mut self.methods[method.index()];
+        let m = self.method_mut(method);
         assert!(m.body.is_none(), "method body set twice");
         assert!(!m.body_pending, "method body already deferred");
         m.body_pending = true;
@@ -355,11 +539,21 @@ impl Program {
             Err(e) => panic!("deferred body for {}: {e}", self.signature(method)),
         };
         self.pending.remove(&method);
-        let m = &mut self.methods[method.index()];
+        let m = self.method_mut(method);
         m.body_pending = false;
         m.body = Some(body);
         self.bodies_materialized += 1;
+        self.materialization_log.push(method);
         true
+    }
+
+    /// The methods materialized by [`Program::ensure_body`], in call
+    /// order. Replaying this log through `ensure_body` on a fresh program
+    /// loaded from the same inputs reproduces the arena and interner
+    /// state exactly (decoding is deterministic), which is what lets a
+    /// daemon cache callgraphs across jobs without perturbing ids.
+    pub fn materialization_log(&self) -> &[MethodId] {
+        &self.materialization_log
     }
 
     /// Number of deferred bodies not yet materialized.
@@ -380,17 +574,29 @@ impl Program {
 
     /// A method by id.
     pub fn method(&self, id: MethodId) -> &Method {
-        &self.methods[id.index()]
+        let i = id.index();
+        if let Some(base) = &self.base {
+            if i < base.methods.len() {
+                if !self.method_overrides.is_empty() {
+                    if let Some(m) = self.method_overrides.get(&(i as u32)) {
+                        return m;
+                    }
+                }
+                return &base.methods[i];
+            }
+            return &self.methods[i - base.methods.len()];
+        }
+        &self.methods[i]
     }
 
     /// Iterates all methods.
     pub fn methods(&self) -> impl Iterator<Item = &Method> {
-        self.methods.iter()
+        (0..self.method_count()).map(move |i| self.method(MethodId::from_index(i)))
     }
 
     /// Number of methods.
     pub fn method_count(&self) -> usize {
-        self.methods.len()
+        self.base_method_len() + self.methods.len()
     }
 
     /// Looks up a declared method by class name / method name when the
@@ -579,10 +785,12 @@ mod tests {
         assert_eq!(p.method(m).body().unwrap().stmts().len(), 1);
         assert_eq!(p.pending_body_count(), 0);
         assert_eq!(p.bodies_materialized(), 1);
+        assert_eq!(p.materialization_log(), &[m]);
 
         // Second call is a no-op.
         assert!(!p.ensure_body(m));
         assert_eq!(p.bodies_materialized(), 1);
+        assert_eq!(p.materialization_log().len(), 1);
     }
 
     #[test]
@@ -601,6 +809,7 @@ mod tests {
         assert!(p.method(m).body_is_pending());
         assert_eq!(p.pending_body_count(), 1);
         assert_eq!(p.bodies_materialized(), 0);
+        assert!(p.materialization_log().is_empty());
     }
 
     #[test]
@@ -627,5 +836,101 @@ mod tests {
         p.declare_method(c, "f", vec![], Type::Void, false);
         p.declare_method(c, "f", vec![Type::Int], Type::Void, false);
         assert_eq!(p.find_method("C", "f"), None);
+    }
+
+    fn frozen_base() -> Arc<ProgramBase> {
+        let mut p = Program::new();
+        p.declare_class("java.lang.Object", None, &[]);
+        let act = p.declare_class("android.app.Activity", Some("java.lang.Object"), &[]);
+        let on_create = p.declare_method(act, "onCreate", vec![], Type::Void, false);
+        p.set_native(on_create, true);
+        p.class_id("android.phantom.Later"); // phantom in the base
+        p.freeze()
+    }
+
+    #[test]
+    fn overlay_ids_continue_base_numbering() {
+        let base = frozen_base();
+        let n_classes = base.class_count();
+        let n_methods = base.method_count();
+
+        // A flat thaw and a cheap overlay must mint identical ids for
+        // the same declaration sequence.
+        let mut flat = Program::thaw(&base);
+        let mut over = Program::overlay(Arc::clone(&base));
+        assert!(over.is_overlay());
+        for p in [&mut flat, &mut over] {
+            let c = p.declare_class("com.app.Main", Some("android.app.Activity"), &[]);
+            assert_eq!(c.index(), n_classes);
+            let m = p.declare_method(c, "run", vec![], Type::Void, false);
+            assert_eq!(m.index(), n_methods);
+            assert_eq!(p.class_count(), n_classes + 1);
+            assert_eq!(p.method_count(), n_methods + 1);
+        }
+        assert_eq!(
+            flat.find_class("com.app.Main"),
+            over.find_class("com.app.Main")
+        );
+        // Base entities read through the overlay untouched.
+        let act = over.find_class("android.app.Activity").unwrap();
+        assert_eq!(over.class_name(act), "android.app.Activity");
+        assert!(over.class(act).is_declared());
+    }
+
+    #[test]
+    fn overlay_mutation_of_base_class_is_private() {
+        let base = frozen_base();
+        let mut over = Program::overlay(Arc::clone(&base));
+        // Declaring a base phantom copies it into the overlay's override
+        // slot; the shared base stays untouched for sibling overlays.
+        let late = over.declare_class("android.phantom.Later", Some("java.lang.Object"), &[]);
+        assert!(over.class(late).is_declared());
+        assert!((late.index()) < base.class_count(), "declared in place, not re-minted");
+
+        let sibling = Program::overlay(Arc::clone(&base));
+        let same = sibling.find_class("android.phantom.Later").unwrap();
+        assert_eq!(same, late);
+        assert!(!sibling.class(same).is_declared(), "sibling sees the pristine base");
+    }
+
+    #[test]
+    fn overlay_iterators_cover_base_and_overlay() {
+        let base = frozen_base();
+        let mut over = Program::overlay(Arc::clone(&base));
+        let c = over.declare_class("com.app.Main", Some("java.lang.Object"), &[]);
+        over.declare_field(c, "data", Type::Int, false);
+        assert_eq!(over.classes().count(), over.class_count());
+        assert_eq!(over.methods().count(), over.method_count());
+        assert_eq!(over.fields().count(), over.field_count());
+        assert!(over.classes().any(|k| over.str(k.name()) == "com.app.Main"));
+        assert!(over.classes().any(|k| over.str(k.name()) == "android.app.Activity"));
+    }
+
+    #[test]
+    #[should_panic(expected = "pending bodies")]
+    fn freeze_rejects_pending_bodies() {
+        let mut p = Program::new();
+        let c = p.declare_class("C", None, &[]);
+        let m = p.declare_method(c, "f", vec![], Type::Void, true);
+        p.defer_body(m, Arc::new(TestSource { stmts: vec![], fail: false }), 0);
+        let _ = p.freeze();
+    }
+
+    #[test]
+    fn overlay_deferred_body_stays_job_local() {
+        let base = frozen_base();
+        let mut over = Program::overlay(Arc::clone(&base));
+        let c = over.declare_class("com.app.Main", Some("java.lang.Object"), &[]);
+        let m = over.declare_method(c, "f", vec![], Type::Void, true);
+        over.defer_body(
+            m,
+            Arc::new(TestSource { stmts: vec![crate::Stmt::Return { value: None }], fail: false }),
+            0,
+        );
+        let mut clone = over.clone(); // cheap: shares the base Arc
+        assert!(clone.ensure_body(m));
+        assert!(over.method(m).body().is_none());
+        assert_eq!(clone.materialization_log(), &[m]);
+        assert!(over.materialization_log().is_empty());
     }
 }

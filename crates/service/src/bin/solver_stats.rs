@@ -601,6 +601,12 @@ fn run_service(out_path: &str) {
         + total(&warm, |r| r.bodies_materialized);
     let bodies_skipped =
         total(&cold, |r| r.bodies_skipped) + total(&warm, |r| r.bodies_skipped);
+    let cold_setup_us = total(&cold, |r| r.setup_us);
+    let cold_cg_misses = total(&cold, |r| r.callgraph_cache_misses);
+    let warm_cg_hits = total(&warm, |r| r.callgraph_cache_hits);
+    let cold_clone_us = total(&cold, |r| r.platform_clone_us);
+    let warm_clone_us = total(&warm, |r| r.platform_clone_us);
+    let cg_evictions = stats.u64_field("callgraph_cache_evictions").unwrap_or(0);
     let snapshot_load_ms = stats.u64_field("snapshot_load_ms").unwrap_or(0);
     let snapshot_source = stats.str_field("snapshot_source").unwrap_or("unknown").to_string();
 
@@ -615,7 +621,7 @@ fn run_service(out_path: &str) {
     writeln!(section, "    \"warm_wall_ms_total\": {},", total(&warm, |r| r.wall_ms)).unwrap();
     writeln!(section, "    \"cold_queue_ms_max\": {},", peak(&cold, |r| r.queue_ms)).unwrap();
     writeln!(section, "    \"warm_queue_ms_max\": {},", peak(&warm, |r| r.queue_ms)).unwrap();
-    writeln!(section, "    \"cold_setup_us_total\": {},", total(&cold, |r| r.setup_us)).unwrap();
+    writeln!(section, "    \"cold_setup_us_total\": {cold_setup_us},").unwrap();
     writeln!(section, "    \"cold_dataflow_us_total\": {},", total(&cold, |r| r.dataflow_us))
         .unwrap();
     writeln!(section, "    \"warm_setup_us_total\": {warm_setup_us},").unwrap();
@@ -631,6 +637,17 @@ fn run_service(out_path: &str) {
     writeln!(section, "    \"bodies_materialized_total\": {bodies_materialized},").unwrap();
     writeln!(section, "    \"bodies_skipped_total\": {bodies_skipped},").unwrap();
     writeln!(section, "    \"warm_summary_hits\": {warm_hits},").unwrap();
+    writeln!(section, "    \"cold_callgraph_misses\": {cold_cg_misses},").unwrap();
+    writeln!(section, "    \"warm_callgraph_hits\": {warm_cg_hits},").unwrap();
+    writeln!(section, "    \"callgraph_cache_evictions\": {cg_evictions},").unwrap();
+    writeln!(section, "    \"cold_platform_clone_us_total\": {cold_clone_us},").unwrap();
+    writeln!(section, "    \"warm_platform_clone_us_total\": {warm_clone_us},").unwrap();
+    writeln!(
+        section,
+        "    \"warm_setup_below_cold\": {},",
+        warm_setup_us < cold_setup_us
+    )
+    .unwrap();
     writeln!(section, "    \"reports_identical\": {reports_identical},").unwrap();
     writeln!(section, "    \"jobs\": [").unwrap();
     let entries: Vec<String> = cold
@@ -643,7 +660,8 @@ fn run_service(out_path: &str) {
                     "      {{ \"app\": \"{}\", \"pass\": \"{}\", \"wall_ms\": {}, ",
                     "\"queue_ms\": {}, \"setup_us\": {}, \"dataflow_us\": {}, ",
                     "\"bodies_materialized\": {}, \"bodies_skipped\": {}, ",
-                    "\"summary_hits\": {} }}"
+                    "\"summary_hits\": {}, \"platform_clone_us\": {}, ",
+                    "\"callgraph_cache_hits\": {} }}"
                 ),
                 name,
                 pass,
@@ -653,7 +671,9 @@ fn run_service(out_path: &str) {
                 r.dataflow_us,
                 r.bodies_materialized,
                 r.bodies_skipped,
-                r.summary_hits
+                r.summary_hits,
+                r.platform_clone_us,
+                r.callgraph_cache_hits
             )
         })
         .collect();
@@ -695,6 +715,17 @@ fn run_service(out_path: &str) {
             "FAIL: warm insecurebank job spent more time in setup ({} us) than in the \
              data-flow solver ({} us)",
             warm_bank.0, warm_bank.1
+        );
+        std::process::exit(1);
+    }
+    if warm_cg_hits == 0 {
+        eprintln!("FAIL: warm pass replayed no cached callgraph setups");
+        std::process::exit(1);
+    }
+    if warm_setup_us >= cold_setup_us {
+        eprintln!(
+            "FAIL: warm pass setup ({warm_setup_us} us) is not below the cold pass \
+             ({cold_setup_us} us) despite the callgraph cache"
         );
         std::process::exit(1);
     }

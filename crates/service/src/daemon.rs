@@ -11,12 +11,18 @@
 //!
 //! The Android platform model is built (or loaded from a
 //! `platform.fdps` snapshot, see [`DaemonOptions::platform_snapshot`])
-//! exactly once at bind time and shared read-only across all worker
-//! jobs. Each job clones the snapshot program and loads app code
+//! exactly once at bind time, frozen into a shared
+//! [`flowdroid_ir::ProgramBase`], and shared read-only across all
+//! worker jobs. Each job opens a cheap copy-on-write *overlay* over
+//! that base (no deep clone of the platform arena) and loads app code
 //! through the demand-driven frontend, so per-job setup cost is the
-//! app decode plus call-graph work — not the platform build — and an
-//! aborted job can never leave partially materialized bodies behind:
-//! materialization happens in the job's private clone only.
+//! app decode plus call-graph work — not the platform build or copy —
+//! and an aborted job can never leave partially materialized bodies
+//! behind: materialization happens in the job's private overlay only.
+//! On top of that, a daemon-resident [`CgCache`] keeps each app's
+//! entry-point model, materialization log and callgraph keyed by a
+//! platform+app fingerprint, so repeat jobs replay the cached setup
+//! instead of re-discovering components and rebuilding the callgraph.
 //!
 //! Concurrency layout:
 //!
@@ -32,16 +38,18 @@
 //!   inside the solver — so the solvers' periodic polls bound how far a
 //!   job can overrun;
 //! * `shutdown` closes the queue (workers drain what is already
-//!   queued and exit), waits for every job to finish, flushes the
-//!   summary cache a final time, and wakes the accept loop; the worker
-//!   threads are joined before [`Daemon::run`] returns.
+//!   queued and exit), wakes the accept loop and unlinks a Unix socket
+//!   path *before* draining — so the address disappears promptly even
+//!   when workers are mid-job — then waits for every job to finish and
+//!   flushes the summary cache a final time; the worker threads are
+//!   joined before [`Daemon::run`] returns.
 
 use crate::json::{obj, Json};
 use crate::net::{connect, Conn, Listen, Listener};
 use crate::proto::{error_line, JobResult, Request};
 use flowdroid_android::{build_snapshot, load_snapshot, PlatformSnapshot};
 use flowdroid_bench::{find_job, run_single_lazy, CorpusJob};
-use flowdroid_core::{flush_summary_cache, AbortHandle, InfoflowConfig};
+use flowdroid_core::{flush_summary_cache, AbortHandle, CgCache, InfoflowConfig};
 use std::io::{self, BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -112,6 +120,10 @@ struct JobEntry {
 struct Inner {
     jobs: Vec<JobEntry>,
     shutting_down: bool,
+    /// Set once a `shutdown` handler has written (or failed to write)
+    /// its reply; [`Daemon::run`] must not return — and thus let the
+    /// process exit — before the requester has been answered.
+    shutdown_replied: bool,
     /// Scheduler counters summed over completed parallel jobs.
     sched_pushed: u64,
     sched_claims: u64,
@@ -127,8 +139,11 @@ struct Shared {
     /// Set before the accept loop is woken for the last time.
     stop_accept: AtomicBool,
     summary_cache: Option<PathBuf>,
-    /// The shared, read-only platform model every job clones from.
+    /// The shared, read-only platform model every job overlays.
     snapshot: Arc<PlatformSnapshot>,
+    /// Daemon-resident callgraph / entry-point cache shared by all
+    /// workers; repeat jobs on the same app replay the cached setup.
+    cg_cache: CgCache,
     /// Time spent obtaining the platform model at bind time.
     snapshot_load_ms: u64,
     /// `"file"` when loaded from a `platform.fdps`, `"built"` otherwise.
@@ -182,6 +197,9 @@ impl Daemon {
             stop_accept: AtomicBool::new(false),
             summary_cache: opts.summary_cache,
             snapshot: Arc::new(snapshot),
+            // Comfortably above the full corpus size, so a service
+            // benchmark sweep stays warm end to end.
+            cg_cache: CgCache::new(256),
             snapshot_load_ms,
             snapshot_source,
             addr,
@@ -226,6 +244,13 @@ impl Daemon {
         }
         for w in self.workers {
             let _ = w.join();
+        }
+        // The shutdown handler runs on a detached connection thread and
+        // only writes its reply after the drain; wait for it so a
+        // process hosting the daemon can't exit mid-reply.
+        let mut inner = self.shared.inner.lock().unwrap();
+        while !inner.shutdown_replied {
+            inner = self.shared.done.wait(inner).unwrap();
         }
         Ok(())
     }
@@ -272,7 +297,7 @@ fn run_one(shared: &Shared, id: u64, job: &CorpusJob) {
         config.max_propagations = spec.max_propagations;
         config.taint_threads = spec.taint_threads;
         config.summary_cache.clone_from(&shared.summary_cache);
-        let mut run = run_single_lazy(job, &config, &shared.snapshot);
+        let mut run = run_single_lazy(job, &config, &shared.snapshot, Some(&shared.cg_cache));
         if !run.aborted {
             if let Some(dir) = &shared.summary_cache {
                 // Promote this job's staged summaries so the *next* job
@@ -301,6 +326,9 @@ fn run_one(shared: &Shared, id: u64, job: &CorpusJob) {
             summary_misses: sc.map_or(0, |s| s.misses),
             summary_stale: sc.map_or(0, |s| s.stale),
             summary_recorded: sc.map_or(0, |s| s.recorded),
+            platform_clone_us: run.platform_clone_us,
+            callgraph_cache_hits: u64::from(run.cg_cache_hit == Some(true)),
+            callgraph_cache_misses: u64::from(run.cg_cache_hit == Some(false)),
             report: run.report,
         }
     };
@@ -352,12 +380,23 @@ fn handle_conn(shared: &Shared, conn: Box<dyn Conn>) {
             }
             Ok(Request::Stats) => write_line(reader.get_mut(), &stats(shared).to_line()).is_ok(),
             Ok(Request::Shutdown) => {
-                let reply = shutdown(shared);
-                let _ = write_line(reader.get_mut(), &reply.to_line());
-                // Wake the accept loop; its next accept observes
-                // `stop_accept` and exits.
+                close_queue(shared);
+                // Wake the accept loop while a Unix socket path still
+                // exists (the self-connect needs it), then unlink the
+                // path immediately: the address must disappear even
+                // while workers are still mid-job in the drain below.
                 shared.stop_accept.store(true, Ordering::SeqCst);
                 let _ = connect(&shared.addr);
+                #[cfg(unix)]
+                if let Listen::Unix(path) = &shared.addr {
+                    let _ = std::fs::remove_file(path);
+                }
+                let reply = drain(shared);
+                let _ = write_line(reader.get_mut(), &reply.to_line());
+                let mut inner = shared.inner.lock().unwrap();
+                inner.shutdown_replied = true;
+                drop(inner);
+                shared.done.notify_all();
                 return;
             }
         };
@@ -458,6 +497,7 @@ fn cancel(shared: &Shared, id: u64) -> Result<&'static str, String> {
 }
 
 fn stats(shared: &Shared) -> Json {
+    let cache = shared.cg_cache.stats();
     let inner = shared.inner.lock().unwrap();
     let mut by_state = [0u64; 3];
     let mut aborted = 0u64;
@@ -468,6 +508,9 @@ fn stats(shared: &Shared) -> Json {
     let mut recorded = 0u64;
     let mut materialized = 0u64;
     let mut skipped = 0u64;
+    let mut clone_us = 0u64;
+    let mut cg_hits = 0u64;
+    let mut cg_misses = 0u64;
     let mut jobs = Vec::new();
     for (i, e) in inner.jobs.iter().enumerate() {
         by_state[e.state as usize] += 1;
@@ -488,6 +531,9 @@ fn stats(shared: &Shared) -> Json {
             recorded += r.summary_recorded;
             materialized += r.bodies_materialized;
             skipped += r.bodies_skipped;
+            clone_us += r.platform_clone_us;
+            cg_hits += r.callgraph_cache_hits;
+            cg_misses += r.callgraph_cache_misses;
             fields.push(("wall_ms", Json::from(r.wall_ms)));
             fields.push(("setup_us", Json::from(r.setup_us)));
             fields.push(("dataflow_us", Json::from(r.dataflow_us)));
@@ -516,6 +562,12 @@ fn stats(shared: &Shared) -> Json {
         ("snapshot_source", Json::from(shared.snapshot_source)),
         ("bodies_materialized", Json::from(materialized)),
         ("bodies_skipped", Json::from(skipped)),
+        ("platform_clone_us", Json::from(clone_us)),
+        ("callgraph_cache_hits", Json::from(cg_hits)),
+        ("callgraph_cache_misses", Json::from(cg_misses)),
+        ("callgraph_cache_evictions", Json::from(cache.evictions)),
+        ("callgraph_cache_invalidations", Json::from(cache.invalidations)),
+        ("callgraph_cache_entries", Json::from(cache.entries as u64)),
         ("sched_pushed", Json::from(inner.sched_pushed)),
         ("sched_claims", Json::from(inner.sched_claims)),
         ("sched_steals", Json::from(inner.sched_steals)),
@@ -523,17 +575,22 @@ fn stats(shared: &Shared) -> Json {
     ])
 }
 
-/// Closes the queue, waits for every accepted job to finish, and
-/// flushes the summary cache. Idempotent: a second `shutdown` request
-/// waits for the same drain and reports the same counts.
-fn shutdown(shared: &Shared) -> Json {
+/// Marks the daemon as shutting down and closes the queue: no further
+/// submissions are accepted, and dropping the (sole) sender lets the
+/// workers drain what is already queued and exit their recv loop.
+/// Idempotent.
+fn close_queue(shared: &Shared) {
     {
         let mut inner = shared.inner.lock().unwrap();
         inner.shutting_down = true;
     }
-    // Dropping the (sole) sender lets the workers drain what is queued
-    // and exit their recv loop.
     drop(shared.sender.lock().unwrap().take());
+}
+
+/// Waits for every accepted job to finish and flushes the summary
+/// cache. Idempotent: a second `shutdown` request waits for the same
+/// drain and reports the same counts.
+fn drain(shared: &Shared) -> Json {
     let mut inner = shared.inner.lock().unwrap();
     while inner.jobs.iter().any(|e| e.state != JobState::Done) {
         inner = shared.done.wait(inner).unwrap();

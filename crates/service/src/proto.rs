@@ -140,6 +140,16 @@ pub struct JobResult {
     pub summary_stale: u64,
     /// Summaries staged for the next flush (always 0 when `aborted`).
     pub summary_recorded: u64,
+    /// Time spent obtaining the job's private program from the shared
+    /// platform snapshot, in microseconds. Copy-on-write overlays keep
+    /// this near zero; a deep clone pays the full arena copy.
+    pub platform_clone_us: u64,
+    /// Callgraph-cache hits for this job (1 when the daemon replayed a
+    /// cached entry-point model + callgraph instead of rebuilding them).
+    pub callgraph_cache_hits: u64,
+    /// Callgraph-cache misses for this job (1 on the cold run that
+    /// populates the cache).
+    pub callgraph_cache_misses: u64,
     /// The deterministic per-app leak report.
     pub report: String,
 }
@@ -170,6 +180,9 @@ impl JobResult {
             ("summary_misses", Json::from(self.summary_misses)),
             ("summary_stale", Json::from(self.summary_stale)),
             ("summary_recorded", Json::from(self.summary_recorded)),
+            ("platform_clone_us", Json::from(self.platform_clone_us)),
+            ("callgraph_cache_hits", Json::from(self.callgraph_cache_hits)),
+            ("callgraph_cache_misses", Json::from(self.callgraph_cache_misses)),
             ("report", Json::from(self.report.as_str())),
         ]);
         obj(fields)
@@ -198,6 +211,9 @@ impl JobResult {
             summary_misses: v.u64_field("summary_misses").unwrap_or(0),
             summary_stale: v.u64_field("summary_stale").unwrap_or(0),
             summary_recorded: v.u64_field("summary_recorded").unwrap_or(0),
+            platform_clone_us: v.u64_field("platform_clone_us").unwrap_or(0),
+            callgraph_cache_hits: v.u64_field("callgraph_cache_hits").unwrap_or(0),
+            callgraph_cache_misses: v.u64_field("callgraph_cache_misses").unwrap_or(0),
             report: v.str_field("report").unwrap_or("").to_string(),
         })
     }
@@ -258,6 +274,9 @@ mod tests {
             summary_misses: 9,
             summary_stale: 0,
             summary_recorded: 0,
+            platform_clone_us: 12,
+            callgraph_cache_hits: 1,
+            callgraph_cache_misses: 0,
             report: "== stress/500: 1 leak(s)\n".to_string(),
         };
         let parsed = JobResult::from_json(&crate::json::parse(&r.to_json().to_line()).unwrap());

@@ -1,7 +1,8 @@
 //! End-to-end daemon round trips over a real TCP socket: cold→warm
 //! cache sharing between jobs, platform-snapshot boot (including the
 //! corrupt-file fallback), deadline aborts, cross-connection
-//! cancellation, stats and clean shutdown.
+//! cancellation, stats, clean shutdown, and prompt Unix-socket unlink
+//! on shutdown while jobs are still draining.
 
 use flowdroid_service::{Client, Daemon, DaemonOptions, Listen, Request};
 use std::path::PathBuf;
@@ -53,11 +54,18 @@ fn cold_then_warm_job_shares_summary_cache() {
     assert!(!warm.aborted);
     assert!(warm.summary_hits > 0, "second job replays the first job's flushed summaries");
     assert_eq!(warm.report, cold.report, "cache replay must not change the report");
+    assert_eq!(cold.callgraph_cache_misses, 1, "first job builds its setup cold");
+    assert_eq!(cold.callgraph_cache_hits, 0);
+    assert_eq!(warm.callgraph_cache_hits, 1, "second job replays the cached callgraph");
+    assert_eq!(warm.callgraph_cache_misses, 0);
 
     let mut c2 = Client::connect(&addr).expect("second connection");
     let stats = c2.stats().expect("stats");
     assert_eq!(stats.u64_field("completed"), Some(2));
     assert!(stats.u64_field("summary_hits").unwrap() > 0);
+    assert_eq!(stats.u64_field("callgraph_cache_hits"), Some(1));
+    assert_eq!(stats.u64_field("callgraph_cache_misses"), Some(1));
+    assert_eq!(stats.u64_field("callgraph_cache_entries"), Some(1));
     assert_eq!(stats.get("jobs").unwrap().as_arr().unwrap().len(), 2);
 
     c2.shutdown().expect("shutdown");
@@ -210,6 +218,64 @@ fn cancelling_a_queued_job_skips_it_entirely() {
 
     ctl.shutdown().expect("shutdown");
     daemon.join().expect("accept loop exits cleanly");
+}
+
+/// Shutdown must unlink the Unix socket path as soon as the queue is
+/// closed — not only after the in-flight jobs drain. A daemon mid-way
+/// through a long job used to leave the path on disk until the accept
+/// loop returned, so supervisors polling for the socket's
+/// disappearance concluded the shutdown had hung.
+#[cfg(unix)]
+#[test]
+fn shutdown_unlinks_unix_socket_while_a_job_is_still_draining() {
+    let sock = std::env::temp_dir()
+        .join(format!("flowdroid-svc-unlink-{}.sock", std::process::id()));
+    let daemon = Daemon::bind(DaemonOptions {
+        listen: Listen::Unix(sock.clone()),
+        workers: 2,
+        summary_cache: None,
+        platform_snapshot: None,
+    })
+    .expect("bind unix daemon");
+    let addr = daemon.local_addr().to_string();
+    let accept_loop = std::thread::spawn(move || daemon.run().expect("daemon run"));
+
+    // A job long enough that its ~3s deadline, not its fixpoint, ends
+    // it: the socket must vanish well before the job does.
+    let mut a = Client::connect(&addr).expect("connection a");
+    let id = a.analyze_async("stress/6000", Some(3000), None, None).expect("submit");
+
+    let mut b = Client::connect(&addr).expect("connection b");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = b.stats().expect("stats");
+        let jobs = stats.get("jobs").unwrap().as_arr().unwrap();
+        if jobs[(id - 1) as usize].str_field("state") == Some("running") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job never started running");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // `shutdown` blocks its connection until the drain completes, so
+    // issue it from a helper thread and watch the path from here.
+    let shutdown = std::thread::spawn(move || b.shutdown().expect("shutdown"));
+    let unlink_deadline = Instant::now() + Duration::from_secs(2);
+    while sock.exists() {
+        assert!(
+            Instant::now() < unlink_deadline,
+            "socket path must be unlinked while the job is still draining, \
+             not after the accept loop returns"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The in-flight job still drains to its (deadline-aborted) result.
+    let result = a.read_response().expect("result line");
+    assert_eq!(result.str_field("abort_reason"), Some("deadline"));
+    let ack = shutdown.join().expect("shutdown thread");
+    assert_eq!(ack.str_field("op"), Some("shutdown"));
+    accept_loop.join().expect("accept loop exits cleanly");
 }
 
 #[test]

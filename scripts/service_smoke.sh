@@ -68,6 +68,25 @@ if ! grep -q '"summary_hits":[1-9]' <<<"$warm"; then
 fi
 echo "cold->warm summary-cache sharing: OK"
 
+# Daemon-resident callgraph cache: the cold job builds the entry-point
+# model and callgraph (miss), the warm job replays them (hit) and must
+# get through setup strictly faster than the cold one.
+if ! grep -q '"callgraph_cache_misses":1' <<<"$cold"; then
+    echo "FAIL: cold job should miss the callgraph cache: $cold" >&2
+    exit 1
+fi
+if ! grep -q '"callgraph_cache_hits":1' <<<"$warm"; then
+    echo "FAIL: warm job replayed no cached callgraph: $warm" >&2
+    exit 1
+fi
+cold_setup=$(grep -o '"setup_us":[0-9]*' <<<"$cold" | grep -o '[0-9]*$')
+warm_cg_setup=$(grep -o '"setup_us":[0-9]*' <<<"$warm" | grep -o '[0-9]*$')
+if [[ -z "$cold_setup" || -z "$warm_cg_setup" || "$warm_cg_setup" -ge "$cold_setup" ]]; then
+    echo "FAIL: warm setup (${warm_cg_setup:-?} us) is not below cold setup (${cold_setup:-?} us)" >&2
+    exit 1
+fi
+echo "warm callgraph-cache replay (setup $warm_cg_setup us < cold $cold_setup us): OK"
+
 # Demand-driven frontend: jobs run against the shared platform
 # snapshot, decode bodies on demand, and a warm job spends less time
 # in setup than in the data-flow solver.

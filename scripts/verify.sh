@@ -91,8 +91,9 @@ if [[ "${lazy_identical}" != "true" ]]; then
 fi
 
 # Serving-mode smoke: platform-snapshot round trip, daemon boot from
-# the snapshot, cold->warm cache sharing between jobs, warm setup below
-# dataflow, in-flight cancellation, clean shutdown.
+# the snapshot, cold->warm cache sharing between jobs, warm
+# callgraph-cache replay with setup strictly below the cold job's,
+# warm setup below dataflow, in-flight cancellation, clean shutdown.
 echo "== serving-mode smoke"
 scripts/service_smoke.sh
 
@@ -121,6 +122,17 @@ if [[ -z "${svc_skipped}" || "${svc_skipped}" -eq 0 ]]; then
 fi
 if [[ "${svc_warm_gate}" != "true" ]]; then
     echo "FAIL: warm daemon job spent more time in setup than in the data-flow solver" >&2
+    exit 1
+fi
+svc_cg_hits=$(grep -o '"warm_callgraph_hits": [0-9]*' BENCH_solver.json | grep -o '[0-9]*$' || true)
+svc_setup_gate=$(grep -o '"warm_setup_below_cold": [a-z]*' BENCH_solver.json | grep -o '[a-z]*$' || true)
+echo "service warm callgraph hits: ${svc_cg_hits:-none}, warm setup<cold: ${svc_setup_gate:-none}"
+if [[ -z "${svc_cg_hits}" || "${svc_cg_hits}" -eq 0 ]]; then
+    echo "FAIL: service warm pass replayed no cached callgraphs" >&2
+    exit 1
+fi
+if [[ "${svc_setup_gate}" != "true" ]]; then
+    echo "FAIL: warm pass setup did not drop below the cold pass despite the callgraph cache" >&2
     exit 1
 fi
 

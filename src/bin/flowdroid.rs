@@ -428,7 +428,23 @@ fn client(args: &[String]) -> ExitCode {
         }
         "stats" => match c.stats() {
             Ok(v) => {
+                // Raw line first: scripts grep it for exact fields.
                 println!("{}", v.to_line());
+                let f = |name| v.u64_field(name).unwrap_or(0);
+                println!(
+                    "callgraph cache: {} hit(s), {} miss(es), {} eviction(s), \
+                     {} invalidation(s), {} resident",
+                    f("callgraph_cache_hits"),
+                    f("callgraph_cache_misses"),
+                    f("callgraph_cache_evictions"),
+                    f("callgraph_cache_invalidations"),
+                    f("callgraph_cache_entries"),
+                );
+                println!(
+                    "platform clone: {}us total across {} completed job(s)",
+                    f("platform_clone_us"),
+                    f("completed"),
+                );
                 ExitCode::SUCCESS
             }
             Err(e) => fail(e),
@@ -534,8 +550,8 @@ fn snapshot(args: &[String]) -> ExitCode {
         Ok(()) => {
             println!(
                 "wrote {path}: {} classes, {} methods",
-                snap.program.class_count(),
-                snap.program.method_count()
+                snap.base.class_count(),
+                snap.base.method_count()
             );
             ExitCode::SUCCESS
         }
