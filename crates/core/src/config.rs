@@ -3,8 +3,57 @@
 use flowdroid_android::CallbackAssociation;
 use flowdroid_callgraph::CgAlgorithm;
 use flowdroid_ifds::AbortHandle;
+use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
+
+/// A snapshot of solver progress, emitted through
+/// [`InfoflowConfig::progress`] at the engines' abort-poll points
+/// (every ~128 worklist steps) and whenever a leak is recorded.
+/// Consumers (the daemon's `--stream` mode) turn these into partial
+/// progress / leak frames while a job runs. Purely observational: the
+/// sink never influences the analysis, so streamed and non-streamed
+/// runs produce byte-identical reports.
+#[derive(Clone, Debug, Default)]
+pub struct ProgressEvent {
+    /// Forward path-edge propagations so far.
+    pub forward_propagations: u64,
+    /// Backward (alias) path-edge propagations so far.
+    pub backward_propagations: u64,
+    /// Method bodies the demand-driven frontend has decoded so far.
+    pub bodies_materialized: u64,
+    /// Summary-cache hits so far.
+    pub summary_hits: u64,
+    /// Leaks recorded so far (pre-dedup lower bound; the final report
+    /// dedups by sink/source).
+    pub leaks: u64,
+    /// Set when this event announces a newly recorded leak:
+    /// `(sink line, taint description)`.
+    pub new_leak: Option<(u32, String)>,
+}
+
+/// A shared callback receiving [`ProgressEvent`]s during a solve.
+#[derive(Clone)]
+pub struct ProgressSink(pub Arc<dyn Fn(&ProgressEvent) + Send + Sync>);
+
+impl ProgressSink {
+    /// Wraps a callback.
+    pub fn new(f: impl Fn(&ProgressEvent) + Send + Sync + 'static) -> Self {
+        ProgressSink(Arc::new(f))
+    }
+
+    /// Delivers one event.
+    pub fn emit(&self, event: &ProgressEvent) {
+        (self.0)(event);
+    }
+}
+
+impl fmt::Debug for ProgressSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ProgressSink(..)")
+    }
+}
 
 /// Configuration of the taint analysis.
 ///
@@ -66,6 +115,16 @@ pub struct InfoflowConfig {
     /// Staged summaries reach disk only via
     /// [`crate::flush_summary_cache`].
     pub summary_cache: Option<PathBuf>,
+    /// Cache namespace inside the summary store. Namespaces key
+    /// disjoint stores in one cache directory, so tenants sharing a
+    /// daemon never observe each other's summaries. `""` (default) is
+    /// the shared default namespace (the historical flat layout).
+    /// Deliberately excluded from the configuration fingerprint —
+    /// isolation comes from separate stores, not separate contexts.
+    pub cache_namespace: String,
+    /// Progress sink for streaming partial results; see
+    /// [`ProgressSink`]. `None` (default) emits nothing.
+    pub progress: Option<ProgressSink>,
     /// Cooperative abort token (wall-clock deadline and/or external
     /// cancel). Both taint engines poll it at a bounded interval; when
     /// it trips, the run winds down and returns a partial result marked
@@ -98,6 +157,8 @@ impl Default for InfoflowConfig {
             bitset_tables: true,
             taint_threads: 0,
             summary_cache: None,
+            cache_namespace: String::new(),
+            progress: None,
             abort: None,
             lazy_frontend: false,
         }
@@ -164,6 +225,18 @@ impl InfoflowConfig {
     /// Builder-style setter for the persistent summary-cache directory.
     pub fn with_summary_cache(mut self, dir: impl Into<PathBuf>) -> Self {
         self.summary_cache = Some(dir.into());
+        self
+    }
+
+    /// Builder-style setter for the summary-cache namespace.
+    pub fn with_cache_namespace(mut self, ns: impl Into<String>) -> Self {
+        self.cache_namespace = ns.into();
+        self
+    }
+
+    /// Builder-style setter for the streaming progress sink.
+    pub fn with_progress(mut self, sink: ProgressSink) -> Self {
+        self.progress = Some(sink);
         self
     }
 

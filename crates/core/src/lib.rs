@@ -47,7 +47,7 @@ pub mod wrappers;
 pub use access_path::{AccessPath, ApBase};
 pub use analysis::{AppAnalysis, Infoflow};
 pub use cg_cache::{CachedSetup, CgCache, CgCacheStats};
-pub use config::InfoflowConfig;
+pub use config::{InfoflowConfig, ProgressEvent, ProgressSink};
 pub use icc::{analyze_app_linked, IccResults};
 pub use intern::{
     ApId, DirectDomain, FactDomain, FactId, InternedDomain, InternedHashDomain, Interner,

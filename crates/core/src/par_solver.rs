@@ -51,6 +51,7 @@ use flowdroid_ifds::{
     WorkStealScheduler, WorkerState, DEFAULT_BATCH, DEFAULT_SHARDS,
 };
 use flowdroid_ir::{fxhash64, FxHashMap, MethodId, Stmt, StmtRef};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Propagation direction of a job.
@@ -120,6 +121,11 @@ pub(crate) struct ParBiSolver<'a, D: ConcurrentKeyDomain<Fact> = IdentityKeys> {
     prov: Vec<Mutex<ProvShard>>,
     /// Persistent end-summary store session, when configured.
     cache: Option<SummaryCacheSession>,
+    /// Leaks recorded so far across all workers. The leak buffers
+    /// themselves stay worker-private until the final merge; this
+    /// counter exists only so streamed progress events can report a
+    /// running total. Never read by the fixpoint.
+    leak_count: AtomicU64,
     /// Cooperative abort token: the caller's
     /// ([`InfoflowConfig::abort`]) when configured, else a private one
     /// that only the propagation budget can trip.
@@ -151,6 +157,7 @@ impl<'a, D: ConcurrentKeyDomain<Fact> + Clone> ParBiSolver<'a, D> {
             sched: WorkStealScheduler::new(DEFAULT_SHARDS, DEFAULT_BATCH),
             prov: (0..PROV_SHARDS).map(|_| Mutex::new(ProvShard::default())).collect(),
             cache,
+            leak_count: AtomicU64::new(0),
             abort: config.abort.clone().unwrap_or_default(),
         }
     }
@@ -164,6 +171,21 @@ impl<'a, D: ConcurrentKeyDomain<Fact>> ParBiSolver<'a, D> {
 
     fn stmt(&self, n: StmtRef) -> &'a Stmt {
         self.flows.stmt(n)
+    }
+
+    /// Delivers a progress snapshot to the configured sink, if any.
+    /// Counter reads are relaxed: events are advisory snapshots, not
+    /// synchronization points.
+    fn emit_progress(&self, new_leak: Option<(u32, String)>) {
+        let Some(sink) = &self.config().progress else { return };
+        sink.emit(&crate::config::ProgressEvent {
+            forward_propagations: self.fw.propagation_count(),
+            backward_propagations: self.bw.propagation_count(),
+            bodies_materialized: self.flows.program().bodies_materialized(),
+            summary_hits: self.cache.as_ref().map_or(0, |c| c.hits_so_far()),
+            leaks: self.leak_count.load(Ordering::Relaxed),
+            new_leak,
+        });
     }
 
     /// Runs the analysis from the given entry methods and collects
@@ -193,6 +215,10 @@ impl<'a, D: ConcurrentKeyDomain<Fact>> ParBiSolver<'a, D> {
                 ctx.since_check += 1;
                 if ctx.since_check >= BUDGET_CHECK_EVERY {
                     ctx.since_check = 0;
+                    // Streaming piggybacks on the budget-poll interval:
+                    // the sink only observes, so streamed runs compute
+                    // the same fixpoint.
+                    self.emit_progress(None);
                     if max > 0 && self.fw.propagation_count() > max {
                         // Budget exhausted: stop every worker; reported
                         // leaks are a lower bound. (Deadline and cancel
@@ -434,6 +460,12 @@ impl<'a, D: ConcurrentKeyDomain<Fact>> ParBiSolver<'a, D> {
         let ctr = self.flows.call_to_return(n, &d2);
         for t in &ctr.leaks {
             ctx.leaks.push((n, *t));
+            if self.config().progress.is_some() {
+                self.leak_count.fetch_add(1, Ordering::Relaxed);
+                let line = crate::results::line_of(self.flows.program(), n);
+                let desc = t.ap.display(self.flows.program(), n.method);
+                self.emit_progress(Some((line, desc)));
+            }
         }
         for g in ctr.alias_gens {
             self.inject_alias_query(ctx, d1, n, &g);

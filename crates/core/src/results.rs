@@ -32,7 +32,7 @@ impl Leak {
     }
 }
 
-fn line_of(program: &Program, s: StmtRef) -> u32 {
+pub(crate) fn line_of(program: &Program, s: StmtRef) -> u32 {
     program.method(s.method).body().map_or(0, |b| b.line(s.idx))
 }
 

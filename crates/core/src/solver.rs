@@ -133,6 +133,10 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
             since_abort_check += 1;
             if since_abort_check >= ABORT_CHECK_EVERY {
                 since_abort_check = 0;
+                // Streaming piggybacks on the abort poll interval: the
+                // sink only observes, so emitting cannot perturb the
+                // fixpoint (streamed and plain runs stay identical).
+                self.emit_progress(None);
                 if let Some(reason) = abort.poll() {
                     self.abort_reason = Some(reason);
                     break;
@@ -155,6 +159,19 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
 
     fn stmt(&self, n: StmtRef) -> &'a Stmt {
         self.flows.stmt(n)
+    }
+
+    /// Delivers a progress snapshot to the configured sink, if any.
+    fn emit_progress(&self, new_leak: Option<(u32, String)>) {
+        let Some(sink) = &self.config().progress else { return };
+        sink.emit(&crate::config::ProgressEvent {
+            forward_propagations: self.fw.propagation_count(),
+            backward_propagations: self.bw.propagation_count(),
+            bodies_materialized: self.program().bodies_materialized(),
+            summary_hits: self.cache.as_ref().map_or(0, |c| c.hits_so_far()),
+            leaks: self.leaks.len() as u64,
+            new_leak,
+        });
     }
 
     /// Records a forward path edge with provenance for path
@@ -383,6 +400,11 @@ impl<'a, D: FactDomain> BiSolver<'a, D> {
         let ctr = self.flows.call_to_return(n, d2f);
         for t in &ctr.leaks {
             self.leaks.push((n, *t));
+            if self.config().progress.is_some() {
+                let line = crate::results::line_of(self.program(), n);
+                let desc = t.ap.display(self.program(), n.method);
+                self.emit_progress(Some((line, desc)));
+            }
         }
         for g in ctr.alias_gens {
             self.inject_alias_query(d1, n, &g);

@@ -50,7 +50,7 @@ use flowdroid_ir::{
     body_fingerprint, fxhash64, FieldId, FxHashMap, FxHashSet, Local, MethodId, Program, StmtRef,
 };
 use flowdroid_summaries::{
-    open_shared, SharedStore, SymAp, SymBase, SymFact, SymField, SymStmt, SymSummary,
+    open_shared_ns, SharedStore, SymAp, SymBase, SymFact, SymField, SymStmt, SymSummary,
 };
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -135,7 +135,13 @@ impl SummaryCacheSession {
         config: &InfoflowConfig,
     ) -> Self {
         let program = icfg.program();
-        let store = open_shared(dir, context_hash(config, sources, wrapper));
+        // The namespace keys a disjoint store; it is *not* part of the
+        // context hash — isolation comes from separate stores.
+        let store = open_shared_ns(
+            dir,
+            &config.cache_namespace,
+            context_hash(config, sources, wrapper),
+        );
         let reachable = icfg.callgraph().reachable_methods();
 
         // Pass 1: per-method body hash, purity, and resolved callees.
@@ -221,6 +227,11 @@ impl SummaryCacheSession {
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
         None
+    }
+
+    /// Hits so far, mid-solve (progress streaming).
+    pub(crate) fn hits_so_far(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// Stages the fixpoint's end summaries of every cacheable method

@@ -27,7 +27,23 @@
 //! than in the data-flow solver, and the lazy frontend must skip at
 //! least one method body, or the binary exits non-zero.
 //!
-//! Usage: `solver_stats [--mode full|service] [output.json]`
+//! `--mode service-load` drives the daemon the way a fleet does: it
+//! attributes warm starts to each storage tier (memory LRU → local
+//! store file → content-addressed chunks) by evicting tiers between
+//! jobs, proves cache-namespace isolation, floods a single-worker
+//! daemon with mixed-priority traffic to compare high- vs
+//! batch-priority latency percentiles, overloads a capped queue until
+//! submissions bounce with `rejected` backpressure, runs a cancel
+//! storm, and replays the corpus with `--stream`-style streaming at 1
+//! and 4 taint threads to prove the streamed final report is
+//! byte-identical to the non-streamed one. Results land in a
+//! `"service_load"` section of the same output file; the binary exits
+//! non-zero if any tier records no warm hit, a foreign namespace sees
+//! another tenant's summaries, high-priority p99 does not beat batch
+//! p99, the overloaded queue rejects nothing, the storm leaves jobs
+//! undrained, or any streamed report diverges.
+//!
+//! Usage: `solver_stats [--mode full|service|service-load] [output.json]`
 //! (default mode `full`, default output `BENCH_solver.json`).
 
 use flowdroid_bench::driver::{corpus_report, full_corpus, run_corpus, CorpusJob, CorpusRun};
@@ -232,14 +248,14 @@ fn main() {
             "--mode" => match args.next() {
                 Some(m) => mode = m,
                 None => {
-                    eprintln!("solver_stats: --mode needs a value (full|service)");
+                    eprintln!("solver_stats: --mode needs a value (full|service|service-load)");
                     std::process::exit(1);
                 }
             },
             other if other.starts_with('-') => {
                 eprintln!(
                     "solver_stats: unknown option `{other}` \
-                     (usage: solver_stats [--mode full|service] [output.json])"
+                     (usage: solver_stats [--mode full|service|service-load] [output.json])"
                 );
                 std::process::exit(1);
             }
@@ -249,8 +265,11 @@ fn main() {
     match mode.as_str() {
         "full" => run_full(&out_path),
         "service" => run_service(&out_path),
+        "service-load" => run_service_load(&out_path),
         other => {
-            eprintln!("solver_stats: unknown mode `{other}` (expected full|service)");
+            eprintln!(
+                "solver_stats: unknown mode `{other}` (expected full|service|service-load)"
+            );
             std::process::exit(1);
         }
     }
@@ -534,6 +553,7 @@ fn run_service(out_path: &str) {
     let daemon = Daemon::bind(DaemonOptions {
         listen: Listen::parse("127.0.0.1:0"),
         workers,
+        queue_cap: 0,
         summary_cache: Some(cache.clone()),
         platform_snapshot: Some(snap_path.clone()),
     })
@@ -681,7 +701,7 @@ fn run_service(out_path: &str) {
     writeln!(section, "    ]").unwrap();
     write!(section, "  }}").unwrap();
 
-    let json = splice_service_section(out_path, &section, &names, cores);
+    let json = splice_tail_section(out_path, "service", &section, names.len(), cores);
     std::fs::write(out_path, &json).expect("write service benchmark");
     eprintln!("wrote {out_path} (service section)");
     eprintln!(
@@ -731,36 +751,457 @@ fn run_service(out_path: &str) {
     }
 }
 
-/// Splices `section` into `out_path` as a final `"service"` key. When
-/// the file already holds a full-mode document its sections (including
-/// `available_cores`) are kept and any previous service section is
-/// replaced; otherwise a minimal standalone document is written.
-fn splice_service_section(
+/// The benchmark sections appended after the full-mode document, in
+/// their fixed emission order.
+const TAIL_KEYS: [&str; 2] = ["service", "service_load"];
+
+/// Splices `section` into `out_path` as the tail key `key`, keeping the
+/// full-mode document (including `available_cores`) and any *other*
+/// tail sections intact — so `--mode service` and `--mode service-load`
+/// can refresh their sections independently. Falls back to a minimal
+/// standalone document when the file is absent.
+fn splice_tail_section(
     out_path: &str,
+    key: &str,
     section: &str,
-    names: &[String],
+    apps: usize,
     cores: usize,
 ) -> String {
-    match std::fs::read_to_string(out_path) {
-        Ok(mut doc) => {
-            if let Some(i) = doc.find(",\n  \"service\":") {
-                // The service section is always appended last: cut it
-                // (and the closing brace it carries) before re-adding.
-                doc.truncate(i);
-            } else {
+    assert!(TAIL_KEYS.contains(&key), "unknown tail section `{key}`");
+    let mut kept: Vec<(&str, String)> = Vec::new();
+    let core = match std::fs::read_to_string(out_path) {
+        Ok(doc) => {
+            let mut marks: Vec<(usize, &str)> = TAIL_KEYS
+                .iter()
+                .filter_map(|k| doc.find(&format!(",\n  \"{k}\":")).map(|i| (i, *k)))
+                .collect();
+            marks.sort_unstable();
+            // The end of the last section body: the document's final
+            // closing brace, trailing whitespace stripped.
+            let doc_end = {
                 let end = doc.trim_end().len();
                 assert!(
                     doc[..end].ends_with('}'),
                     "{out_path} does not look like a solver_stats document"
                 );
-                doc.truncate(end - 1);
-                doc.truncate(doc.trim_end().len());
+                doc[..end - 1].trim_end().len()
+            };
+            for (j, (pos, k)) in marks.iter().enumerate() {
+                let body_start = pos + format!(",\n  \"{k}\":").len();
+                let body_end = marks.get(j + 1).map_or(doc_end, |(p, _)| *p);
+                kept.push((k, doc[body_start..body_end].trim().to_string()));
             }
-            format!("{doc},\n  \"service\": {section}\n}}\n")
+            let cut = marks.first().map_or(doc_end, |(i, _)| *i);
+            doc[..cut].to_string()
         }
         Err(_) => format!(
-            "{{\n  \"corpus\": {{ \"apps\": {} }},\n  \"available_cores\": {cores},\n  \"service\": {section}\n}}\n",
-            names.len()
+            "{{\n  \"corpus\": {{ \"apps\": {apps} }},\n  \"available_cores\": {cores}"
         ),
+    };
+    let mut out = core;
+    for k in TAIL_KEYS {
+        let body = if k == key {
+            Some(section.trim_start().to_string())
+        } else {
+            kept.iter().find(|(kk, _)| *kk == k).map(|(_, b)| b.clone())
+        };
+        if let Some(b) = body {
+            out.push_str(&format!(",\n  \"{k}\": {b}"));
+        }
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// `--mode service-load`: the fleet-style load generator. See the
+/// module docs for the phase list and gates.
+fn run_service_load(out_path: &str) {
+    use flowdroid_service::{AnalyzeOptions, AnalyzeOutcome, Priority, Submitted};
+    use std::path::PathBuf;
+    use std::time::{Duration, Instant};
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let names: Vec<String> = full_corpus().into_iter().map(|j| j.name).collect();
+
+    let snap_path = std::env::temp_dir()
+        .join(format!("flowdroid-load-platform-{}.fdps", std::process::id()));
+    flowdroid_android::save_snapshot(&snap_path, &flowdroid_android::build_snapshot())
+        .expect("save platform snapshot");
+
+    let bind = |workers: usize, queue_cap: usize, cache: Option<PathBuf>| {
+        let daemon = Daemon::bind(DaemonOptions {
+            listen: Listen::parse("127.0.0.1:0"),
+            workers,
+            queue_cap,
+            summary_cache: cache,
+            platform_snapshot: Some(snap_path.clone()),
+        })
+        .expect("bind daemon");
+        let addr = daemon.local_addr().to_string();
+        let h = std::thread::spawn(move || daemon.run().expect("daemon run"));
+        (addr, h)
+    };
+    let stop = |addr: &str, h: std::thread::JoinHandle<()>| {
+        let mut c = Client::connect(addr).expect("control connection");
+        c.shutdown().expect("shutdown");
+        h.join().expect("accept loop exits cleanly");
+    };
+    let analyze = |addr: &str, app: &str, opts: &AnalyzeOptions| -> JobResult {
+        let mut c = Client::connect(addr).expect("connect");
+        match c.analyze_with(app, opts, &mut |_| {}).expect("job") {
+            AnalyzeOutcome::Done { result, .. } => result,
+            AnalyzeOutcome::Rejected { .. } => panic!("unbounded queue must not reject"),
+        }
+    };
+    let pct = |sorted: &[f64], p: f64| -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        sorted[(((sorted.len() - 1) as f64) * p).round() as usize]
+    };
+
+    // ---- Phase T: per-tier warm-start attribution + namespaces ----
+    // The daemon runs in-process, so the process-global summaries
+    // registry can be manipulated directly between jobs: releasing the
+    // decoded store forces the next job's open back through the tier
+    // stack, and evicting tiers top-down attributes each warm start to
+    // exactly one tier.
+    eprintln!("service-load: tier attribution (memory -> local -> chunk) ...");
+    let cache =
+        std::env::temp_dir().join(format!("flowdroid-load-tiers-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+    let (addr, h) = bind(2, 0, Some(cache.clone()));
+    let base_opts = AnalyzeOptions::default();
+    let tier_hits = |name: &str| -> u64 {
+        flowdroid_summaries::tier_stats(&cache)
+            .iter()
+            .find(|t| t.name == name)
+            .map_or(0, |t| t.stats.hits)
+    };
+    let tier_promotions = || -> u64 {
+        flowdroid_summaries::tier_stats(&cache).iter().map(|t| t.stats.promotions).sum()
+    };
+    let cold = analyze(&addr, "insecurebank", &base_opts);
+
+    let m0 = tier_hits("memory");
+    flowdroid_summaries::release_dir(&cache).expect("release store");
+    let warm_memory = analyze(&addr, "insecurebank", &base_opts);
+    let memory_hits = tier_hits("memory") - m0;
+
+    let l0 = tier_hits("local");
+    flowdroid_summaries::release_dir(&cache).expect("release store");
+    flowdroid_summaries::clear_memory_tier(&cache);
+    let warm_local = analyze(&addr, "insecurebank", &base_opts);
+    let local_hits = tier_hits("local") - l0;
+
+    let c0 = tier_hits("chunk");
+    let p0 = tier_promotions();
+    flowdroid_summaries::release_dir(&cache).expect("release store");
+    flowdroid_summaries::clear_memory_tier(&cache);
+    let local_file = flowdroid_summaries::local_store_dir(&cache, "")
+        .join(flowdroid_summaries::STORE_FILE_NAME);
+    std::fs::remove_file(&local_file).expect("evict local store file");
+    let warm_chunk = analyze(&addr, "insecurebank", &base_opts);
+    let chunk_hits = tier_hits("chunk") - c0;
+    let chunk_promotions = tier_promotions() - p0;
+
+    let foreign_opts =
+        AnalyzeOptions { namespace: "tenant-b".to_string(), ..Default::default() };
+    let foreign = analyze(&addr, "insecurebank", &foreign_opts);
+    let namespace_cold_hits = foreign.summary_hits;
+
+    let mut ctl = Client::connect(&addr).expect("control connection");
+    let t_stats = ctl.stats().expect("stats");
+    let store_tiers_reported = t_stats.get("store_tiers").is_some();
+    drop(ctl);
+    stop(&addr, h);
+    let _ = std::fs::remove_dir_all(&cache);
+    let tier_reports_identical = [&warm_memory, &warm_local, &warm_chunk, &foreign]
+        .iter()
+        .all(|r| r.report == cold.report);
+    let all_tiers_hit = memory_hits > 0 && local_hits > 0 && chunk_hits > 0;
+    eprintln!(
+        "service-load: tier hits memory={memory_hits} local={local_hits} chunk={chunk_hits} \
+         (chunk promotions {chunk_promotions}), tenant-b cold hits {namespace_cold_hits}"
+    );
+
+    // ---- Phase L1: mixed-priority latency on a single worker ----
+    eprintln!("service-load: mixed-priority latency (1 worker, 8 batch + 4 high) ...");
+    let (addr, h) = bind(1, 0, None);
+    let timed = |addr: String, prio: Priority| -> std::thread::JoinHandle<f64> {
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).expect("connect");
+            let opts = AnalyzeOptions { priority: prio, ..Default::default() };
+            let t0 = Instant::now();
+            match c.analyze_with("stress/2500", &opts, &mut |_| {}).expect("job") {
+                AnalyzeOutcome::Done { .. } => t0.elapsed().as_secs_f64() * 1e3,
+                AnalyzeOutcome::Rejected { .. } => panic!("unbounded queue must not reject"),
+            }
+        })
+    };
+    let batch_handles: Vec<_> = (0..8).map(|_| timed(addr.clone(), Priority::Batch)).collect();
+    // Let the batch jobs enqueue first, then inject the high-priority
+    // traffic they must not starve.
+    std::thread::sleep(Duration::from_millis(30));
+    let high_handles: Vec<_> = (0..4).map(|_| timed(addr.clone(), Priority::High)).collect();
+    let mut batch_ms: Vec<f64> =
+        batch_handles.into_iter().map(|h| h.join().expect("batch job")).collect();
+    let mut high_ms: Vec<f64> =
+        high_handles.into_iter().map(|h| h.join().expect("high job")).collect();
+    stop(&addr, h);
+    batch_ms.sort_by(f64::total_cmp);
+    high_ms.sort_by(f64::total_cmp);
+    let (high_p50, high_p99) = (pct(&high_ms, 0.50), pct(&high_ms, 0.99));
+    let (batch_p50, batch_p99) = (pct(&batch_ms, 0.50), pct(&batch_ms, 0.99));
+    let batch_completed = batch_ms.len();
+    eprintln!(
+        "service-load: high p50/p99 {high_p50:.1}/{high_p99:.1} ms, \
+         batch p50/p99 {batch_p50:.1}/{batch_p99:.1} ms"
+    );
+
+    // ---- Phase L2: overload against a capped queue ----
+    eprintln!("service-load: overload (1 worker, queue cap 4, 20 submissions) ...");
+    let (addr, h) = bind(1, 4, None);
+    let overload_opts = AnalyzeOptions { deadline_ms: Some(3000), ..Default::default() };
+    let mut inflight = Vec::new();
+    let mut rejected = 0u64;
+    for _ in 0..20 {
+        let mut c = Client::connect(&addr).expect("connect");
+        match c.submit("stress/2000", &overload_opts).expect("submit") {
+            Submitted::Queued(_) => inflight.push((Instant::now(), c)),
+            Submitted::Rejected { queue_cap, .. } => {
+                assert_eq!(queue_cap, 4, "rejected line carries the daemon's cap");
+                rejected += 1;
+            }
+        }
+    }
+    let accepted = inflight.len();
+    let mut overload_ms: Vec<f64> = inflight
+        .into_iter()
+        .map(|(t0, mut c)| {
+            let line = c.read_response().expect("result line");
+            JobResult::from_json(&line).expect("well-formed result");
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    overload_ms.sort_by(f64::total_cmp);
+    let overload_p99 = pct(&overload_ms, 0.99);
+    let mut ctl = Client::connect(&addr).expect("control connection");
+    let o_stats = ctl.stats().expect("stats");
+    let stats_rejected = o_stats.u64_field("rejected").unwrap_or(0);
+    drop(ctl);
+    stop(&addr, h);
+    eprintln!(
+        "service-load: {accepted} accepted, {rejected} rejected \
+         (daemon counted {stats_rejected}), accepted p99 {overload_p99:.1} ms"
+    );
+
+    // ---- Phase C: cancel storm ----
+    eprintln!("service-load: cancel storm (10 jobs, 8 cancelled) ...");
+    let (addr, h) = bind(2, 0, None);
+    let lanes = [Priority::High, Priority::Normal, Priority::Batch];
+    let mut pending = Vec::new();
+    for i in 0..10 {
+        let mut c = Client::connect(&addr).expect("connect");
+        let opts = AnalyzeOptions {
+            deadline_ms: Some(10_000),
+            priority: lanes[i % lanes.len()],
+            ..Default::default()
+        };
+        match c.submit("stress/3000", &opts).expect("submit") {
+            Submitted::Queued(id) => pending.push((id, c)),
+            Submitted::Rejected { .. } => panic!("unbounded queue must not reject"),
+        }
+    }
+    let mut canceller = Client::connect(&addr).expect("cancel connection");
+    for (id, _) in &pending[..8] {
+        canceller.cancel(*id).expect("cancel");
+    }
+    let t0 = Instant::now();
+    for (_, mut c) in pending {
+        let line = c.read_response().expect("result line");
+        JobResult::from_json(&line).expect("well-formed result");
+    }
+    let storm_drain_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let s_stats = canceller.stats().expect("stats");
+    let storm_completed = s_stats.u64_field("completed").unwrap_or(0);
+    let storm_cancel_requests = s_stats.u64_field("cancel_requests").unwrap_or(0);
+    let storm_queue_depth = s_stats.u64_field("queue_depth").unwrap_or(u64::MAX);
+    drop(canceller);
+    stop(&addr, h);
+    eprintln!(
+        "service-load: storm drained in {storm_drain_ms:.0} ms \
+         ({storm_completed} done, {storm_cancel_requests} cancel requests)"
+    );
+
+    // ---- Phase S: streaming identity across the corpus ----
+    eprintln!(
+        "service-load: streaming identity across {} apps at 1 and 4 taint threads ...",
+        names.len()
+    );
+    let (addr, h) = bind(2, 0, None);
+    let mut c = Client::connect(&addr).expect("connect");
+    let mut progress_frames = 0u64;
+    let mut leak_frames = 0u64;
+    let mut stream_divergences = 0u64;
+    for name in &names {
+        let baseline = match c
+            .analyze_with(name, &AnalyzeOptions::default(), &mut |_| {})
+            .expect("baseline job")
+        {
+            AnalyzeOutcome::Done { result, .. } => result,
+            AnalyzeOutcome::Rejected { .. } => panic!("unbounded queue must not reject"),
+        };
+        for threads in [1u64, 4] {
+            let opts = AnalyzeOptions {
+                stream: true,
+                taint_threads: Some(threads),
+                ..Default::default()
+            };
+            let streamed = match c
+                .analyze_with(name, &opts, &mut |frame| match frame.str_field("type") {
+                    Some("progress") => progress_frames += 1,
+                    Some("leak") => leak_frames += 1,
+                    other => panic!("unexpected frame type {other:?}"),
+                })
+                .expect("streamed job")
+            {
+                AnalyzeOutcome::Done { result, .. } => result,
+                AnalyzeOutcome::Rejected { .. } => panic!("unbounded queue must not reject"),
+            };
+            if streamed.report != baseline.report {
+                stream_divergences += 1;
+                eprintln!(
+                    "service-load: STREAM DIVERGENCE on {name} at {threads} taint thread(s)"
+                );
+            }
+        }
+    }
+    drop(c);
+    stop(&addr, h);
+    let _ = std::fs::remove_file(&snap_path);
+    eprintln!(
+        "service-load: {} streamed runs, {progress_frames} progress + {leak_frames} leak \
+         frames, {stream_divergences} divergence(s)",
+        names.len() * 2
+    );
+
+    // ---- Emit the section and enforce the gates ----
+    let mut section = String::new();
+    writeln!(section, "{{").unwrap();
+    writeln!(section, "    \"tiers\": {{").unwrap();
+    writeln!(section, "      \"cold_summary_hits\": {},", cold.summary_hits).unwrap();
+    writeln!(section, "      \"memory_tier_hits\": {memory_hits},").unwrap();
+    writeln!(section, "      \"local_tier_hits\": {local_hits},").unwrap();
+    writeln!(section, "      \"chunk_tier_hits\": {chunk_hits},").unwrap();
+    writeln!(section, "      \"chunk_promotions\": {chunk_promotions},").unwrap();
+    writeln!(section, "      \"warm_memory_summary_hits\": {},", warm_memory.summary_hits)
+        .unwrap();
+    writeln!(section, "      \"warm_local_summary_hits\": {},", warm_local.summary_hits)
+        .unwrap();
+    writeln!(section, "      \"warm_chunk_summary_hits\": {},", warm_chunk.summary_hits)
+        .unwrap();
+    writeln!(section, "      \"namespace_cold_hits\": {namespace_cold_hits},").unwrap();
+    writeln!(section, "      \"store_tiers_reported\": {store_tiers_reported},").unwrap();
+    writeln!(section, "      \"reports_identical\": {tier_reports_identical}").unwrap();
+    writeln!(section, "    }},").unwrap();
+    writeln!(section, "    \"latency\": {{").unwrap();
+    writeln!(section, "      \"workers\": 1,").unwrap();
+    writeln!(section, "      \"high_jobs\": {},", high_ms.len()).unwrap();
+    writeln!(section, "      \"batch_jobs\": 8,").unwrap();
+    writeln!(section, "      \"batch_completed\": {batch_completed},").unwrap();
+    writeln!(section, "      \"high_p50_ms\": {high_p50:.3},").unwrap();
+    writeln!(section, "      \"high_p99_ms\": {high_p99:.3},").unwrap();
+    writeln!(section, "      \"batch_p50_ms\": {batch_p50:.3},").unwrap();
+    writeln!(section, "      \"batch_p99_ms\": {batch_p99:.3},").unwrap();
+    writeln!(section, "      \"high_p99_below_batch_p99\": {}", high_p99 < batch_p99)
+        .unwrap();
+    writeln!(section, "    }},").unwrap();
+    writeln!(section, "    \"overload\": {{").unwrap();
+    writeln!(section, "      \"workers\": 1,").unwrap();
+    writeln!(section, "      \"queue_cap\": 4,").unwrap();
+    writeln!(section, "      \"submitted\": 20,").unwrap();
+    writeln!(section, "      \"accepted\": {accepted},").unwrap();
+    writeln!(section, "      \"rejected\": {rejected},").unwrap();
+    writeln!(section, "      \"stats_rejected\": {stats_rejected},").unwrap();
+    writeln!(section, "      \"accepted_p99_ms\": {overload_p99:.3}").unwrap();
+    writeln!(section, "    }},").unwrap();
+    writeln!(section, "    \"cancel_storm\": {{").unwrap();
+    writeln!(section, "      \"jobs\": 10,").unwrap();
+    writeln!(section, "      \"cancelled\": 8,").unwrap();
+    writeln!(section, "      \"completed\": {storm_completed},").unwrap();
+    writeln!(section, "      \"cancel_requests\": {storm_cancel_requests},").unwrap();
+    writeln!(section, "      \"queue_depth_after\": {storm_queue_depth},").unwrap();
+    writeln!(section, "      \"drain_ms\": {storm_drain_ms:.3}").unwrap();
+    writeln!(section, "    }},").unwrap();
+    writeln!(section, "    \"streaming\": {{").unwrap();
+    writeln!(section, "      \"apps\": {},", names.len()).unwrap();
+    writeln!(section, "      \"streamed_runs\": {},", names.len() * 2).unwrap();
+    writeln!(section, "      \"progress_frames\": {progress_frames},").unwrap();
+    writeln!(section, "      \"leak_frames\": {leak_frames},").unwrap();
+    writeln!(section, "      \"divergences\": {stream_divergences},").unwrap();
+    writeln!(section, "      \"reports_identical\": {}", stream_divergences == 0).unwrap();
+    writeln!(section, "    }}").unwrap();
+    write!(section, "  }}").unwrap();
+
+    let json = splice_tail_section(out_path, "service_load", &section, names.len(), cores);
+    std::fs::write(out_path, &json).expect("write service-load benchmark");
+    eprintln!("wrote {out_path} (service_load section)");
+
+    let mut failed = false;
+    let mut fail = |msg: &str| {
+        eprintln!("FAIL: {msg}");
+        failed = true;
+    };
+    if cold.summary_hits != 0 {
+        fail("tier phase: the cold job saw summary hits");
+    }
+    if !all_tiers_hit {
+        fail("tier phase: a storage tier recorded no warm hit");
+    }
+    if warm_memory.summary_hits == 0
+        || warm_local.summary_hits == 0
+        || warm_chunk.summary_hits == 0
+    {
+        fail("tier phase: a warm job replayed no summaries");
+    }
+    if namespace_cold_hits != 0 {
+        fail("tier phase: a foreign namespace observed another tenant's summaries");
+    }
+    if !store_tiers_reported {
+        fail("tier phase: daemon stats carry no store_tiers section");
+    }
+    if !tier_reports_identical {
+        fail("tier phase: a warm or foreign-namespace report diverged");
+    }
+    if batch_completed != 8 {
+        fail("latency phase: batch jobs starved under high-priority traffic");
+    }
+    if high_p99 >= batch_p99 {
+        fail("latency phase: high-priority p99 is not below batch p99");
+    }
+    if rejected == 0 {
+        fail("overload phase: a full queue rejected nothing");
+    }
+    if stats_rejected != rejected {
+        fail("overload phase: daemon rejection counter disagrees with the client");
+    }
+    if !overload_p99.is_finite() {
+        fail("overload phase: accepted-job p99 is not finite");
+    }
+    if storm_completed != 10 || storm_queue_depth != 0 {
+        fail("cancel storm: jobs left undrained");
+    }
+    if storm_cancel_requests != 8 {
+        fail("cancel storm: cancel-request counter did not reconcile");
+    }
+    if progress_frames == 0 || leak_frames == 0 {
+        fail("streaming phase: no frames observed");
+    }
+    if stream_divergences != 0 {
+        fail("streaming phase: a streamed report diverged from the non-streamed run");
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

@@ -2,8 +2,75 @@
 
 use crate::json::{self, Json};
 use crate::net::{connect, Conn, Listen};
-use crate::proto::{JobResult, Request};
+use crate::proto::{AnalyzeRequest, JobResult, Priority, Request};
 use std::io::{self, BufRead, BufReader, Write};
+
+/// Per-submission knobs beyond the app name. `Default` matches the
+/// wire defaults: no deadline, no budget, sequential taint engine,
+/// normal priority, shared cache namespace, no streaming.
+#[derive(Clone, Debug, Default)]
+pub struct AnalyzeOptions {
+    /// Wall-clock deadline in milliseconds (None = unbounded).
+    pub deadline_ms: Option<u64>,
+    /// Propagation budget (None = unbounded).
+    pub max_propagations: Option<u64>,
+    /// Taint worker threads (None = sequential solver).
+    pub taint_threads: Option<u64>,
+    /// Admission lane.
+    pub priority: Priority,
+    /// Summary-cache namespace ("" = the shared default namespace).
+    pub namespace: String,
+    /// Request `progress`/`leak` frames before the result line.
+    pub stream: bool,
+}
+
+impl AnalyzeOptions {
+    fn to_request(&self, app: &str) -> AnalyzeRequest {
+        AnalyzeRequest {
+            app: app.to_string(),
+            deadline_ms: self.deadline_ms,
+            max_propagations: self.max_propagations,
+            taint_threads: self.taint_threads,
+            priority: self.priority,
+            namespace: self.namespace.clone(),
+            stream: self.stream,
+        }
+    }
+}
+
+/// The daemon's immediate answer to a submission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Submitted {
+    /// Accepted; the job id from the `queued` line.
+    Queued(u64),
+    /// Refused by admission control (backpressure) — nothing was
+    /// enqueued and no job id was allocated. Retry later.
+    Rejected {
+        /// Waiting jobs at refusal time.
+        queue_depth: u64,
+        /// The daemon's configured cap.
+        queue_cap: u64,
+    },
+}
+
+/// Final outcome of a blocking [`Client::analyze_with`] call.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AnalyzeOutcome {
+    /// The job ran; its id and result.
+    Done {
+        /// The job id.
+        job: u64,
+        /// The terminal result line.
+        result: JobResult,
+    },
+    /// Refused by admission control; see [`Submitted::Rejected`].
+    Rejected {
+        /// Waiting jobs at refusal time.
+        queue_depth: u64,
+        /// The daemon's configured cap.
+        queue_cap: u64,
+    },
+}
 
 /// One connection to a daemon.
 pub struct Client {
@@ -26,7 +93,7 @@ impl Client {
     }
 
     /// Reads and parses one response line. `error` responses become
-    /// `io::Error`s.
+    /// `io::Error`s; `rejected` lines pass through as [`Json`].
     pub fn read_response(&mut self) -> io::Result<Json> {
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
@@ -47,9 +114,63 @@ impl Client {
         self.read_response()
     }
 
+    /// Submits a job and reads the immediate `queued`-or-`rejected`
+    /// answer *without* waiting for the result. When queued, any
+    /// streamed frames and the result line stay pending on this
+    /// connection; read them with [`Client::read_response`].
+    pub fn submit(&mut self, app: &str, opts: &AnalyzeOptions) -> io::Result<Submitted> {
+        self.send(&Request::Analyze(opts.to_request(app)))?;
+        let first = self.read_response()?;
+        match first.str_field("type") {
+            Some("queued") => {
+                let id = first.u64_field("job").ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "missing job id")
+                })?;
+                Ok(Submitted::Queued(id))
+            }
+            Some("rejected") => Ok(Submitted::Rejected {
+                queue_depth: first.u64_field("queue_depth").unwrap_or(0),
+                queue_cap: first.u64_field("queue_cap").unwrap_or(0),
+            }),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected reply to analyze: {other:?}"),
+            )),
+        }
+    }
+
+    /// Submits a job and blocks until its result, passing every
+    /// intermediate frame (`progress`, `leak`) to `on_frame`. With
+    /// `opts.stream == false` no frames arrive and `on_frame` is never
+    /// called. (Use a second connection for `cancel` or `stats` while
+    /// this blocks.)
+    pub fn analyze_with(
+        &mut self,
+        app: &str,
+        opts: &AnalyzeOptions,
+        on_frame: &mut dyn FnMut(&Json),
+    ) -> io::Result<AnalyzeOutcome> {
+        let job = match self.submit(app, opts)? {
+            Submitted::Rejected { queue_depth, queue_cap } => {
+                return Ok(AnalyzeOutcome::Rejected { queue_depth, queue_cap })
+            }
+            Submitted::Queued(id) => id,
+        };
+        loop {
+            let v = self.read_response()?;
+            if v.str_field("type") == Some("result") {
+                let result = JobResult::from_json(&v).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "malformed result line")
+                })?;
+                return Ok(AnalyzeOutcome::Done { job, result });
+            }
+            on_frame(&v);
+        }
+    }
+
     /// Submits an analysis job and blocks until its result; returns the
-    /// job id and the result. (Use a second connection for `cancel` or
-    /// `stats` while this blocks.)
+    /// job id and the result. Rejection (only possible when the daemon
+    /// runs with a finite queue cap) surfaces as an `io::Error`.
     pub fn analyze(
         &mut self,
         app: &str,
@@ -57,21 +178,13 @@ impl Client {
         max_propagations: Option<u64>,
         taint_threads: Option<u64>,
     ) -> io::Result<(u64, JobResult)> {
-        self.send(&Request::Analyze {
-            app: app.to_string(),
-            deadline_ms,
-            max_propagations,
-            taint_threads,
-        })?;
-        let queued = self.read_response()?;
-        let id = queued
-            .u64_field("job")
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing job id"))?;
-        let result = self.read_response()?;
-        let result = JobResult::from_json(&result).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, "malformed result line")
-        })?;
-        Ok((id, result))
+        let opts = AnalyzeOptions { deadline_ms, max_propagations, taint_threads, ..Default::default() };
+        match self.analyze_with(app, &opts, &mut |_| {})? {
+            AnalyzeOutcome::Done { job, result } => Ok((job, result)),
+            AnalyzeOutcome::Rejected { queue_depth, queue_cap } => Err(io::Error::other(format!(
+                "daemon rejected job: queue full ({queue_depth}/{queue_cap})"
+            ))),
+        }
     }
 
     /// Submits an analysis job and returns its id *without* waiting for
@@ -84,15 +197,13 @@ impl Client {
         max_propagations: Option<u64>,
         taint_threads: Option<u64>,
     ) -> io::Result<u64> {
-        self.send(&Request::Analyze {
-            app: app.to_string(),
-            deadline_ms,
-            max_propagations,
-            taint_threads,
-        })?;
-        self.read_response()?
-            .u64_field("job")
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing job id"))
+        let opts = AnalyzeOptions { deadline_ms, max_propagations, taint_threads, ..Default::default() };
+        match self.submit(app, &opts)? {
+            Submitted::Queued(id) => Ok(id),
+            Submitted::Rejected { queue_depth, queue_cap } => Err(io::Error::other(format!(
+                "daemon rejected job: queue full ({queue_depth}/{queue_cap})"
+            ))),
+        }
     }
 
     /// Cancels a job (by id from `analyze`'s `queued` line).

@@ -28,10 +28,22 @@
 //!
 //! * the **accept loop** ([`Daemon::run`]) spawns one thread per
 //!   connection;
-//! * `analyze` requests enqueue a job id on an `mpsc` channel consumed
-//!   by `workers` pool threads (each job runs to completion on one
-//!   worker; the job's own solver may use further threads via
-//!   `taint_threads`);
+//! * `analyze` requests enqueue on a bounded three-lane **priority
+//!   queue** (`high`/`normal`/`batch`) consumed by `workers` pool
+//!   threads (each job runs to completion on one worker; the job's own
+//!   solver may use further threads via `taint_threads`). Workers
+//!   dequeue high before normal before batch, but after
+//!   [`AGING_STREAK`] consecutive non-batch picks a waiting batch job
+//!   is served first, so saturating interactive traffic cannot starve
+//!   bulk work. When [`DaemonOptions::queue_cap`] jobs are already
+//!   waiting, further `analyze` requests are rejected with a typed
+//!   `rejected` reply (backpressure) instead of being buffered without
+//!   bound;
+//! * with `"stream":true`, the connection handler relays the solver's
+//!   [`ProgressEvent`]s as throttled `progress` frames and immediate
+//!   `leak` frames while the job runs; the sink is purely
+//!   observational, so the final `result` line is byte-identical to a
+//!   non-streamed run;
 //! * each job carries an [`AbortHandle`] created at submission —
 //!   `deadline_ms` arms its wall-clock deadline, `cancel` requests trip
 //!   it from any connection, and the propagation budget trips it from
@@ -46,16 +58,26 @@
 
 use crate::json::{obj, Json};
 use crate::net::{connect, Conn, Listen, Listener};
-use crate::proto::{error_line, JobResult, Request};
+use crate::proto::{error_line, rejected_line, AnalyzeRequest, JobResult, Priority, Request};
 use flowdroid_android::{build_snapshot, load_snapshot, PlatformSnapshot};
 use flowdroid_bench::{find_job, run_single_lazy, CorpusJob};
-use flowdroid_core::{flush_summary_cache, AbortHandle, CgCache, InfoflowConfig};
+use flowdroid_core::{
+    flush_summary_cache, AbortHandle, CgCache, InfoflowConfig, ProgressEvent, ProgressSink,
+};
+use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Default admission-queue bound (waiting jobs, not running ones).
+pub const DEFAULT_QUEUE_CAP: usize = 1024;
+
+/// Consecutive non-batch dequeues after which a waiting batch job is
+/// served before further high/normal work (anti-starvation aging).
+const AGING_STREAK: u32 = 4;
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -72,12 +94,86 @@ pub struct DaemonOptions {
     /// the eager in-process build (the daemon still starts, just
     /// slower). `None` always builds eagerly.
     pub platform_snapshot: Option<PathBuf>,
+    /// Maximum number of *waiting* jobs across all priority lanes;
+    /// submissions beyond it get a typed `rejected` reply. `0` means
+    /// unbounded (no admission control).
+    pub queue_cap: usize,
 }
 
 impl DaemonOptions {
     /// Options for the given address with defaults otherwise.
     pub fn new(listen: Listen) -> DaemonOptions {
-        DaemonOptions { listen, workers: 0, summary_cache: None, platform_snapshot: None }
+        DaemonOptions {
+            listen,
+            workers: 0,
+            summary_cache: None,
+            platform_snapshot: None,
+            queue_cap: DEFAULT_QUEUE_CAP,
+        }
+    }
+}
+
+/// The bounded three-lane priority queue feeding the worker pool.
+struct PrioQueue {
+    inner: Mutex<QueueInner>,
+    /// Notified on push and on close.
+    ready: Condvar,
+}
+
+#[derive(Default)]
+struct QueueInner {
+    /// One FIFO lane per [`Priority`], indexed by [`Priority::lane`].
+    lanes: [VecDeque<(u64, CorpusJob)>; 3],
+    /// Closed queues accept no pushes; pops drain what remains.
+    closed: bool,
+    /// Consecutive high/normal dequeues since the last batch dequeue.
+    non_batch_streak: u32,
+}
+
+impl PrioQueue {
+    fn new() -> PrioQueue {
+        PrioQueue { inner: Mutex::new(QueueInner::default()), ready: Condvar::new() }
+    }
+
+    fn depth(inner: &QueueInner) -> usize {
+        inner.lanes.iter().map(VecDeque::len).sum()
+    }
+
+    /// Blocks until a job is available (priority order with batch
+    /// aging) or the queue is closed *and* drained.
+    fn pop(&self) -> Option<(u64, CorpusJob)> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if Self::depth(&inner) == 0 {
+                if inner.closed {
+                    return None;
+                }
+                inner = self.ready.wait(inner).unwrap();
+                continue;
+            }
+            let batch_due =
+                !inner.lanes[2].is_empty() && inner.non_batch_streak >= AGING_STREAK;
+            let lane = if batch_due {
+                2
+            } else if !inner.lanes[0].is_empty() {
+                0
+            } else if !inner.lanes[1].is_empty() {
+                1
+            } else {
+                2
+            };
+            if lane == 2 {
+                inner.non_batch_streak = 0;
+            } else {
+                inner.non_batch_streak += 1;
+            }
+            return inner.lanes[lane].pop_front();
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.ready.notify_all();
     }
 }
 
@@ -99,10 +195,12 @@ impl JobState {
 }
 
 /// Per-job solver knobs from the `analyze` request.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct JobSpec {
     max_propagations: u64,
     taint_threads: usize,
+    priority: Priority,
+    namespace: String,
 }
 
 struct JobEntry {
@@ -113,6 +211,10 @@ struct JobEntry {
     submitted: Instant,
     queue_ms: u64,
     cancel_requested: bool,
+    /// Streaming sink handed to the worker when the job starts; the
+    /// worker takes it (even for skipped jobs) so the relay's channel
+    /// disconnects once no more events can arrive.
+    progress: Option<ProgressSink>,
     result: Option<JobResult>,
 }
 
@@ -124,6 +226,10 @@ struct Inner {
     /// its reply; [`Daemon::run`] must not return — and thus let the
     /// process exit — before the requester has been answered.
     shutdown_replied: bool,
+    /// Submissions rejected by admission control.
+    rejected: u64,
+    /// Accepted submissions per priority lane.
+    submitted: [u64; 3],
     /// Scheduler counters summed over completed parallel jobs.
     sched_pushed: u64,
     sched_claims: u64,
@@ -134,8 +240,10 @@ struct Shared {
     inner: Mutex<Inner>,
     /// Notified whenever a job reaches `Done`.
     done: Condvar,
-    /// `None` once shutdown began: no further submissions.
-    sender: Mutex<Option<mpsc::Sender<(u64, CorpusJob)>>>,
+    /// The admission queue feeding the worker pool.
+    queue: PrioQueue,
+    /// Waiting-job bound ([`DaemonOptions::queue_cap`]; 0 = unbounded).
+    queue_cap: usize,
     /// Set before the accept loop is woken for the last time.
     stop_accept: AtomicBool,
     summary_cache: Option<PathBuf>,
@@ -189,11 +297,11 @@ impl Daemon {
             None => (build_snapshot(), "built"),
         };
         let snapshot_load_ms = load_start.elapsed().as_millis() as u64;
-        let (tx, rx) = mpsc::channel::<(u64, CorpusJob)>();
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner::default()),
             done: Condvar::new(),
-            sender: Mutex::new(Some(tx)),
+            queue: PrioQueue::new(),
+            queue_cap: opts.queue_cap,
             stop_accept: AtomicBool::new(false),
             summary_cache: opts.summary_cache,
             snapshot: Arc::new(snapshot),
@@ -206,12 +314,10 @@ impl Daemon {
             workers,
             started: Instant::now(),
         });
-        let rx = Arc::new(Mutex::new(rx));
         let pool = (0..workers)
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                let rx = Arc::clone(&rx);
-                std::thread::spawn(move || worker_loop(&shared, &rx))
+                std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
         Ok(Daemon { listener, shared, workers: pool })
@@ -258,21 +364,16 @@ impl Daemon {
 
 // ================= worker pool =================
 
-fn worker_loop(shared: &Shared, rx: &Mutex<mpsc::Receiver<(u64, CorpusJob)>>) {
-    loop {
-        // Hold the receiver lock only for the blocking claim, not while
-        // running the job.
-        let claimed = { rx.lock().unwrap().recv() };
-        let Ok((id, job)) = claimed else {
-            return; // queue closed and drained: shutdown
-        };
+fn worker_loop(shared: &Shared) {
+    // `pop` blocks priority-aware; `None` means closed and drained.
+    while let Some((id, job)) = shared.queue.pop() {
         run_one(shared, id, &job);
     }
 }
 
 fn run_one(shared: &Shared, id: u64, job: &CorpusJob) {
     let idx = (id - 1) as usize;
-    let (abort, spec, app, queue_ms, skip) = {
+    let (abort, spec, app, queue_ms, progress, skip) = {
         let mut inner = shared.inner.lock().unwrap();
         let e = &mut inner.jobs[idx];
         e.queue_ms = e.submitted.elapsed().as_millis() as u64;
@@ -280,10 +381,13 @@ fn run_one(shared: &Shared, id: u64, job: &CorpusJob) {
         // A cancel — or a deadline that already passed — while the job
         // sat in the queue aborts it without running the solver at all.
         let skip = e.abort.poll().is_some();
-        (e.abort.clone(), e.spec, e.app.clone(), e.queue_ms, skip)
+        // Take the streaming sink even when skipping: dropping it is
+        // what tells the relay no more events can arrive.
+        (e.abort.clone(), e.spec.clone(), e.app.clone(), e.queue_ms, e.progress.take(), skip)
     };
     let mut sched = None;
     let result = if skip {
+        drop(progress);
         JobResult {
             job: id,
             app,
@@ -296,6 +400,8 @@ fn run_one(shared: &Shared, id: u64, job: &CorpusJob) {
         let mut config = InfoflowConfig::default().with_abort(abort).with_lazy_frontend(true);
         config.max_propagations = spec.max_propagations;
         config.taint_threads = spec.taint_threads;
+        config.cache_namespace = spec.namespace;
+        config.progress = progress;
         config.summary_cache.clone_from(&shared.summary_cache);
         let mut run = run_single_lazy(job, &config, &shared.snapshot, Some(&shared.cg_cache));
         if !run.aborted {
@@ -361,10 +467,7 @@ fn handle_conn(shared: &Shared, conn: Box<dyn Conn>) {
         }
         let keep_going = match Request::parse(trimmed) {
             Err(e) => write_line(reader.get_mut(), &error_line(&e)).is_ok(),
-            Ok(Request::Analyze { app, deadline_ms, max_propagations, taint_threads }) => {
-                handle_analyze(shared, &mut reader, &app, deadline_ms, max_propagations, taint_threads)
-                    .is_ok()
-            }
+            Ok(Request::Analyze(req)) => handle_analyze(shared, &mut reader, &req).is_ok(),
             Ok(Request::Cancel { job }) => {
                 let reply = match cancel(shared, job) {
                     Ok(state) => obj([
@@ -409,47 +512,155 @@ fn handle_conn(shared: &Shared, conn: Box<dyn Conn>) {
 fn handle_analyze(
     shared: &Shared,
     reader: &mut BufReader<Box<dyn Conn>>,
-    app: &str,
-    deadline_ms: Option<u64>,
-    max_propagations: Option<u64>,
-    taint_threads: Option<u64>,
+    req: &AnalyzeRequest,
 ) -> io::Result<()> {
     let spec = JobSpec {
-        max_propagations: max_propagations.unwrap_or(0),
-        taint_threads: taint_threads.unwrap_or(0) as usize,
+        max_propagations: req.max_propagations.unwrap_or(0),
+        taint_threads: req.taint_threads.unwrap_or(0) as usize,
+        priority: req.priority,
+        namespace: req.namespace.clone(),
     };
-    match submit(shared, app, deadline_ms, spec) {
-        Err(e) => write_line(reader.get_mut(), &error_line(&e)),
+    // A streamed job gets a channel-backed sink: the solver's threads
+    // send events, this connection thread relays them as frames.
+    let (progress, frames) = if req.stream {
+        let (tx, rx) = mpsc::channel::<ProgressEvent>();
+        let tx = Mutex::new(tx);
+        let sink = ProgressSink::new(move |e: &ProgressEvent| {
+            let _ = tx.lock().unwrap().send(e.clone());
+        });
+        (Some(sink), Some(rx))
+    } else {
+        (None, None)
+    };
+    match submit(shared, &req.app, req.deadline_ms, spec, progress) {
+        Err(Refusal::Error(e)) => write_line(reader.get_mut(), &error_line(&e)),
+        Err(Refusal::QueueFull { depth }) => {
+            write_line(reader.get_mut(), &rejected_line(depth as u64, shared.queue_cap as u64))
+        }
         Ok(id) => {
             let queued =
                 obj([("type", Json::from("queued")), ("job", Json::from(id))]).to_line();
             write_line(reader.get_mut(), &queued)?;
+            if let Some(rx) = frames {
+                relay_frames(reader.get_mut(), id, &rx)?;
+            }
             let result = wait_done(shared, id);
             write_line(reader.get_mut(), &result.to_json().to_line())
         }
     }
 }
 
-/// Validates the app name, registers the job and queues it. The job id
-/// is its 1-based submission index.
+/// Interval between `progress` frames on a streamed connection; events
+/// arriving faster are coalesced (latest wins). `leak` frames are never
+/// throttled.
+const PROGRESS_FRAME_EVERY: Duration = Duration::from_millis(25);
+
+/// Relays [`ProgressEvent`]s as wire frames until the worker drops the
+/// sink (job finished, skipped, or aborted).
+fn relay_frames(
+    conn: &mut Box<dyn Conn>,
+    id: u64,
+    rx: &mpsc::Receiver<ProgressEvent>,
+) -> io::Result<()> {
+    let mut pending: Option<ProgressEvent> = None;
+    let mut last_frame: Option<Instant> = None;
+    loop {
+        match rx.recv_timeout(PROGRESS_FRAME_EVERY) {
+            Ok(e) => {
+                if let Some((line, taint)) = &e.new_leak {
+                    let frame = obj([
+                        ("type", Json::from("leak")),
+                        ("job", Json::from(id)),
+                        ("sink_line", Json::from(u64::from(*line))),
+                        ("taint", Json::from(taint.as_str())),
+                    ]);
+                    write_line(conn, &frame.to_line())?;
+                }
+                let due = last_frame.is_none_or(|t| t.elapsed() >= PROGRESS_FRAME_EVERY);
+                pending = Some(e);
+                if due {
+                    write_progress_frame(conn, id, &mut pending)?;
+                    last_frame = Some(Instant::now());
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if pending.is_some() {
+                    write_progress_frame(conn, id, &mut pending)?;
+                    last_frame = Some(Instant::now());
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // Flush the last coalesced snapshot so short jobs still
+                // show their final counters before the result line.
+                return write_progress_frame(conn, id, &mut pending);
+            }
+        }
+    }
+}
+
+fn write_progress_frame(
+    conn: &mut Box<dyn Conn>,
+    id: u64,
+    pending: &mut Option<ProgressEvent>,
+) -> io::Result<()> {
+    let Some(e) = pending.take() else { return Ok(()) };
+    let frame = obj([
+        ("type", Json::from("progress")),
+        ("job", Json::from(id)),
+        ("forward_propagations", Json::from(e.forward_propagations)),
+        ("backward_propagations", Json::from(e.backward_propagations)),
+        ("bodies_materialized", Json::from(e.bodies_materialized)),
+        ("summary_hits", Json::from(e.summary_hits)),
+        ("leaks", Json::from(e.leaks)),
+    ]);
+    write_line(conn, &frame.to_line())
+}
+
+/// Why a submission was refused.
+enum Refusal {
+    /// Protocol-level error (unknown app, shutting down).
+    Error(String),
+    /// Admission control: the queue is at capacity (backpressure).
+    QueueFull { depth: usize },
+}
+
+/// Validates the app name, registers the job and queues it on the
+/// requested priority lane. The job id is its 1-based submission index.
+/// Admission and registration happen under the queue lock, so the
+/// waiting-job bound is exact even under concurrent submissions.
 fn submit(
     shared: &Shared,
     app: &str,
     deadline_ms: Option<u64>,
     spec: JobSpec,
-) -> Result<u64, String> {
+    progress: Option<ProgressSink>,
+) -> Result<u64, Refusal> {
     let job = find_job(app).ok_or_else(|| {
-        format!("unknown app `{app}` (expected a corpus name or `stress/<K>`)")
+        Refusal::Error(format!("unknown app `{app}` (expected a corpus name or `stress/<K>`)"))
     })?;
     let abort = match deadline_ms {
         Some(ms) => AbortHandle::with_deadline(Duration::from_millis(ms)),
         None => AbortHandle::new(),
     };
+    let priority = spec.priority;
+    // Lock order: queue, then registry (matches nowhere else taking
+    // both, so no inversion is possible).
+    let mut q = shared.queue.inner.lock().unwrap();
+    if q.closed {
+        return Err(Refusal::Error("daemon is shutting down".to_string()));
+    }
+    let depth = PrioQueue::depth(&q);
+    if shared.queue_cap > 0 && depth >= shared.queue_cap {
+        let mut inner = shared.inner.lock().unwrap();
+        inner.rejected += 1;
+        return Err(Refusal::QueueFull { depth });
+    }
     let id = {
         let mut inner = shared.inner.lock().unwrap();
         if inner.shutting_down {
-            return Err("daemon is shutting down".to_string());
+            return Err(Refusal::Error("daemon is shutting down".to_string()));
         }
+        inner.submitted[priority.lane()] += 1;
         inner.jobs.push(JobEntry {
             app: app.to_string(),
             state: JobState::Queued,
@@ -458,16 +669,14 @@ fn submit(
             submitted: Instant::now(),
             queue_ms: 0,
             cancel_requested: false,
+            progress,
             result: None,
         });
         inner.jobs.len() as u64
     };
-    let sender = shared.sender.lock().unwrap();
-    sender
-        .as_ref()
-        .ok_or("daemon is shutting down")?
-        .send((id, job))
-        .map_err(|_| "daemon is shutting down".to_string())?;
+    q.lanes[priority.lane()].push_back((id, job));
+    drop(q);
+    shared.queue.ready.notify_one();
     Ok(id)
 }
 
@@ -520,6 +729,7 @@ fn stats(shared: &Shared) -> Json {
             ("app", Json::from(e.app.as_str())),
             ("state", Json::from(e.state.as_str())),
         ];
+        fields.push(("priority", Json::from(e.spec.priority.as_str())));
         if e.state != JobState::Queued {
             fields.push(("queue_ms", Json::from(e.queue_ms)));
         }
@@ -545,14 +755,35 @@ fn stats(shared: &Shared) -> Json {
         }
         jobs.push(obj(fields));
     }
-    obj([
+    let store_tiers = shared.summary_cache.as_ref().map(|dir| {
+        Json::Arr(
+            flowdroid_summaries::tier_stats(dir)
+                .into_iter()
+                .map(|t| {
+                    obj([
+                        ("tier", Json::from(t.name)),
+                        ("hits", Json::from(t.stats.hits)),
+                        ("misses", Json::from(t.stats.misses)),
+                        ("writes", Json::from(t.stats.writes)),
+                        ("promotions", Json::from(t.stats.promotions)),
+                    ])
+                })
+                .collect(),
+        )
+    });
+    let mut top = vec![
         ("type", Json::from("stats")),
         ("uptime_ms", Json::from(shared.started.elapsed().as_millis() as u64)),
         ("workers", Json::from(shared.workers)),
+        ("queue_cap", Json::from(shared.queue_cap as u64)),
         ("queue_depth", Json::from(by_state[JobState::Queued as usize])),
         ("running", Json::from(by_state[JobState::Running as usize])),
         ("completed", Json::from(by_state[JobState::Done as usize])),
         ("aborted", Json::from(aborted)),
+        ("rejected", Json::from(inner.rejected)),
+        ("submitted_high", Json::from(inner.submitted[Priority::High.lane()])),
+        ("submitted_normal", Json::from(inner.submitted[Priority::Normal.lane()])),
+        ("submitted_batch", Json::from(inner.submitted[Priority::Batch.lane()])),
         ("cancel_requests", Json::from(cancel_requests)),
         ("summary_hits", Json::from(hits)),
         ("summary_misses", Json::from(misses)),
@@ -571,20 +802,23 @@ fn stats(shared: &Shared) -> Json {
         ("sched_pushed", Json::from(inner.sched_pushed)),
         ("sched_claims", Json::from(inner.sched_claims)),
         ("sched_steals", Json::from(inner.sched_steals)),
-        ("jobs", Json::Arr(jobs)),
-    ])
+    ];
+    if let Some(tiers) = store_tiers {
+        top.push(("store_tiers", tiers));
+    }
+    top.push(("jobs", Json::Arr(jobs)));
+    obj(top)
 }
 
 /// Marks the daemon as shutting down and closes the queue: no further
-/// submissions are accepted, and dropping the (sole) sender lets the
-/// workers drain what is already queued and exit their recv loop.
-/// Idempotent.
+/// submissions are accepted, and the workers drain what is already
+/// queued and exit their pop loop. Idempotent.
 fn close_queue(shared: &Shared) {
     {
         let mut inner = shared.inner.lock().unwrap();
         inner.shutting_down = true;
     }
-    drop(shared.sender.lock().unwrap().take());
+    shared.queue.close();
 }
 
 /// Waits for every accepted job to finish and flushes the summary

@@ -342,9 +342,19 @@ impl Parser<'_> {
                                 if self.bytes[self.pos..].starts_with(b"\\u") {
                                     self.pos += 2;
                                     let lo = self.hex4()?;
-                                    let combined =
-                                        0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
-                                    char::from_u32(combined).unwrap_or('\u{FFFD}')
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        let combined =
+                                            0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                        char::from_u32(combined).unwrap_or('\u{FFFD}')
+                                    } else {
+                                        // The second escape is not a low
+                                        // surrogate (e.g. `\ud800A`):
+                                        // the high surrogate is unpaired,
+                                        // and the second escape decodes
+                                        // on its own.
+                                        out.push('\u{FFFD}');
+                                        char::from_u32(lo).unwrap_or('\u{FFFD}')
+                                    }
                                 } else {
                                     '\u{FFFD}'
                                 }

@@ -9,14 +9,18 @@
 //! Layers:
 //!
 //! * [`json`] — a minimal std-only JSON value (no external deps);
-//! * [`proto`] — the request/response wire types;
-//! * [`daemon`] — the server: accept loop, worker pool, job registry
-//!   with per-job [`flowdroid_core::AbortHandle`]s (deadline, cancel,
-//!   budget);
+//! * [`proto`] — the request/response wire types: [`AnalyzeRequest`]
+//!   with [`Priority`] lanes, cache namespaces and opt-in streaming;
+//! * [`daemon`] — the server: accept loop, three-lane priority queue
+//!   with admission control (bounded depth, `rejected` backpressure
+//!   replies), worker pool, job registry with per-job
+//!   [`flowdroid_core::AbortHandle`]s (deadline, cancel, budget), and
+//!   a per-connection frame relay for streamed jobs;
 //! * [`client`] — a blocking client used by the `flowdroid client`
 //!   subcommand, the benchmark driver and the smoke tests.
 //!
-//! See DESIGN.md §10 for the architecture discussion.
+//! See DESIGN.md §10/§14 and docs/PROTOCOL.md for the architecture and
+//! the full wire contract.
 
 pub mod client;
 pub mod daemon;
@@ -24,8 +28,8 @@ pub mod json;
 pub mod net;
 pub mod proto;
 
-pub use client::Client;
-pub use daemon::{Daemon, DaemonOptions};
+pub use client::{AnalyzeOptions, AnalyzeOutcome, Client, Submitted};
+pub use daemon::{Daemon, DaemonOptions, DEFAULT_QUEUE_CAP};
 pub use json::Json;
 pub use net::Listen;
-pub use proto::{JobResult, Request};
+pub use proto::{AnalyzeRequest, JobResult, Priority, Request};

@@ -5,7 +5,7 @@
 //!
 //! | request | fields |
 //! |---|---|
-//! | `analyze`  | `app` (corpus name or `stress/<K>`), optional `deadline_ms`, `max_propagations`, `taint_threads` |
+//! | `analyze`  | `app` (corpus name or `stress/<K>`), optional `deadline_ms`, `max_propagations`, `taint_threads`, `priority` (`high`/`normal`/`batch`), `namespace`, `stream` |
 //! | `cancel`   | `job` |
 //! | `stats`    | — |
 //! | `shutdown` | — |
@@ -13,29 +13,109 @@
 //! Responses: `analyze` answers `{"type":"queued","job":N}` immediately
 //! and a `{"type":"result",...}` line when the job finishes (the
 //! connection stays blocked in between — issue `cancel`/`stats` from a
-//! second connection). `cancel` and `shutdown` answer `{"type":"ok"}`,
-//! `stats` answers `{"type":"stats",...}`, and malformed or unknown
-//! requests answer `{"type":"error","message":...}` without closing the
-//! connection.
+//! second connection). When the admission queue is full the daemon
+//! answers `{"type":"rejected",...}` instead of `queued` and keeps the
+//! connection open. With `"stream":true`, `{"type":"progress",...}` and
+//! `{"type":"leak",...}` frames flow between `queued` and the final
+//! `result` line (which is byte-identical to the non-streamed one).
+//! `cancel` and `shutdown` answer `{"type":"ok"}`, `stats` answers
+//! `{"type":"stats",...}`, and malformed or unknown requests answer
+//! `{"type":"error","message":...}` without closing the connection.
+//!
+//! The full wire contract lives in `docs/PROTOCOL.md`.
 
 use crate::json::{self, obj, Json};
+
+/// Admission priority of an `analyze` job. The daemon dequeues `High`
+/// before `Normal` before `Batch`, with aging so a saturating stream of
+/// higher-priority work cannot starve `Batch` forever.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Priority {
+    /// Interactive work: dequeued first.
+    High = 0,
+    /// The default lane.
+    #[default]
+    Normal = 1,
+    /// Bulk/background work: dequeued last, but aged in periodically.
+    Batch = 2,
+}
+
+impl Priority {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Batch => "batch",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<Priority> {
+        match s {
+            "high" => Some(Priority::High),
+            "normal" => Some(Priority::Normal),
+            "batch" => Some(Priority::Batch),
+            _ => None,
+        }
+    }
+
+    /// Queue-lane index (0 = high, 1 = normal, 2 = batch).
+    pub fn lane(self) -> usize {
+        self as usize
+    }
+}
+
+/// Maximum accepted `namespace` length.
+pub const MAX_NAMESPACE_LEN: usize = 64;
+
+/// Validates a summary-store namespace: `[A-Za-z0-9._-]`, at most
+/// [`MAX_NAMESPACE_LEN`] bytes. The empty string is the shared default
+/// namespace.
+pub fn validate_namespace(ns: &str) -> Result<(), String> {
+    if ns.len() > MAX_NAMESPACE_LEN {
+        return Err(format!("namespace longer than {MAX_NAMESPACE_LEN} bytes"));
+    }
+    match ns.chars().find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))) {
+        Some(c) => Err(format!("namespace contains `{c}` (allowed: [A-Za-z0-9._-])")),
+        None => Ok(()),
+    }
+}
+
+/// The body of an `analyze` request.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AnalyzeRequest {
+    /// Corpus name (`droidbench/...`, `securibench/...`,
+    /// `insecurebank`) or `stress/<K>`.
+    pub app: String,
+    /// Wall-clock deadline, measured from submission; the job returns
+    /// an `aborted` partial result once it passes.
+    pub deadline_ms: Option<u64>,
+    /// Path-edge propagation budget (0/absent = unlimited).
+    pub max_propagations: Option<u64>,
+    /// Solver threads for this job (absent = sequential).
+    pub taint_threads: Option<u64>,
+    /// Admission priority (absent = `normal`).
+    pub priority: Priority,
+    /// Summary-store namespace; jobs in different namespaces never
+    /// observe each other's summaries. Empty = the shared default.
+    pub namespace: String,
+    /// Stream `progress`/`leak` frames while the job runs.
+    pub stream: bool,
+}
+
+impl AnalyzeRequest {
+    /// A request for `app` with every option at its default.
+    pub fn new(app: impl Into<String>) -> AnalyzeRequest {
+        AnalyzeRequest { app: app.into(), ..AnalyzeRequest::default() }
+    }
+}
 
 /// A parsed client request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Queue an analysis job.
-    Analyze {
-        /// Corpus name (`droidbench/...`, `securibench/...`,
-        /// `insecurebank`) or `stress/<K>`.
-        app: String,
-        /// Wall-clock deadline, measured from submission; the job
-        /// returns an `aborted` partial result once it passes.
-        deadline_ms: Option<u64>,
-        /// Path-edge propagation budget (0/absent = unlimited).
-        max_propagations: Option<u64>,
-        /// Solver threads for this job (absent = sequential).
-        taint_threads: Option<u64>,
-    },
+    Analyze(AnalyzeRequest),
     /// Cancel a queued or running job.
     Cancel {
         /// The job id from the `queued` response.
@@ -55,12 +135,23 @@ impl Request {
         match ty {
             "analyze" => {
                 let app = v.str_field("app").ok_or("analyze: missing `app` field")?;
-                Ok(Request::Analyze {
+                let priority = match v.str_field("priority") {
+                    None => Priority::Normal,
+                    Some(p) => Priority::parse(p).ok_or_else(|| {
+                        format!("analyze: unknown priority `{p}` (high, normal, batch)")
+                    })?,
+                };
+                let namespace = v.str_field("namespace").unwrap_or("").to_string();
+                validate_namespace(&namespace).map_err(|e| format!("analyze: {e}"))?;
+                Ok(Request::Analyze(AnalyzeRequest {
                     app: app.to_string(),
                     deadline_ms: v.u64_field("deadline_ms"),
                     max_propagations: v.u64_field("max_propagations"),
                     taint_threads: v.u64_field("taint_threads"),
-                })
+                    priority,
+                    namespace,
+                    stream: v.bool_field("stream").unwrap_or(false),
+                }))
             }
             "cancel" => {
                 let job = v.u64_field("job").ok_or("cancel: missing `job` field")?;
@@ -73,19 +164,29 @@ impl Request {
     }
 
     /// Renders the request as one line (what [`crate::Client`] sends).
+    /// Optional fields at their default are omitted.
     pub fn to_line(&self) -> String {
         match self {
-            Request::Analyze { app, deadline_ms, max_propagations, taint_threads } => {
+            Request::Analyze(a) => {
                 let mut fields =
-                    vec![("type", Json::from("analyze")), ("app", Json::from(app.as_str()))];
-                if let Some(d) = deadline_ms {
-                    fields.push(("deadline_ms", Json::from(*d)));
+                    vec![("type", Json::from("analyze")), ("app", Json::from(a.app.as_str()))];
+                if let Some(d) = a.deadline_ms {
+                    fields.push(("deadline_ms", Json::from(d)));
                 }
-                if let Some(m) = max_propagations {
-                    fields.push(("max_propagations", Json::from(*m)));
+                if let Some(m) = a.max_propagations {
+                    fields.push(("max_propagations", Json::from(m)));
                 }
-                if let Some(t) = taint_threads {
-                    fields.push(("taint_threads", Json::from(*t)));
+                if let Some(t) = a.taint_threads {
+                    fields.push(("taint_threads", Json::from(t)));
+                }
+                if a.priority != Priority::Normal {
+                    fields.push(("priority", Json::from(a.priority.as_str())));
+                }
+                if !a.namespace.is_empty() {
+                    fields.push(("namespace", Json::from(a.namespace.as_str())));
+                }
+                if a.stream {
+                    fields.push(("stream", Json::from(true)));
                 }
                 obj(fields).to_line()
             }
@@ -224,6 +325,19 @@ pub fn error_line(message: &str) -> String {
     obj([("type", Json::from("error")), ("message", Json::from(message))]).to_line()
 }
 
+/// The `rejected` response line: the admission queue is full. Distinct
+/// from `error` so clients can back off and retry instead of treating
+/// it as a protocol failure.
+pub fn rejected_line(queue_depth: u64, queue_cap: u64) -> String {
+    obj([
+        ("type", Json::from("rejected")),
+        ("message", Json::from("admission queue full; retry later")),
+        ("queue_depth", Json::from(queue_depth)),
+        ("queue_cap", Json::from(queue_cap)),
+    ])
+    .to_line()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,12 +345,19 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         let reqs = [
-            Request::Analyze {
+            Request::Analyze(AnalyzeRequest {
                 app: "insecurebank".to_string(),
                 deadline_ms: Some(500),
-                max_propagations: None,
                 taint_threads: Some(4),
-            },
+                ..AnalyzeRequest::default()
+            }),
+            Request::Analyze(AnalyzeRequest {
+                app: "stress/2000".to_string(),
+                priority: Priority::Batch,
+                namespace: "tenant-a".to_string(),
+                stream: true,
+                ..AnalyzeRequest::default()
+            }),
             Request::Cancel { job: 3 },
             Request::Stats,
             Request::Shutdown,
@@ -252,6 +373,19 @@ mod tests {
         assert!(Request::parse(r#"{"type":"launch"}"#).is_err());
         assert!(Request::parse(r#"{"type":"analyze"}"#).is_err());
         assert!(Request::parse(r#"{"type":"cancel"}"#).is_err());
+        assert!(Request::parse(r#"{"type":"analyze","app":"a","priority":"urgent"}"#).is_err());
+        assert!(Request::parse(r#"{"type":"analyze","app":"a","namespace":"../x"}"#).is_err());
+        let long = "n".repeat(MAX_NAMESPACE_LEN + 1);
+        let line = format!(r#"{{"type":"analyze","app":"a","namespace":"{long}"}}"#);
+        assert!(Request::parse(&line).is_err());
+    }
+
+    #[test]
+    fn namespace_validation() {
+        assert!(validate_namespace("").is_ok());
+        assert!(validate_namespace("tenant-a.v2_x").is_ok());
+        assert!(validate_namespace("a/b").is_err());
+        assert!(validate_namespace("a b").is_err());
     }
 
     #[test]

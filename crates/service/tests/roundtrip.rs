@@ -4,7 +4,10 @@
 //! cancellation, stats, clean shutdown, and prompt Unix-socket unlink
 //! on shutdown while jobs are still draining.
 
-use flowdroid_service::{Client, Daemon, DaemonOptions, Listen, Request};
+use flowdroid_service::{
+    AnalyzeOptions, AnalyzeOutcome, AnalyzeRequest, Client, Daemon, DaemonOptions, Listen,
+    Priority, Request, Submitted,
+};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -19,9 +22,21 @@ fn spawn_daemon_with(
     cache: Option<PathBuf>,
     snapshot: Option<PathBuf>,
 ) -> (String, std::thread::JoinHandle<()>) {
+    spawn_daemon_capped(cache, snapshot, 2, 0)
+}
+
+/// Like [`spawn_daemon_with`] but with explicit worker count and queue
+/// cap (0 = unbounded), for the backpressure and priority tests.
+fn spawn_daemon_capped(
+    cache: Option<PathBuf>,
+    snapshot: Option<PathBuf>,
+    workers: usize,
+    queue_cap: usize,
+) -> (String, std::thread::JoinHandle<()>) {
     let daemon = Daemon::bind(DaemonOptions {
         listen: Listen::parse("127.0.0.1:0"),
-        workers: 2,
+        workers,
+        queue_cap,
         summary_cache: cache,
         platform_snapshot: snapshot,
     })
@@ -233,6 +248,7 @@ fn shutdown_unlinks_unix_socket_while_a_job_is_still_draining() {
     let daemon = Daemon::bind(DaemonOptions {
         listen: Listen::Unix(sock.clone()),
         workers: 2,
+        queue_cap: 0,
         summary_cache: None,
         platform_snapshot: None,
     })
@@ -284,12 +300,7 @@ fn protocol_errors_keep_the_connection_alive() {
     let mut c = Client::connect(&addr).expect("connect");
 
     let err = c
-        .roundtrip(&Request::Analyze {
-            app: "no/such/app".to_string(),
-            deadline_ms: None,
-            max_propagations: None,
-            taint_threads: None,
-        })
+        .roundtrip(&Request::Analyze(AnalyzeRequest::new("no/such/app")))
         .expect_err("unknown app is an error");
     assert!(err.to_string().contains("unknown app"), "got: {err}");
 
@@ -310,4 +321,255 @@ fn budget_abort_reports_reason_over_the_wire() {
     assert_eq!(r.abort_reason.as_deref(), Some("budget"));
     c.shutdown().expect("shutdown");
     daemon.join().expect("accept loop exits cleanly");
+}
+
+/// A streamed job must deliver `progress` frames before its result, and
+/// the terminal result line must be byte-identical to what the same job
+/// reports without streaming — streaming is observational only.
+#[test]
+fn streamed_job_emits_frames_and_identical_final_report() {
+    let (addr, daemon) = spawn_daemon(None);
+
+    let mut plain = Client::connect(&addr).expect("connect plain");
+    let (_, baseline) = plain.analyze("insecurebank", None, None, None).expect("plain job");
+    assert!(baseline.leaks > 0, "insecurebank has known leaks");
+
+    let mut streamed = Client::connect(&addr).expect("connect streamed");
+    let opts = AnalyzeOptions { stream: true, ..Default::default() };
+    let mut progress_frames = 0u64;
+    let mut leak_frames = 0u64;
+    let outcome = streamed
+        .analyze_with("insecurebank", &opts, &mut |frame| {
+            match frame.str_field("type") {
+                Some("progress") => {
+                    progress_frames += 1;
+                    assert!(frame.u64_field("job").is_some());
+                }
+                Some("leak") => {
+                    leak_frames += 1;
+                    assert!(frame.u64_field("sink_line").is_some());
+                    assert!(frame.str_field("taint").is_some());
+                }
+                other => panic!("unexpected frame type {other:?}"),
+            }
+        })
+        .expect("streamed job");
+    let AnalyzeOutcome::Done { result, .. } = outcome else {
+        panic!("unbounded queue must not reject");
+    };
+    assert!(progress_frames > 0, "streamed job must emit at least one progress frame");
+    assert!(leak_frames > 0, "a leaky app must emit leak frames");
+    assert_eq!(result.report, baseline.report, "streaming must not change the report");
+    assert_eq!(result.leaks, baseline.leaks);
+
+    // The parallel engine streams through the same hook; its report
+    // stays identical too (determinism invariant).
+    let mut par = Client::connect(&addr).expect("connect parallel");
+    let par_opts =
+        AnalyzeOptions { stream: true, taint_threads: Some(2), ..Default::default() };
+    let outcome = par.analyze_with("insecurebank", &par_opts, &mut |_| {}).expect("par job");
+    let AnalyzeOutcome::Done { result: par_result, .. } = outcome else {
+        panic!("unbounded queue must not reject");
+    };
+    assert_eq!(par_result.report, baseline.report, "parallel streamed report must match");
+
+    plain.shutdown().expect("shutdown");
+    daemon.join().expect("accept loop exits cleanly");
+}
+
+/// With a finite queue cap and a single busy worker, excess submissions
+/// must be refused with a typed `rejected` reply (no job id allocated),
+/// and the stats line must account for every refusal.
+#[test]
+fn full_queue_rejects_submissions_with_backpressure() {
+    let (addr, daemon) = spawn_daemon_capped(None, None, 1, 2);
+
+    // Blast more work than worker + queue can hold. Each job carries a
+    // deadline so the drain below stays fast.
+    let opts = AnalyzeOptions { deadline_ms: Some(2000), ..Default::default() };
+    let mut queued = Vec::new();
+    let mut rejections = 0u64;
+    for _ in 0..6 {
+        let mut c = Client::connect(&addr).expect("connect");
+        match c.submit("stress/4000", &opts).expect("submit") {
+            Submitted::Queued(id) => queued.push((id, c)),
+            Submitted::Rejected { queue_cap, .. } => {
+                assert_eq!(queue_cap, 2, "rejected line reports the daemon's cap");
+                rejections += 1;
+            }
+        }
+    }
+    assert!(rejections > 0, "6 submissions into worker=1/cap=2 must overflow");
+    assert!(!queued.is_empty(), "the first submissions fit");
+    // Worker slot + 2 queue slots: at most 3 can ever be in flight
+    // before the first one finishes.
+    assert!(queued.len() <= 4, "cap 2 + 1 running admits at most ~3, got {}", queued.len());
+
+    for (_, mut c) in queued {
+        let line = c.read_response().expect("result line");
+        assert_eq!(line.str_field("type"), Some("result"));
+    }
+
+    let mut s = Client::connect(&addr).expect("stats conn");
+    let stats = s.stats().expect("stats");
+    assert_eq!(stats.u64_field("rejected"), Some(rejections));
+    assert_eq!(stats.u64_field("queue_cap"), Some(2));
+
+    s.shutdown().expect("shutdown");
+    daemon.join().expect("accept loop exits cleanly");
+}
+
+/// Cancel storm: enqueue far more jobs than workers, cancel most of
+/// them from a separate connection, and require a clean drain — every
+/// submitter still gets a result line and the registry's per-state
+/// counters reconcile.
+#[test]
+fn cancel_storm_drains_cleanly_with_reconciled_counters() {
+    let (addr, daemon) = spawn_daemon(None);
+    let lanes = [Priority::High, Priority::Normal, Priority::Batch];
+
+    let mut pending = Vec::new();
+    for i in 0..10 {
+        let mut c = Client::connect(&addr).expect("connect");
+        let opts = AnalyzeOptions {
+            deadline_ms: Some(10_000),
+            priority: lanes[i % lanes.len()],
+            ..Default::default()
+        };
+        match c.submit("stress/3000", &opts).expect("submit") {
+            Submitted::Queued(id) => pending.push((id, c)),
+            Submitted::Rejected { .. } => panic!("unbounded queue must not reject"),
+        }
+    }
+
+    // Cancel 8 of 10 across a separate connection while they queue/run.
+    let mut canceller = Client::connect(&addr).expect("cancel conn");
+    for (id, _) in &pending[..8] {
+        let ack = canceller.cancel(*id).expect("cancel");
+        assert_eq!(ack.str_field("op"), Some("cancel"));
+    }
+
+    // Every submitter — cancelled or not — still receives a result.
+    let mut cancelled_aborts = 0;
+    for (id, mut c) in pending {
+        let line = c.read_response().expect("result line");
+        assert_eq!(line.str_field("type"), Some("result"));
+        assert_eq!(line.u64_field("job"), Some(id));
+        if line.str_field("abort_reason") == Some("cancelled") {
+            cancelled_aborts += 1;
+        }
+    }
+    assert!(cancelled_aborts > 0, "storm must abort at least the queued victims");
+
+    let stats = canceller.stats().expect("stats");
+    assert_eq!(stats.u64_field("completed"), Some(10), "all jobs drain to done");
+    assert_eq!(stats.u64_field("queue_depth"), Some(0));
+    assert_eq!(stats.u64_field("running"), Some(0));
+    assert_eq!(stats.u64_field("cancel_requests"), Some(8));
+    assert_eq!(
+        stats.u64_field("submitted_high").unwrap()
+            + stats.u64_field("submitted_normal").unwrap()
+            + stats.u64_field("submitted_batch").unwrap(),
+        10,
+        "per-lane submission counters reconcile"
+    );
+
+    canceller.shutdown().expect("shutdown");
+    daemon.join().expect("accept loop exits cleanly");
+}
+
+/// With one worker pinned by a long job, a later `high` submission must
+/// finish before an earlier `batch` one: the dequeue order follows the
+/// priority lanes, not arrival order.
+#[test]
+fn high_priority_overtakes_batch_in_the_queue() {
+    let (addr, daemon) = spawn_daemon_capped(None, None, 1, 0);
+
+    // Pin the only worker.
+    let mut pin = Client::connect(&addr).expect("pin conn");
+    let pin_id = pin.analyze_async("stress/5000", Some(2500), None, None).expect("pin");
+
+    // Wait until it is actually running so the next two stay queued.
+    let mut s = Client::connect(&addr).expect("stats conn");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = s.stats().expect("stats");
+        let jobs = stats.get("jobs").unwrap().as_arr().unwrap();
+        if jobs[(pin_id - 1) as usize].str_field("state") == Some("running") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "pin job never started");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Batch first, high second — arrival order favors batch.
+    let mut batch = Client::connect(&addr).expect("batch conn");
+    let batch_opts = AnalyzeOptions {
+        deadline_ms: Some(2000),
+        priority: Priority::Batch,
+        ..Default::default()
+    };
+    assert!(matches!(
+        batch.submit("stress/2000", &batch_opts).expect("submit batch"),
+        Submitted::Queued(_)
+    ));
+    let mut high = Client::connect(&addr).expect("high conn");
+    let high_opts = AnalyzeOptions {
+        deadline_ms: Some(2000),
+        priority: Priority::High,
+        ..Default::default()
+    };
+    assert!(matches!(
+        high.submit("stress/2000", &high_opts).expect("submit high"),
+        Submitted::Queued(_)
+    ));
+
+    let batch_done = std::thread::spawn(move || {
+        batch.read_response().expect("batch result");
+        Instant::now()
+    });
+    let high_done = std::thread::spawn(move || {
+        high.read_response().expect("high result");
+        Instant::now()
+    });
+    let batch_at = batch_done.join().expect("batch thread");
+    let high_at = high_done.join().expect("high thread");
+    assert!(high_at < batch_at, "high must complete before the earlier batch job");
+
+    pin.read_response().expect("pin result");
+    s.shutdown().expect("shutdown");
+    daemon.join().expect("accept loop exits cleanly");
+}
+
+/// Jobs in different cache namespaces must not see each other's
+/// summaries: a tenant's first job starts cold even when another tenant
+/// has already warmed the same app in the same store directory.
+#[test]
+fn cache_namespaces_isolate_tenants_over_the_wire() {
+    let cache = temp_cache("tenants");
+    let (addr, daemon) = spawn_daemon(Some(cache.clone()));
+    let mut c = Client::connect(&addr).expect("connect");
+
+    let tenant = |ns: &str| AnalyzeOptions { namespace: ns.to_string(), ..Default::default() };
+    let run = |c: &mut Client, opts: &AnalyzeOptions| match c
+        .analyze_with("insecurebank", opts, &mut |_| {})
+        .expect("job")
+    {
+        AnalyzeOutcome::Done { result, .. } => result,
+        AnalyzeOutcome::Rejected { .. } => panic!("unbounded queue must not reject"),
+    };
+
+    let a_cold = run(&mut c, &tenant("tenant-a"));
+    assert_eq!(a_cold.summary_hits, 0, "tenant-a starts cold");
+    assert!(a_cold.summary_recorded > 0);
+    let a_warm = run(&mut c, &tenant("tenant-a"));
+    assert!(a_warm.summary_hits > 0, "tenant-a warms up its own namespace");
+
+    let b_cold = run(&mut c, &tenant("tenant-b"));
+    assert_eq!(b_cold.summary_hits, 0, "tenant-b must not see tenant-a's summaries");
+    assert_eq!(b_cold.report, a_cold.report, "isolation must not change results");
+
+    c.shutdown().expect("shutdown");
+    daemon.join().expect("accept loop exits cleanly");
+    let _ = std::fs::remove_dir_all(&cache);
 }

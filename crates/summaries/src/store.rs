@@ -3,6 +3,7 @@
 
 use crate::wire::{fnv1a64, Reader, Writer, MAGIC, VERSION};
 use crate::{SymFact, SymSummary};
+use flowdroid_store::{BlobKey, TierStatsNamed, TieredStore};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::io;
@@ -261,8 +262,16 @@ impl SummaryStore {
 #[derive(Debug)]
 pub struct SharedStore {
     dir: PathBuf,
+    /// Per-client namespace inside the cache directory (`""` shares
+    /// the historical single-store layout).
+    namespace: String,
+    /// The tier stack this store loads from and flushes through.
+    tiered: Arc<TieredStore>,
     visible: RwLock<SummaryStore>,
     fresh: Mutex<SummaryStore>,
+    /// Which tier answered the open (`"memory"` / `"local"` /
+    /// `"chunk"`), or `None` if the store started cold.
+    loaded_from: Option<&'static str>,
     /// Whether an existing store file failed to load (corrupt,
     /// truncated or wrong version); the cache then starts cold instead
     /// of failing the analysis.
@@ -273,6 +282,16 @@ impl SharedStore {
     /// The cache directory this store persists to.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The cache namespace this store belongs to.
+    pub fn namespace(&self) -> &str {
+        &self.namespace
+    }
+
+    /// Name of the tier that satisfied the open, if any.
+    pub fn loaded_from(&self) -> Option<&'static str> {
+        self.loaded_from
     }
 
     /// The load failure message, if the on-disk file was unusable.
@@ -312,62 +331,115 @@ impl SharedStore {
     }
 
     /// Promotes fresh summaries into the visible half and persists the
-    /// merged store to disk. Returns the number of visible methods
-    /// after the merge.
+    /// merged store through every tier (memory LRU, local file,
+    /// content-addressed chunk store). Returns the number of visible
+    /// methods after the merge.
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from writing the store file.
+    /// Returns the first I/O error from writing a tier.
     pub fn flush(&self) -> io::Result<usize> {
         let mut visible = self.visible.write().unwrap();
         let mut fresh = self.fresh.lock().unwrap();
         let staged = std::mem::replace(&mut *fresh, SummaryStore::new(visible.context_hash));
         visible.merge(&staged);
-        visible.save_dir(&self.dir)?;
+        let key = BlobKey::new(&self.namespace, visible.context_hash);
+        self.tiered.store(&key, &visible.to_bytes())?;
         Ok(visible.method_count())
     }
 }
 
-type Registry = Mutex<HashMap<(PathBuf, u64), Arc<SharedStore>>>;
+type Registry = Mutex<HashMap<(PathBuf, String, u64), Arc<SharedStore>>>;
 
 fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
     REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// Default byte budget of the in-memory blob tier (per cache
+/// directory).
+const MEMORY_TIER_CAP: usize = 64 << 20;
+
+type TieredRegistry = Mutex<HashMap<PathBuf, Arc<TieredStore>>>;
+
+fn tiered_registry() -> &'static TieredRegistry {
+    static TIERED: OnceLock<TieredRegistry> = OnceLock::new();
+    TIERED.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The tier stack persisting cache directory `dir` (one per directory,
+/// shared by every namespace and context).
+pub fn tiered_store(dir: &Path) -> Arc<TieredStore> {
+    let mut reg = tiered_registry().lock().unwrap();
+    Arc::clone(
+        reg.entry(dir.to_path_buf())
+            .or_insert_with(|| Arc::new(TieredStore::standard(dir, MEMORY_TIER_CAP))),
+    )
+}
+
 /// Opens (or returns the already-open) shared store for `dir` under
-/// `context_hash`. The store file is loaded once per `(directory,
-/// context)` pair; a missing file starts cold, and a corrupt or
-/// incompatible file is *rejected cleanly* — the store starts cold and
-/// remembers the reason (see [`SharedStore::load_error`]). A file
-/// written under a different `context_hash` is treated as absent.
+/// the default namespace. See [`open_shared_ns`].
 pub fn open_shared(dir: &Path, context_hash: u64) -> Arc<SharedStore> {
-    let key = (dir.to_path_buf(), context_hash);
+    open_shared_ns(dir, "", context_hash)
+}
+
+/// Opens (or returns the already-open) shared store for `dir` under
+/// namespace `ns` and `context_hash`. On a registry miss the blob is
+/// fetched through the tier stack (memory LRU → local file →
+/// content-addressed chunks) and decoded once per `(directory,
+/// namespace, context)` triple; a missing blob starts cold, and a
+/// corrupt or incompatible local file is *rejected cleanly* — the
+/// store starts cold and remembers the reason (see
+/// [`SharedStore::load_error`]). A blob written under a different
+/// `context_hash` is treated as absent. Namespaces never observe each
+/// other's summaries.
+pub fn open_shared_ns(dir: &Path, ns: &str, context_hash: u64) -> Arc<SharedStore> {
+    let key = (dir.to_path_buf(), ns.to_string(), context_hash);
     let mut reg = registry().lock().unwrap();
     if let Some(existing) = reg.get(&key) {
         return Arc::clone(existing);
     }
-    let (loaded, load_error) = match SummaryStore::load_dir(dir) {
-        Ok(store) if store.context_hash == context_hash => (store, None),
-        Ok(_) => (SummaryStore::new(context_hash), None), // different configuration
-        Err(StoreError::Io(e)) if e.kind() == io::ErrorKind::NotFound => {
-            (SummaryStore::new(context_hash), None)
+    let tiered = tiered_store(dir);
+    let blob_key = BlobKey::new(ns, context_hash);
+    let valid = |bytes: &[u8]| {
+        SummaryStore::from_bytes(bytes).map(|s| s.context_hash == context_hash).unwrap_or(false)
+    };
+    let (loaded, loaded_from) = match tiered.load(&blob_key, &valid) {
+        Some((bytes, tier)) => (
+            SummaryStore::from_bytes(&bytes).expect("validated blob decodes"),
+            Some(tier),
+        ),
+        None => (SummaryStore::new(context_hash), None),
+    };
+    // If every tier missed but a local store file exists, surface why
+    // it was unusable (corruption diagnostics; a context mismatch is
+    // not an error).
+    let load_error = if loaded_from.is_none() {
+        let ns_dir = flowdroid_store::local_store_dir(dir, ns);
+        match SummaryStore::load_dir(&ns_dir) {
+            Ok(_) => None,
+            Err(StoreError::Io(e)) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(e) => Some(e.to_string()),
         }
-        Err(e) => (SummaryStore::new(context_hash), Some(e.to_string())),
+    } else {
+        None
     };
     let shared = Arc::new(SharedStore {
         dir: dir.to_path_buf(),
+        namespace: ns.to_string(),
+        tiered,
         visible: RwLock::new(loaded),
         fresh: Mutex::new(SummaryStore::new(context_hash)),
+        loaded_from,
         load_error,
     });
     reg.insert(key, Arc::clone(&shared));
     shared
 }
 
-/// Flushes every open shared store rooted at `dir`: fresh summaries
-/// become visible to later sessions in this process and are persisted
-/// to disk.
+/// Flushes every open shared store rooted at `dir` (all namespaces):
+/// fresh summaries become visible to later sessions in this process
+/// and are persisted through every tier.
 ///
 /// # Errors
 ///
@@ -376,7 +448,7 @@ pub fn flush_dir(dir: &Path) -> io::Result<()> {
     let stores: Vec<Arc<SharedStore>> = {
         let reg = registry().lock().unwrap();
         reg.iter()
-            .filter(|((d, _), _)| d == dir)
+            .filter(|((d, _, _), _)| d == dir)
             .map(|(_, s)| Arc::clone(s))
             .collect()
     };
@@ -384,6 +456,37 @@ pub fn flush_dir(dir: &Path) -> io::Result<()> {
         s.flush()?;
     }
     Ok(())
+}
+
+/// Flushes and then *releases* every idle shared store rooted at `dir`
+/// (idle = no session holds it). Later opens re-fetch the blob through
+/// the tier stack — normally straight from the memory LRU — instead of
+/// pinning every decoded store for the life of the process. Returns
+/// the number of stores released.
+///
+/// # Errors
+///
+/// Returns the first I/O error from flushing.
+pub fn release_dir(dir: &Path) -> io::Result<usize> {
+    flush_dir(dir)?;
+    let mut reg = registry().lock().unwrap();
+    let before = reg.len();
+    // Holding the registry lock, a strong count of 1 means only the
+    // registry itself still references the store.
+    reg.retain(|(d, _, _), s| d != dir || Arc::strong_count(s) > 1);
+    Ok(before - reg.len())
+}
+
+/// Drops the in-memory blob tier for `dir` so the next open falls
+/// through to the local-file tier (used by load tests and cache
+/// maintenance; persisted tiers are untouched).
+pub fn clear_memory_tier(dir: &Path) {
+    tiered_store(dir).clear_memory();
+}
+
+/// Per-tier hit/miss/write counters for the stack rooted at `dir`.
+pub fn tier_stats(dir: &Path) -> Vec<TierStatsNamed> {
+    tiered_store(dir).stats()
 }
 
 #[cfg(test)]

@@ -136,4 +136,40 @@ if [[ "${svc_setup_gate}" != "true" ]]; then
     exit 1
 fi
 
+# Fleet-load benchmark: per-tier warm-hit attribution, namespace
+# isolation, priority latency, overload backpressure, cancel storm and
+# streamed-report identity. The binary gates every phase itself and
+# exits nonzero on failure; the checks below re-read the headline
+# numbers from the spliced JSON for the log and as a belt-and-braces
+# gate (finite p99, rejections observed, a warm hit from every tier).
+echo "== service-load stats (splices \"service_load\" into BENCH_solver.json)"
+cargo run --release -p flowdroid-service --bin solver_stats -- --mode service-load BENCH_solver.json >/dev/null
+for tier in memory local chunk; do
+    hits=$(grep -o "\"${tier}_tier_hits\": [0-9]*" BENCH_solver.json | grep -o '[0-9]*$' || true)
+    echo "service-load ${tier}-tier warm hits: ${hits:-none}"
+    if [[ -z "${hits}" || "${hits}" -eq 0 ]]; then
+        echo "FAIL: service-load warm pass replayed nothing from the ${tier} tier" >&2
+        exit 1
+    fi
+done
+load_rejected=$(grep -o '"rejected": [0-9]*' BENCH_solver.json | grep -o '[0-9]*$' || true)
+load_p99=$(grep -o '"high_p99_ms": [0-9.]*' BENCH_solver.json | grep -o '[0-9.]*$' || true)
+echo "service-load overload rejections: ${load_rejected:-none}, high-priority p99: ${load_p99:-non-finite} ms"
+if [[ -z "${load_rejected}" || "${load_rejected}" -eq 0 ]]; then
+    echo "FAIL: overloaded capped queue rejected nothing" >&2
+    exit 1
+fi
+if [[ -z "${load_p99}" ]]; then
+    echo "FAIL: high-priority p99 latency is missing or not finite" >&2
+    exit 1
+fi
+if ! grep -q '"high_p99_below_batch_p99": true' BENCH_solver.json; then
+    echo "FAIL: high-priority p99 did not beat batch p99" >&2
+    exit 1
+fi
+if ! grep -q '"namespace_cold_hits": 0' BENCH_solver.json; then
+    echo "FAIL: a foreign namespace observed another tenant's summaries" >&2
+    exit 1
+fi
+
 echo "verify: OK"

@@ -58,8 +58,9 @@ fn print_usage() {
     eprintln!("usage:");
     eprintln!("  flowdroid analyze <app-dir | app.rpk> [options]");
     eprintln!("  flowdroid serve --listen <addr> [--summary-cache <dir>] [--workers <n>]");
-    eprintln!("                  [--platform-snapshot <platform.fdps>]");
+    eprintln!("                  [--queue-cap <n>] [--platform-snapshot <platform.fdps>]");
     eprintln!("  flowdroid client <addr> analyze <app> [--deadline-ms <ms>] [--max-propagations <n>] [--taint-threads <n>]");
+    eprintln!("                  [--priority high|normal|batch] [--namespace <ns>] [--stream]");
     eprintln!("  flowdroid client <addr> cancel <job> | stats | shutdown");
     eprintln!("  flowdroid pack <app-dir> -o <app.rpk>");
     eprintln!("  flowdroid disas <app-dir | app.rpk>");
@@ -80,7 +81,8 @@ fn print_usage() {
     eprintln!("  --max-propagations <n>     abort after n forward path-edge propagations");
     eprintln!();
     eprintln!("addresses are `host:port` for TCP or `unix:<path>` for a Unix socket;");
-    eprintln!("exit codes: 0 clean, 2 leaks found, 3 analysis aborted, 1 errors");
+    eprintln!("exit codes: 0 clean, 2 leaks found, 3 analysis aborted, 4 rejected");
+    eprintln!("            (queue full; retry later), 5 protocol error, 1 other errors");
 }
 
 fn analyze(args: &[String]) -> ExitCode {
@@ -241,16 +243,25 @@ fn analyze(args: &[String]) -> ExitCode {
 }
 
 /// `flowdroid serve --listen <addr> [--summary-cache <dir>] [--workers <n>]
-/// [--platform-snapshot <platform.fdps>]`
+/// [--queue-cap <n>] [--platform-snapshot <platform.fdps>]`
 fn serve(args: &[String]) -> ExitCode {
-    use flowdroid_service::{Daemon, DaemonOptions, Listen};
+    use flowdroid_service::{Daemon, DaemonOptions, Listen, DEFAULT_QUEUE_CAP};
     let mut listen = None;
     let mut workers = 0usize;
+    let mut queue_cap = DEFAULT_QUEUE_CAP;
     let mut summary_cache = None;
     let mut platform_snapshot = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--queue-cap" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|v| v.parse().ok()) else {
+                    eprintln!("--queue-cap needs a number (0 = unbounded)");
+                    return ExitCode::FAILURE;
+                };
+                queue_cap = n;
+            }
             "--listen" => {
                 i += 1;
                 let Some(addr) = args.get(i) else {
@@ -294,8 +305,13 @@ fn serve(args: &[String]) -> ExitCode {
         eprintln!("serve: missing --listen <addr>");
         return ExitCode::FAILURE;
     };
-    let daemon =
-        match Daemon::bind(DaemonOptions { listen, workers, summary_cache, platform_snapshot }) {
+    let daemon = match Daemon::bind(DaemonOptions {
+        listen,
+        workers,
+        queue_cap,
+        summary_cache,
+        platform_snapshot,
+    }) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("serve: {e}");
@@ -344,6 +360,9 @@ fn client(args: &[String]) -> ExitCode {
             let mut deadline_ms = None;
             let mut max_propagations = None;
             let mut taint_threads = None;
+            let mut priority = flowdroid_service::Priority::Normal;
+            let mut namespace = String::new();
+            let mut stream = false;
             let mut i = 3;
             while i < args.len() {
                 let take_num = |i: &mut usize| -> Option<u64> {
@@ -351,6 +370,27 @@ fn client(args: &[String]) -> ExitCode {
                     args.get(*i).and_then(|v| v.parse().ok())
                 };
                 match args[i].as_str() {
+                    "--priority" => {
+                        i += 1;
+                        let parsed =
+                            args.get(i).and_then(|v| flowdroid_service::Priority::parse(v));
+                        match parsed {
+                            Some(p) => priority = p,
+                            None => {
+                                eprintln!("--priority needs one of: high, normal, batch");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                    "--namespace" => {
+                        i += 1;
+                        let Some(ns) = args.get(i) else {
+                            eprintln!("--namespace needs a name ([A-Za-z0-9._-], <= 64 bytes)");
+                            return ExitCode::FAILURE;
+                        };
+                        namespace = ns.to_string();
+                    }
+                    "--stream" => stream = true,
                     "--deadline-ms" => match take_num(&mut i) {
                         Some(n) => deadline_ms = Some(n),
                         None => {
@@ -381,37 +421,52 @@ fn client(args: &[String]) -> ExitCode {
                 }
                 i += 1;
             }
-            let send = c.send(&Request::Analyze {
+            let send = c.send(&Request::Analyze(flowdroid_service::AnalyzeRequest {
                 app: app.to_string(),
                 deadline_ms,
                 max_propagations,
                 taint_threads,
-            });
+                priority,
+                namespace,
+                stream,
+            }));
             if let Err(e) = send {
                 return fail(e);
             }
-            // Stream both lines as they arrive (the `queued` line lets
-            // scripts learn the job id while the job runs).
+            // Stream lines as they arrive: the `queued` line lets
+            // scripts learn the job id while the job runs, and with
+            // --stream every `progress`/`leak` frame is printed as it
+            // lands, ahead of the terminal `result` line.
             use std::io::Write as _;
-            for _ in 0..2 {
+            loop {
                 match c.read_response() {
                     Ok(v) => {
                         println!("{}", v.to_line());
                         let _ = std::io::stdout().flush();
-                        if v.str_field("type") == Some("result") {
-                            return if v.bool_field("aborted") == Some(true) {
-                                ExitCode::from(3)
-                            } else if v.u64_field("leaks").unwrap_or(0) > 0 {
-                                ExitCode::from(2)
-                            } else {
-                                ExitCode::SUCCESS
-                            };
+                        match v.str_field("type") {
+                            Some("result") => {
+                                return if v.bool_field("aborted") == Some(true) {
+                                    ExitCode::from(3)
+                                } else if v.u64_field("leaks").unwrap_or(0) > 0 {
+                                    ExitCode::from(2)
+                                } else {
+                                    ExitCode::SUCCESS
+                                };
+                            }
+                            // Backpressure: nothing was enqueued;
+                            // callers should retry later.
+                            Some("rejected") => return ExitCode::from(4),
+                            _ => {}
                         }
                     }
-                    Err(e) => return fail(e),
+                    // A broken frame stream or truncated reply is a
+                    // protocol error, distinct from analysis failure.
+                    Err(e) => {
+                        eprintln!("client: {e}");
+                        return ExitCode::from(5);
+                    }
                 }
             }
-            ExitCode::SUCCESS
         }
         "cancel" => {
             let Some(job) = args.get(2).and_then(|v| v.parse().ok()) else {
