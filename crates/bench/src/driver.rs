@@ -34,6 +34,18 @@ enum JobKind {
     /// A SecuriBench Micro case: plain-Java analysis from an explicit
     /// `main` entry point.
     Micro(Box<MicroCase>),
+    /// An app supplied from outside the built-in suites — a generated
+    /// ground-truth app or an on-disk directory / `.rpk` archive the
+    /// daemon was allowed to serve. Carries the raw artifacts
+    /// (`App::from_parts` inputs) so the job owns its sources.
+    External {
+        /// `AndroidManifest.xml` text.
+        manifest: String,
+        /// `(layout name, layout XML)` pairs.
+        layouts: Vec<(String, String)>,
+        /// `classes.jasm` source text.
+        code: String,
+    },
 }
 
 /// One app (or micro case) of the corpus, with a unique stable name.
@@ -42,6 +54,33 @@ pub struct CorpusJob {
     /// `insecurebank`); the corpus report is sorted by it.
     pub name: String,
     kind: JobKind,
+}
+
+/// Wraps a DroidBench-style [`BenchApp`] as a corpus job under an
+/// explicit name (the ground-truth harness names its generated apps by
+/// scenario and seed).
+pub fn droid_job(name: String, app: BenchApp) -> CorpusJob {
+    CorpusJob { name, kind: JobKind::Droid(Box::new(app)) }
+}
+
+/// Wraps a SecuriBench-style [`MicroCase`] as a corpus job named after
+/// the case.
+pub fn micro_job(case: MicroCase) -> CorpusJob {
+    CorpusJob { name: case.name.clone(), kind: JobKind::Micro(Box::new(case)) }
+}
+
+/// Wraps raw app artifacts (manifest, layouts, `jasm` code) as a corpus
+/// job. `name` MUST be unique per *content*: the demand-driven frontend
+/// caches the prepared SDEX image by job name for the process lifetime,
+/// so callers loading arbitrary on-disk apps must fold a content hash
+/// into the name (see the daemon's external-app loader).
+pub fn external_job(
+    name: String,
+    manifest: String,
+    layouts: Vec<(String, String)>,
+    code: String,
+) -> CorpusJob {
+    CorpusJob { name, kind: JobKind::External { manifest, layouts, code } }
 }
 
 /// The full benchmark corpus: every DroidBench app (table and
@@ -215,6 +254,22 @@ fn prepare(job: &CorpusJob, snapshot: &PlatformSnapshot) -> PreparedJob {
                 form: Prepared::Micro { sdex, entry_class: case.entry_class.clone() },
             }
         }
+        JobKind::External { manifest, layouts, code } => {
+            let refs: Vec<(&str, &str)> =
+                layouts.iter().map(|(n, x)| (n.as_str(), x.as_str())).collect();
+            let loaded = App::from_parts(&mut scratch, manifest, &refs, code)
+                .expect("external app parses");
+            let sdex: Arc<[u8]> = sdex::encode(&scratch, &loaded.classes).into();
+            PreparedJob {
+                fingerprint: app_fingerprint(snapshot.fingerprint, &sdex),
+                form: Prepared::Droid {
+                    manifest: loaded.manifest,
+                    layouts: loaded.layouts,
+                    resources: loaded.resources,
+                    sdex,
+                },
+            }
+        }
     }
 }
 
@@ -327,6 +382,20 @@ pub fn run_single(job: &CorpusJob, config: &InfoflowConfig) -> AppRun {
             let results = Infoflow::new(&sources, &wrapper, config).run(&p, &[entry]);
             let report = leak_report(&job.name, &results, &p);
             (results, report)
+        }
+        JobKind::External { manifest, layouts, code } => {
+            let mut p = Program::new();
+            let platform = install_platform(&mut p);
+            let refs: Vec<(&str, &str)> =
+                layouts.iter().map(|(n, x)| (n.as_str(), x.as_str())).collect();
+            let loaded =
+                App::from_parts(&mut p, manifest, &refs, code).expect("external app parses");
+            let sources = SourceSinkManager::default_android();
+            let wrapper = TaintWrapper::default_rules();
+            let analysis = Infoflow::new(&sources, &wrapper, config)
+                .analyze_app(&mut p, &platform, &loaded, "corpus");
+            let report = leak_report(&job.name, &analysis.results, &p);
+            (analysis.results, report)
         }
     };
     finish_run(job, start, results, report, 0, 0, 0, None)

@@ -18,9 +18,9 @@ pub mod eval;
 
 pub use corpus::{generate_app, AppProfile, GeneratedApp};
 pub use driver::{
-    corpus_report, droidbench_corpus, find_job, full_corpus, run_corpus, run_single,
-    run_single_lazy, run_single_lazy_deep_clone, shared_platform_snapshot, stress_job, AppRun,
-    CorpusJob, CorpusRun,
+    corpus_report, droid_job, droidbench_corpus, external_job, find_job, full_corpus, micro_job,
+    run_corpus, run_corpus_cold_warm, run_single, run_single_lazy, run_single_lazy_deep_clone,
+    shared_platform_snapshot, stress_job, AppRun, CorpusJob, CorpusRun,
 };
 pub use eval::{
     run_ablation_access_path, run_ablation_alias, run_ablation_callbacks, run_rq2, run_rq3,

@@ -176,6 +176,68 @@ impl AppScore {
     }
 }
 
+/// Per-category precision/recall aggregation: one [`AppScore`] per
+/// category name, plus the overall total. The single scoring schema
+/// shared by the DroidBench evaluation (`examples/droidbench_eval.rs`,
+/// `flowdroid droidbench`) and the ground-truth harness
+/// (`flowdroid-truth`), so precision/recall math lives in exactly one
+/// place.
+#[derive(Clone, Debug, Default)]
+pub struct ScoreBoard {
+    by_category: std::collections::BTreeMap<String, AppScore>,
+}
+
+impl ScoreBoard {
+    /// An empty board.
+    pub fn new() -> ScoreBoard {
+        ScoreBoard::default()
+    }
+
+    /// Adds one app's score under `category` (created on first use).
+    pub fn record(&mut self, category: &str, score: AppScore) {
+        self.by_category.entry(category.to_string()).or_default().add(score);
+    }
+
+    /// `(category, score)` rows in sorted category order.
+    pub fn rows(&self) -> impl Iterator<Item = (&str, &AppScore)> {
+        self.by_category.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The sum over all categories.
+    pub fn total(&self) -> AppScore {
+        let mut t = AppScore::default();
+        for s in self.by_category.values() {
+            t.add(*s);
+        }
+        t
+    }
+
+    /// Renders the per-category table plus a total row, one line per
+    /// category: `name  tp/fp/fn  precision recall`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let width = self.by_category.keys().map(|k| k.len()).max().unwrap_or(5).max(5);
+        let mut out = String::new();
+        let mut line = |name: &str, s: &AppScore| {
+            writeln!(
+                out,
+                "{name:width$}  tp {:3}  fp {:3}  fn {:3}  precision {:.3}  recall {:.3}",
+                s.tp,
+                s.fp,
+                s.fn_,
+                s.precision(),
+                s.recall()
+            )
+            .unwrap();
+        };
+        for (name, s) in &self.by_category {
+            line(name, s);
+        }
+        line("TOTAL", &self.total());
+        out
+    }
+}
+
 /// Standard single-activity manifest used by most apps.
 pub(crate) fn single_activity_manifest(pkg: &str, activity: &str) -> String {
     format!(

@@ -1,0 +1,126 @@
+//! Property tests for the `.rpk` archive codec: the parser must reject
+//! every corrupted input — truncations at any offset, single-bit
+//! flips, oversized length declarations, arbitrary byte soup — with a
+//! clean [`ArchiveError`], never a panic or an out-of-bounds slice,
+//! while round-tripping every well-formed archive exactly.
+
+use flowdroid_frontend::rpk::Archive;
+use proptest::prelude::*;
+
+/// Strategy for archive contents: 0–6 entries with arbitrary (short)
+/// paths and binary payloads, including empty ones. Duplicate paths
+/// collapse (last wins), exactly as `Archive::add` documents.
+fn arb_entries() -> impl Strategy<Value = Vec<(String, Vec<u8>)>> {
+    proptest::collection::vec(
+        ("[a-zA-Z0-9_/.-]{0,24}", proptest::collection::vec(any::<u8>(), 0..64)),
+        0..6,
+    )
+}
+
+fn build(entries: &[(String, Vec<u8>)]) -> Archive {
+    let mut a = Archive::new();
+    for (path, data) in entries {
+        a.add(path.clone(), data.clone());
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Encode/decode is the identity on well-formed archives.
+    #[test]
+    fn roundtrip_is_exact(entries in arb_entries()) {
+        let archive = build(&entries);
+        let bytes = archive.to_bytes();
+        let back = Archive::from_bytes(&bytes).expect("self-produced bytes parse");
+        prop_assert_eq!(archive.len(), back.len());
+        for (path, data) in archive.iter() {
+            prop_assert_eq!(back.get(path), Some(data));
+        }
+    }
+
+    /// Every proper-prefix truncation is rejected cleanly. (A valid
+    /// archive's serialization is self-delimiting, so no strict prefix
+    /// can also be valid — cutting mid-header, mid-path or mid-payload
+    /// must all surface as errors, never panics.)
+    #[test]
+    fn every_truncation_is_rejected(entries in arb_entries()) {
+        let bytes = build(&entries).to_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                Archive::from_bytes(&bytes[..cut]).is_err(),
+                "truncation to {}/{} bytes parsed", cut, bytes.len()
+            );
+        }
+    }
+
+    /// A single flipped bit never panics the parser; when it still
+    /// parses, the result must serialize back without panicking too.
+    #[test]
+    fn bit_flips_never_panic(entries in arb_entries(), idx in any::<usize>(), bit in 0u8..8) {
+        let mut bytes = build(&entries).to_bytes();
+        let i = idx % bytes.len();
+        bytes[i] ^= 1 << bit;
+        if let Ok(parsed) = Archive::from_bytes(&bytes) {
+            let _ = parsed.to_bytes();
+        }
+    }
+
+    /// Headers that declare more entries, longer paths, or larger
+    /// payloads than the input carries are rejected, not trusted. The
+    /// declared size is adversarial — up to `u64::MAX` — so the parser
+    /// must bound its work by the *actual* input length.
+    #[test]
+    fn oversized_length_declarations_are_rejected(declared in 1u64..=u64::MAX, which in 0usize..3) {
+        let path = b"classes.jasm";
+        let data = b"class A {}";
+        // Build the archive by hand so one length field can be inflated.
+        let uleb = |out: &mut Vec<u8>, mut v: u64| loop {
+            let b = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 { out.push(b); break; }
+            out.push(b | 0x80);
+        };
+        let mut bytes = b"RPK1".to_vec();
+        uleb(&mut bytes, if which == 0 { declared } else { 1 });
+        uleb(&mut bytes, if which == 1 { declared } else { path.len() as u64 });
+        bytes.extend_from_slice(path);
+        uleb(&mut bytes, if which == 2 { declared } else { data.len() as u64 });
+        bytes.extend_from_slice(data);
+        // Inflating the entry count, the path length or the data length
+        // all desynchronize the stream; only the exact original values
+        // parse.
+        let exact = (which == 0 && declared == 1)
+            || (which == 1 && declared == path.len() as u64)
+            || (which == 2 && declared == data.len() as u64);
+        if exact {
+            prop_assert!(Archive::from_bytes(&bytes).is_ok());
+        } else {
+            prop_assert!(
+                Archive::from_bytes(&bytes).is_err(),
+                "inflated length field {} = {} parsed", which, declared
+            );
+        }
+    }
+
+    /// Arbitrary byte soup (with and without a valid magic) never
+    /// panics.
+    #[test]
+    fn arbitrary_bytes_never_panic(soup in proptest::collection::vec(any::<u8>(), 0..256), magic in any::<bool>()) {
+        let mut bytes = soup;
+        if magic && bytes.len() >= 4 {
+            bytes[..4].copy_from_slice(b"RPK1");
+        }
+        let _ = Archive::from_bytes(&bytes);
+    }
+}
+
+/// The error type carries the offset of the corruption, which callers
+/// (the daemon's external-app loader) surface verbatim.
+#[test]
+fn errors_carry_offsets() {
+    let err = Archive::from_bytes(b"RPK1\x01\x7f").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("at byte"), "got: {msg}");
+}

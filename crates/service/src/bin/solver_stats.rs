@@ -43,8 +43,23 @@
 //! p99, the overloaded queue rejects nothing, the storm leaves jobs
 //! undrained, or any streamed report diverges.
 //!
-//! Usage: `solver_stats [--mode full|service|service-load] [output.json]`
-//! (default mode `full`, default output `BENCH_solver.json`).
+//! `--mode ground-truth` runs the seeded synthetic corpus from
+//! `flowdroid-truth` instead of the benchmark corpus: it sweeps every
+//! engine configuration (solver × table layout × frontend × cache
+//! temperature) over the generated apps, scores the reference engine
+//! per category against each app's ground-truth manifest, probes the
+//! access-path k-limit on the widening chains, re-checks the ICC pairs
+//! in linked mode, and round-trips every packed `.rpk` through an
+//! in-process daemon under the `--allow-apps` path policy (including a
+//! denied-path probe). Results land in a `"ground_truth"` section of
+//! the same output file; the binary exits non-zero on any pairwise
+//! report divergence, manifest drift, constructive-corpus imprecision,
+//! missed k-limit trip, ICC mismatch, daemon/local report mismatch, or
+//! policy failure.
+//!
+//! Usage: `solver_stats [--mode full|service|service-load|ground-truth]
+//! [output.json]` (default mode `full`, default output
+//! `BENCH_solver.json`).
 
 use flowdroid_bench::driver::{corpus_report, full_corpus, run_corpus, CorpusJob, CorpusRun};
 use flowdroid_core::{InfoflowConfig, SchedulerStats, SummaryCacheStats, TableStats};
@@ -248,14 +263,17 @@ fn main() {
             "--mode" => match args.next() {
                 Some(m) => mode = m,
                 None => {
-                    eprintln!("solver_stats: --mode needs a value (full|service|service-load)");
+                    eprintln!(
+                        "solver_stats: --mode needs a value \
+                         (full|service|service-load|ground-truth)"
+                    );
                     std::process::exit(1);
                 }
             },
             other if other.starts_with('-') => {
                 eprintln!(
-                    "solver_stats: unknown option `{other}` \
-                     (usage: solver_stats [--mode full|service|service-load] [output.json])"
+                    "solver_stats: unknown option `{other}` (usage: solver_stats \
+                     [--mode full|service|service-load|ground-truth] [output.json])"
                 );
                 std::process::exit(1);
             }
@@ -266,9 +284,11 @@ fn main() {
         "full" => run_full(&out_path),
         "service" => run_service(&out_path),
         "service-load" => run_service_load(&out_path),
+        "ground-truth" => run_ground_truth(&out_path),
         other => {
             eprintln!(
-                "solver_stats: unknown mode `{other}` (expected full|service|service-load)"
+                "solver_stats: unknown mode `{other}` \
+                 (expected full|service|service-load|ground-truth)"
             );
             std::process::exit(1);
         }
@@ -556,6 +576,7 @@ fn run_service(out_path: &str) {
         queue_cap: 0,
         summary_cache: Some(cache.clone()),
         platform_snapshot: Some(snap_path.clone()),
+        allow_apps: Vec::new(),
     })
     .expect("bind daemon");
     let addr = daemon.local_addr().to_string();
@@ -753,7 +774,7 @@ fn run_service(out_path: &str) {
 
 /// The benchmark sections appended after the full-mode document, in
 /// their fixed emission order.
-const TAIL_KEYS: [&str; 2] = ["service", "service_load"];
+const TAIL_KEYS: [&str; 3] = ["service", "service_load", "ground_truth"];
 
 /// Splices `section` into `out_path` as the tail key `key`, keeping the
 /// full-mode document (including `available_cores`) and any *other*
@@ -835,6 +856,7 @@ fn run_service_load(out_path: &str) {
             queue_cap,
             summary_cache: cache,
             platform_snapshot: Some(snap_path.clone()),
+            allow_apps: Vec::new(),
         })
         .expect("bind daemon");
         let addr = daemon.local_addr().to_string();
@@ -851,6 +873,7 @@ fn run_service_load(out_path: &str) {
         match c.analyze_with(app, opts, &mut |_| {}).expect("job") {
             AnalyzeOutcome::Done { result, .. } => result,
             AnalyzeOutcome::Rejected { .. } => panic!("unbounded queue must not reject"),
+            AnalyzeOutcome::Denied { .. } => panic!("corpus names never hit the path policy"),
         }
     };
     let pct = |sorted: &[f64], p: f64| -> f64 {
@@ -936,6 +959,7 @@ fn run_service_load(out_path: &str) {
             match c.analyze_with("stress/2500", &opts, &mut |_| {}).expect("job") {
                 AnalyzeOutcome::Done { .. } => t0.elapsed().as_secs_f64() * 1e3,
                 AnalyzeOutcome::Rejected { .. } => panic!("unbounded queue must not reject"),
+            AnalyzeOutcome::Denied { .. } => panic!("corpus names never hit the path policy"),
             }
         })
     };
@@ -973,6 +997,7 @@ fn run_service_load(out_path: &str) {
                 assert_eq!(queue_cap, 4, "rejected line carries the daemon's cap");
                 rejected += 1;
             }
+            Submitted::Denied { .. } => panic!("corpus names never hit the path policy"),
         }
     }
     let accepted = inflight.len();
@@ -1011,6 +1036,7 @@ fn run_service_load(out_path: &str) {
         match c.submit("stress/3000", &opts).expect("submit") {
             Submitted::Queued(id) => pending.push((id, c)),
             Submitted::Rejected { .. } => panic!("unbounded queue must not reject"),
+            Submitted::Denied { .. } => panic!("corpus names never hit the path policy"),
         }
     }
     let mut canceller = Client::connect(&addr).expect("cancel connection");
@@ -1051,6 +1077,7 @@ fn run_service_load(out_path: &str) {
         {
             AnalyzeOutcome::Done { result, .. } => result,
             AnalyzeOutcome::Rejected { .. } => panic!("unbounded queue must not reject"),
+            AnalyzeOutcome::Denied { .. } => panic!("corpus names never hit the path policy"),
         };
         for threads in [1u64, 4] {
             let opts = AnalyzeOptions {
@@ -1068,6 +1095,7 @@ fn run_service_load(out_path: &str) {
             {
                 AnalyzeOutcome::Done { result, .. } => result,
                 AnalyzeOutcome::Rejected { .. } => panic!("unbounded queue must not reject"),
+            AnalyzeOutcome::Denied { .. } => panic!("corpus names never hit the path policy"),
             };
             if streamed.report != baseline.report {
                 stream_divergences += 1;
@@ -1200,6 +1228,189 @@ fn run_service_load(out_path: &str) {
     }
     if stream_divergences != 0 {
         fail("streaming phase: a streamed report diverged from the non-streamed run");
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// `--mode ground-truth`: the seeded differential harness. Generates
+/// the synthetic corpus, sweeps the full engine matrix, scores the
+/// reference engine against the manifests, checks linked-ICC mode, and
+/// serves the packed `.rpk` archives through an in-process daemon
+/// under the `--allow-apps` path policy. See the module docs for the
+/// gates.
+fn run_ground_truth(out_path: &str) {
+    use flowdroid_bench::driver::run_single;
+    use flowdroid_service::{AnalyzeOptions, Submitted};
+    use flowdroid_truth::{check_icc_linked, generate_corpus, run_differential};
+
+    const SEED: u64 = 42;
+    const PER_CATEGORY: usize = 2;
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let apps = generate_corpus(SEED, PER_CATEGORY);
+    eprintln!(
+        "ground-truth: differential sweep over {} generated apps (seed {SEED}) ...",
+        apps.len()
+    );
+
+    let cache = std::env::temp_dir()
+        .join(format!("flowdroid-ground-truth-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+    let d = run_differential(&apps, &cache);
+    let _ = std::fs::remove_dir_all(&cache);
+
+    eprintln!("ground-truth: linked-ICC re-check ...");
+    let icc = check_icc_linked(&apps);
+
+    // ---- Daemon leg: every archive served under the path policy ----
+    eprintln!("ground-truth: daemon leg ({} .rpk archives) ...", apps.len());
+    let root = std::env::temp_dir()
+        .join(format!("flowdroid-ground-truth-apps-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("create allow root");
+    let rpks: Vec<_> = apps
+        .iter()
+        .map(|app| {
+            let path = root.join(format!("{}.rpk", app.name.replace('/', "-")));
+            std::fs::write(&path, app.rpk_bytes()).expect("write rpk");
+            (app, path)
+        })
+        .collect();
+    let daemon = Daemon::bind(DaemonOptions {
+        listen: Listen::parse("127.0.0.1:0"),
+        workers: 2,
+        queue_cap: 0,
+        summary_cache: None,
+        platform_snapshot: None,
+        allow_apps: vec![root.clone()],
+    })
+    .expect("bind daemon");
+    let addr = daemon.local_addr().to_string();
+    let accept_loop = std::thread::spawn(move || daemon.run().expect("daemon run"));
+    let mut c = Client::connect(&addr).expect("connect");
+
+    // External jobs carry a content-hashed name, so the report header
+    // differs from the local run's; the sorted leak lines underneath
+    // are the byte-comparison unit.
+    let leak_lines =
+        |report: &str| -> String { report.lines().skip(1).collect::<Vec<_>>().join("\n") };
+    let mut daemon_mismatches = 0usize;
+    for (app, path) in &rpks {
+        let (_, result) =
+            c.analyze(path.to_str().unwrap(), None, None, None).expect("external job");
+        let local = run_single(&app.job(), &InfoflowConfig::default());
+        if result.leaks as usize != app.expected_reported
+            || leak_lines(&result.report) != leak_lines(&local.report)
+        {
+            daemon_mismatches += 1;
+            eprintln!("ground-truth: DAEMON MISMATCH on {}", app.name);
+        }
+    }
+    // And the policy must refuse a path outside the allow root.
+    let outside = std::env::temp_dir()
+        .join(format!("flowdroid-ground-truth-outside-{}.rpk", std::process::id()));
+    std::fs::write(&outside, b"never served").expect("write outside file");
+    let policy_denied_works = matches!(
+        c.submit(outside.to_str().unwrap(), &AnalyzeOptions::default())
+            .expect("submit outside path"),
+        Submitted::Denied { .. }
+    );
+    let _ = std::fs::remove_file(&outside);
+    c.shutdown().expect("shutdown");
+    accept_loop.join().expect("accept loop exits cleanly");
+    let _ = std::fs::remove_dir_all(&root);
+    let daemon_external_ok = daemon_mismatches == 0;
+
+    let mut section = String::new();
+    writeln!(section, "{{").unwrap();
+    writeln!(section, "    \"seed\": {SEED},").unwrap();
+    writeln!(section, "    \"apps\": {},", apps.len()).unwrap();
+    let engine_names: Vec<String> =
+        d.engines.iter().map(|e| format!("\"{}\"", e.name)).collect();
+    writeln!(section, "    \"engines\": [{}],", engine_names.join(", ")).unwrap();
+    writeln!(section, "    \"divergent_pairs\": {},", d.divergent_pairs).unwrap();
+    writeln!(section, "    \"reports_identical\": {},", d.divergent_pairs == 0).unwrap();
+    writeln!(section, "    \"drift_apps\": {},", d.drift.len()).unwrap();
+    writeln!(section, "    \"categories\": [").unwrap();
+    let rows: Vec<String> = d
+        .board
+        .rows()
+        .map(|(cat, s)| {
+            format!(
+                concat!(
+                    "      {{ \"category\": \"{}\", \"tp\": {}, \"fp\": {}, \"fn\": {}, ",
+                    "\"precision\": {:.4}, \"recall\": {:.4} }}"
+                ),
+                cat,
+                s.tp,
+                s.fp,
+                s.fn_,
+                s.precision(),
+                s.recall()
+            )
+        })
+        .collect();
+    writeln!(section, "{}", rows.join(",\n")).unwrap();
+    writeln!(section, "    ],").unwrap();
+    writeln!(section, "    \"constructive_tp\": {},", d.constructive.tp).unwrap();
+    writeln!(section, "    \"constructive_fp\": {},", d.constructive.fp).unwrap();
+    writeln!(section, "    \"constructive_fn\": {},", d.constructive.fn_).unwrap();
+    writeln!(section, "    \"constructive_precision\": {:.4},", d.constructive.precision())
+        .unwrap();
+    writeln!(section, "    \"constructive_recall\": {:.4},", d.constructive.recall())
+        .unwrap();
+    writeln!(section, "    \"k_limit_apps\": {},", d.k_limit.apps).unwrap();
+    writeln!(section, "    \"k_limit_tripped\": {},", d.k_limit.tripped).unwrap();
+    writeln!(section, "    \"k_limit_precise\": {},", d.k_limit.precise).unwrap();
+    writeln!(section, "    \"icc_linked_apps\": {},", icc.apps).unwrap();
+    writeln!(section, "    \"icc_linked_ok\": {},", icc.ok()).unwrap();
+    writeln!(section, "    \"daemon_apps\": {},", rpks.len()).unwrap();
+    writeln!(section, "    \"daemon_mismatches\": {daemon_mismatches},").unwrap();
+    writeln!(section, "    \"daemon_external_ok\": {daemon_external_ok},").unwrap();
+    writeln!(section, "    \"policy_denied_works\": {policy_denied_works}").unwrap();
+    write!(section, "  }}").unwrap();
+
+    let json = splice_tail_section(out_path, "ground_truth", &section, apps.len(), cores);
+    std::fs::write(out_path, &json).expect("write ground-truth section");
+    eprintln!("wrote {out_path} (ground_truth section)");
+    eprint!("{}", d.board.render());
+
+    let mut failed = false;
+    let mut fail = |msg: &str| {
+        eprintln!("FAIL: {msg}");
+        failed = true;
+    };
+    if d.divergent_pairs != 0 {
+        fail("engine matrix: pairwise report divergence");
+        for row in &d.agreement {
+            eprintln!("  agreement: {row:?}");
+        }
+    }
+    if !d.drift.is_empty() {
+        fail("ground-truth drift: reference engine disagrees with a manifest");
+        for line in &d.drift {
+            eprintln!("  drift: {line}");
+        }
+    }
+    if d.constructive.fp != 0 || d.constructive.fn_ != 0 {
+        fail("constructive corpus: precision/recall below 1.0");
+    }
+    if !d.k_limit.ok() {
+        fail("widening apps never tripped the access-path k-limit");
+    }
+    if !icc.ok() {
+        fail("linked-ICC leak counts diverged from the manifests");
+        for line in &icc.mismatches {
+            eprintln!("  icc: {line}");
+        }
+    }
+    if !daemon_external_ok {
+        fail("daemon leg: an externally served .rpk diverged from the local run");
+    }
+    if !policy_denied_works {
+        fail("path policy accepted an archive outside the allow root");
     }
     if failed {
         std::process::exit(1);

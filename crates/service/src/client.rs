@@ -51,6 +51,13 @@ pub enum Submitted {
         /// The daemon's configured cap.
         queue_cap: u64,
     },
+    /// Refused by the daemon's external-app path policy: the requested
+    /// path is outside its `--allow-apps` sandbox (or it serves no
+    /// external apps at all). Retrying is pointless.
+    Denied {
+        /// The daemon's refusal message.
+        message: String,
+    },
 }
 
 /// Final outcome of a blocking [`Client::analyze_with`] call.
@@ -69,6 +76,12 @@ pub enum AnalyzeOutcome {
         queue_depth: u64,
         /// The daemon's configured cap.
         queue_cap: u64,
+    },
+    /// Refused by the external-app path policy; see
+    /// [`Submitted::Denied`].
+    Denied {
+        /// The daemon's refusal message.
+        message: String,
     },
 }
 
@@ -132,6 +145,12 @@ impl Client {
                 queue_depth: first.u64_field("queue_depth").unwrap_or(0),
                 queue_cap: first.u64_field("queue_cap").unwrap_or(0),
             }),
+            Some("denied") => Ok(Submitted::Denied {
+                message: first
+                    .str_field("message")
+                    .unwrap_or("path denied by policy")
+                    .to_string(),
+            }),
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unexpected reply to analyze: {other:?}"),
@@ -154,6 +173,7 @@ impl Client {
             Submitted::Rejected { queue_depth, queue_cap } => {
                 return Ok(AnalyzeOutcome::Rejected { queue_depth, queue_cap })
             }
+            Submitted::Denied { message } => return Ok(AnalyzeOutcome::Denied { message }),
             Submitted::Queued(id) => id,
         };
         loop {
@@ -184,6 +204,9 @@ impl Client {
             AnalyzeOutcome::Rejected { queue_depth, queue_cap } => Err(io::Error::other(format!(
                 "daemon rejected job: queue full ({queue_depth}/{queue_cap})"
             ))),
+            AnalyzeOutcome::Denied { message } => {
+                Err(io::Error::other(format!("daemon denied app path: {message}")))
+            }
         }
     }
 
@@ -203,6 +226,9 @@ impl Client {
             Submitted::Rejected { queue_depth, queue_cap } => Err(io::Error::other(format!(
                 "daemon rejected job: queue full ({queue_depth}/{queue_cap})"
             ))),
+            Submitted::Denied { message } => {
+                Err(io::Error::other(format!("daemon denied app path: {message}")))
+            }
         }
     }
 

@@ -56,9 +56,12 @@
 //!   flushes the summary cache a final time; the worker threads are
 //!   joined before [`Daemon::run`] returns.
 
+use crate::external::{is_path_request, load_external_job, AppPolicy};
 use crate::json::{obj, Json};
 use crate::net::{connect, Conn, Listen, Listener};
-use crate::proto::{error_line, rejected_line, AnalyzeRequest, JobResult, Priority, Request};
+use crate::proto::{
+    denied_line, error_line, rejected_line, AnalyzeRequest, JobResult, Priority, Request,
+};
 use flowdroid_android::{build_snapshot, load_snapshot, PlatformSnapshot};
 use flowdroid_bench::{find_job, run_single_lazy, CorpusJob};
 use flowdroid_core::{
@@ -98,6 +101,12 @@ pub struct DaemonOptions {
     /// submissions beyond it get a typed `rejected` reply. `0` means
     /// unbounded (no admission control).
     pub queue_cap: usize,
+    /// Directories external apps (on-disk app dirs or `.rpk` archives)
+    /// may be served from. Canonicalized at bind time; an `analyze`
+    /// request naming a path outside every root — or any path at all
+    /// when this is empty — gets a typed `denied` reply. See
+    /// [`crate::external::AppPolicy`].
+    pub allow_apps: Vec<PathBuf>,
 }
 
 impl DaemonOptions {
@@ -109,6 +118,7 @@ impl DaemonOptions {
             summary_cache: None,
             platform_snapshot: None,
             queue_cap: DEFAULT_QUEUE_CAP,
+            allow_apps: Vec::new(),
         }
     }
 }
@@ -228,6 +238,8 @@ struct Inner {
     shutdown_replied: bool,
     /// Submissions rejected by admission control.
     rejected: u64,
+    /// Submissions refused by the external-app path policy.
+    denied: u64,
     /// Accepted submissions per priority lane.
     submitted: [u64; 3],
     /// Scheduler counters summed over completed parallel jobs.
@@ -247,6 +259,8 @@ struct Shared {
     /// Set before the accept loop is woken for the last time.
     stop_accept: AtomicBool,
     summary_cache: Option<PathBuf>,
+    /// The external-app sandbox ([`DaemonOptions::allow_apps`]).
+    policy: AppPolicy,
     /// The shared, read-only platform model every job overlays.
     snapshot: Arc<PlatformSnapshot>,
     /// Daemon-resident callgraph / entry-point cache shared by all
@@ -273,6 +287,7 @@ pub struct Daemon {
 impl Daemon {
     /// Binds the listen address and starts the worker pool.
     pub fn bind(opts: DaemonOptions) -> io::Result<Daemon> {
+        let policy = AppPolicy::new(&opts.allow_apps)?;
         let listener = Listener::bind(&opts.listen)?;
         let addr = listener.local_addr()?;
         let workers = if opts.workers == 0 {
@@ -304,6 +319,7 @@ impl Daemon {
             queue_cap: opts.queue_cap,
             stop_accept: AtomicBool::new(false),
             summary_cache: opts.summary_cache,
+            policy,
             snapshot: Arc::new(snapshot),
             // Comfortably above the full corpus size, so a service
             // benchmark sweep stays warm end to end.
@@ -534,6 +550,7 @@ fn handle_analyze(
     };
     match submit(shared, &req.app, req.deadline_ms, spec, progress) {
         Err(Refusal::Error(e)) => write_line(reader.get_mut(), &error_line(&e)),
+        Err(Refusal::PolicyDenied(e)) => write_line(reader.get_mut(), &denied_line(&e)),
         Err(Refusal::QueueFull { depth }) => {
             write_line(reader.get_mut(), &rejected_line(depth as u64, shared.queue_cap as u64))
         }
@@ -622,12 +639,20 @@ enum Refusal {
     Error(String),
     /// Admission control: the queue is at capacity (backpressure).
     QueueFull { depth: usize },
+    /// The external-app path policy refused the path (typed `denied`
+    /// reply, distinct from `error` so clients can exit differently).
+    PolicyDenied(String),
 }
 
 /// Validates the app name, registers the job and queues it on the
 /// requested priority lane. The job id is its 1-based submission index.
 /// Admission and registration happen under the queue lock, so the
 /// waiting-job bound is exact even under concurrent submissions.
+///
+/// Path-shaped names (leading `/`, `./`, `../` or a `.rpk` suffix) are
+/// external apps: they pass the allow-list policy, then load and parse
+/// *here*, against a throwaway overlay of the shared platform snapshot
+/// — a malformed app must be refused at submission, not panic a worker.
 fn submit(
     shared: &Shared,
     app: &str,
@@ -635,9 +660,22 @@ fn submit(
     spec: JobSpec,
     progress: Option<ProgressSink>,
 ) -> Result<u64, Refusal> {
-    let job = find_job(app).ok_or_else(|| {
-        Refusal::Error(format!("unknown app `{app}` (expected a corpus name or `stress/<K>`)"))
-    })?;
+    let job = if is_path_request(app) {
+        let real = shared.policy.resolve(app).map_err(|e| {
+            shared.inner.lock().unwrap().denied += 1;
+            Refusal::PolicyDenied(e.to_string())
+        })?;
+        let mut scratch = shared.snapshot.overlay_program();
+        load_external_job(&real, &mut scratch)
+            .map_err(|e| Refusal::Error(format!("cannot load app `{app}`: {e}")))?
+    } else {
+        find_job(app).ok_or_else(|| {
+            Refusal::Error(format!(
+                "unknown app `{app}` (expected a corpus name, `stress/<K>`, or an \
+                 allowed app path)"
+            ))
+        })?
+    };
     let abort = match deadline_ms {
         Some(ms) => AbortHandle::with_deadline(Duration::from_millis(ms)),
         None => AbortHandle::new(),
@@ -781,6 +819,7 @@ fn stats(shared: &Shared) -> Json {
         ("completed", Json::from(by_state[JobState::Done as usize])),
         ("aborted", Json::from(aborted)),
         ("rejected", Json::from(inner.rejected)),
+        ("policy_denied", Json::from(inner.denied)),
         ("submitted_high", Json::from(inner.submitted[Priority::High.lane()])),
         ("submitted_normal", Json::from(inner.submitted[Priority::Normal.lane()])),
         ("submitted_batch", Json::from(inner.submitted[Priority::Batch.lane()])),

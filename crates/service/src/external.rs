@@ -1,0 +1,310 @@
+//! Serving external apps from disk, behind an allow-list path policy.
+//!
+//! The daemon's corpus is compiled in; everything else it may analyze
+//! must come from the filesystem the operator explicitly exposed with
+//! `serve --allow-apps DIR`. Two layers:
+//!
+//! * [`AppPolicy`] — the sandbox. Allow-roots are canonicalized at
+//!   daemon boot; every requested path is canonicalized *before* the
+//!   prefix check, so `..` segments and symlinks pointing outside a
+//!   root resolve to their real target and fail the check. An empty
+//!   policy (no `--allow-apps`) denies every path. Policy refusals get
+//!   a typed `denied` wire reply, distinct from protocol errors, so
+//!   clients can tell "outside the sandbox" from "malformed app".
+//! * [`load_external_job`] — the loader. Accepts an on-disk app
+//!   directory (`AndroidManifest.xml`, `res/layout/*.xml`,
+//!   `classes.jasm`) or a packed `.rpk` archive, and builds a
+//!   [`CorpusJob`] whose name folds in a content hash: the bench
+//!   layer's prepared-job registry caches by name forever, so two
+//!   different apps at the same path — or the same path edited between
+//!   submissions — must never collide on a name.
+
+use flowdroid_bench::{external_job, CorpusJob};
+use flowdroid_frontend::rpk::Archive;
+use flowdroid_frontend::App;
+use flowdroid_ir::Program;
+use std::path::{Path, PathBuf};
+
+/// The `serve --allow-apps` sandbox: the canonicalized roots external
+/// app paths must resolve under.
+#[derive(Clone, Debug, Default)]
+pub struct AppPolicy {
+    roots: Vec<PathBuf>,
+}
+
+/// Why a path was refused by [`AppPolicy::resolve`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PolicyError {
+    /// The daemon runs without `--allow-apps`: all paths are denied.
+    NoRoots,
+    /// The path does not exist (or cannot be canonicalized).
+    NotFound(String),
+    /// The canonicalized path lies outside every allow-root.
+    Outside(String),
+}
+
+impl std::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyError::NoRoots => {
+                write!(f, "daemon serves no external apps (start with --allow-apps DIR)")
+            }
+            PolicyError::NotFound(p) => write!(f, "app path `{p}` not found"),
+            PolicyError::Outside(p) => {
+                write!(f, "app path `{p}` resolves outside the allowed roots")
+            }
+        }
+    }
+}
+
+impl AppPolicy {
+    /// Builds the policy, canonicalizing every root now — a root that
+    /// does not exist is a boot-time configuration error, not something
+    /// to discover per request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the canonicalization error of the first bad root.
+    pub fn new(roots: &[PathBuf]) -> std::io::Result<AppPolicy> {
+        let roots = roots
+            .iter()
+            .map(|r| {
+                r.canonicalize().map_err(|e| {
+                    std::io::Error::new(
+                        e.kind(),
+                        format!("--allow-apps {}: {e}", r.display()),
+                    )
+                })
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(AppPolicy { roots })
+    }
+
+    /// Whether any root is configured.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Canonicalizes `path` and checks it sits under an allow-root.
+    /// Canonicalization resolves symlinks and `..` segments first, so
+    /// an inside-the-root symlink pointing outside is refused.
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError`] describing the refusal.
+    pub fn resolve(&self, path: &str) -> Result<PathBuf, PolicyError> {
+        if self.roots.is_empty() {
+            return Err(PolicyError::NoRoots);
+        }
+        let real = Path::new(path)
+            .canonicalize()
+            .map_err(|_| PolicyError::NotFound(path.to_string()))?;
+        if self.roots.iter().any(|r| real.starts_with(r)) {
+            Ok(real)
+        } else {
+            Err(PolicyError::Outside(path.to_string()))
+        }
+    }
+}
+
+/// Whether an `analyze` request's `app` field addresses the filesystem
+/// (policy territory) rather than the compiled-in corpus. Corpus names
+/// (`droidbench/Button1`, `stress/2000`, …) never start with `/` or a
+/// dot segment and never carry the `.rpk` suffix.
+pub fn is_path_request(app: &str) -> bool {
+    app.starts_with('/')
+        || app.starts_with("./")
+        || app.starts_with("../")
+        || app.ends_with(".rpk")
+}
+
+/// FNV-1a over the app's content, folded into the job name.
+fn content_hash(manifest: &str, layouts: &[(String, String)], code: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(manifest.as_bytes());
+    for (name, xml) in layouts {
+        eat(name.as_bytes());
+        eat(xml.as_bytes());
+    }
+    eat(code.as_bytes());
+    h
+}
+
+fn read_str(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))
+}
+
+/// Reads an app directory: `AndroidManifest.xml` + `classes.jasm` +
+/// optional `res/layout/*.xml`.
+fn load_dir(dir: &Path) -> Result<(String, Vec<(String, String)>, String), String> {
+    let manifest = read_str(&dir.join("AndroidManifest.xml"))?;
+    let code = read_str(&dir.join("classes.jasm"))?;
+    let mut layouts = Vec::new();
+    let ldir = dir.join("res/layout");
+    if ldir.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&ldir)
+            .map_err(|e| format!("cannot read {}: {e}", ldir.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "xml"))
+            .collect();
+        entries.sort();
+        for p in entries {
+            let name = p
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .ok_or_else(|| format!("bad layout file name {}", p.display()))?
+                .to_string();
+            layouts.push((name, read_str(&p)?));
+        }
+    }
+    Ok((manifest, layouts, code))
+}
+
+/// Unpacks a `.rpk` archive: same required entries as a directory, with
+/// layouts under `res/layout/`. Unknown entries (e.g. a `truth.json`
+/// ground-truth manifest) are ignored, matching the frontend loader.
+fn load_rpk(path: &Path) -> Result<(String, Vec<(String, String)>, String), String> {
+    let bytes =
+        std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let ar = Archive::from_bytes(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+    let entry = |name: &str| {
+        ar.get_str(name)
+            .map(str::to_string)
+            .ok_or_else(|| format!("{}: missing archive entry `{name}`", path.display()))
+    };
+    let manifest = entry("AndroidManifest.xml")?;
+    let code = entry("classes.jasm")?;
+    let mut names: Vec<String> =
+        ar.paths_under("res/layout/").map(str::to_string).collect();
+    names.sort();
+    let mut layouts = Vec::new();
+    for full in names {
+        let stem = full
+            .strip_prefix("res/layout/")
+            .and_then(|s| s.strip_suffix(".xml"))
+            .ok_or_else(|| format!("{}: bad layout entry `{full}`", path.display()))?;
+        layouts.push((stem.to_string(), entry(&full)?));
+    }
+    Ok((manifest, layouts, code))
+}
+
+/// Loads an external app (directory or `.rpk`) from an
+/// *already-policy-resolved* path into a corpus job, validating that it
+/// parses against `scratch` (a throwaway platform overlay) first — a
+/// malformed app must fail the submitting connection, never the worker
+/// that later re-parses it. The job name is
+/// `external/<content-hash>/<stem>` — content-unique, so the prepared
+/// registry can never serve a stale parse for an edited app.
+///
+/// # Errors
+///
+/// A human-readable message when the path is neither a readable app
+/// directory nor a well-formed, parseable archive.
+pub fn load_external_job(real: &Path, scratch: &mut Program) -> Result<CorpusJob, String> {
+    let (manifest, layouts, code) =
+        if real.is_dir() { load_dir(real) } else { load_rpk(real) }?;
+    let refs: Vec<(&str, &str)> =
+        layouts.iter().map(|(n, x)| (n.as_str(), x.as_str())).collect();
+    App::from_parts(scratch, &manifest, &refs, &code)
+        .map_err(|e| format!("{}: {e}", real.display()))?;
+    let stem = real
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("app")
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') { c } else { '_' })
+        .collect::<String>();
+    let hash = content_hash(&manifest, &layouts, &code);
+    Ok(external_job(format!("external/{hash:016x}/{stem}"), manifest, layouts, code))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir()
+            .join(format!("flowdroid-external-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn empty_policy_denies_everything() {
+        let p = AppPolicy::default();
+        assert_eq!(p.resolve("/etc/hosts"), Err(PolicyError::NoRoots));
+    }
+
+    #[test]
+    fn dotdot_and_symlink_escapes_are_refused() {
+        let root = tmp("policy");
+        let outside = tmp("policy-outside");
+        std::fs::write(outside.join("x.rpk"), b"junk").unwrap();
+        std::fs::create_dir_all(root.join("sub")).unwrap();
+        std::fs::write(root.join("sub/ok.rpk"), b"junk").unwrap();
+        let policy = AppPolicy::new(&[root.clone()]).unwrap();
+
+        // Inside (even via a `..` that stays inside) resolves.
+        assert!(policy.resolve(&format!("{}/sub/ok.rpk", root.display())).is_ok());
+        assert!(policy
+            .resolve(&format!("{}/sub/../sub/ok.rpk", root.display()))
+            .is_ok());
+
+        // `..` escaping the root is refused after canonicalization.
+        let escape = format!("{}/sub/../../{}/x.rpk", root.display(), outside.file_name().unwrap().to_str().unwrap());
+        assert!(matches!(policy.resolve(&escape), Err(PolicyError::Outside(_))));
+
+        // A symlink inside the root pointing outside is refused too.
+        #[cfg(unix)]
+        {
+            let link = root.join("sneaky.rpk");
+            std::os::unix::fs::symlink(outside.join("x.rpk"), &link).unwrap();
+            assert!(matches!(
+                policy.resolve(link.to_str().unwrap()),
+                Err(PolicyError::Outside(_))
+            ));
+        }
+
+        let missing = format!("{}/no-such.rpk", root.display());
+        assert!(matches!(policy.resolve(&missing), Err(PolicyError::NotFound(_))));
+
+        let _ = std::fs::remove_dir_all(&root);
+        let _ = std::fs::remove_dir_all(&outside);
+    }
+
+    #[test]
+    fn missing_allow_root_fails_at_boot() {
+        let bad = std::env::temp_dir().join("flowdroid-external-no-such-root");
+        assert!(AppPolicy::new(&[bad]).is_err());
+    }
+
+    #[test]
+    fn path_requests_are_distinguished_from_corpus_names() {
+        assert!(is_path_request("/apps/a.rpk"));
+        assert!(is_path_request("./a"));
+        assert!(is_path_request("../a"));
+        assert!(is_path_request("relative/but/packed.rpk"));
+        assert!(!is_path_request("droidbench/Button1"));
+        assert!(!is_path_request("stress/2000"));
+        assert!(!is_path_request("insecurebank"));
+    }
+
+    #[test]
+    fn loader_rejects_junk() {
+        let d = tmp("junk");
+        std::fs::write(d.join("a.rpk"), b"not an archive").unwrap();
+        let mut scratch = Program::new();
+        assert!(load_external_job(&d.join("a.rpk"), &mut scratch).is_err());
+        // A directory without the required files.
+        assert!(load_external_job(&d, &mut scratch).is_err());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

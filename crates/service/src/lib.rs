@@ -16,6 +16,10 @@
 //!   replies), worker pool, job registry with per-job
 //!   [`flowdroid_core::AbortHandle`]s (deadline, cancel, budget), and
 //!   a per-connection frame relay for streamed jobs;
+//! * [`external`] — serving external apps: the `--allow-apps`
+//!   path-policy sandbox ([`AppPolicy`]) and the on-disk app-dir /
+//!   `.rpk` loader, with typed `denied` replies for paths outside the
+//!   sandbox;
 //! * [`client`] — a blocking client used by the `flowdroid client`
 //!   subcommand, the benchmark driver and the smoke tests.
 //!
@@ -24,12 +28,14 @@
 
 pub mod client;
 pub mod daemon;
+pub mod external;
 pub mod json;
 pub mod net;
 pub mod proto;
 
 pub use client::{AnalyzeOptions, AnalyzeOutcome, Client, Submitted};
 pub use daemon::{Daemon, DaemonOptions, DEFAULT_QUEUE_CAP};
+pub use external::{load_external_job, AppPolicy, PolicyError};
 pub use json::Json;
 pub use net::Listen;
 pub use proto::{AnalyzeRequest, JobResult, Priority, Request};

@@ -5,7 +5,7 @@
 //!
 //! | request | fields |
 //! |---|---|
-//! | `analyze`  | `app` (corpus name or `stress/<K>`), optional `deadline_ms`, `max_propagations`, `taint_threads`, `priority` (`high`/`normal`/`batch`), `namespace`, `stream` |
+//! | `analyze`  | `app` (corpus name, `stress/<K>`, or an on-disk app path under the daemon's `--allow-apps` roots), optional `deadline_ms`, `max_propagations`, `taint_threads`, `priority` (`high`/`normal`/`batch`), `namespace`, `stream` |
 //! | `cancel`   | `job` |
 //! | `stats`    | — |
 //! | `shutdown` | — |
@@ -15,7 +15,10 @@
 //! connection stays blocked in between — issue `cancel`/`stats` from a
 //! second connection). When the admission queue is full the daemon
 //! answers `{"type":"rejected",...}` instead of `queued` and keeps the
-//! connection open. With `"stream":true`, `{"type":"progress",...}` and
+//! connection open. A path-shaped `app` refused by the external-app
+//! policy answers `{"type":"denied",...}` (distinct from `error`: the
+//! path is outside the sandbox, not malformed). With `"stream":true`,
+//! `{"type":"progress",...}` and
 //! `{"type":"leak",...}` frames flow between `queued` and the final
 //! `result` line (which is byte-identical to the non-streamed one).
 //! `cancel` and `shutdown` answer `{"type":"ok"}`, `stats` answers
@@ -86,7 +89,8 @@ pub fn validate_namespace(ns: &str) -> Result<(), String> {
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct AnalyzeRequest {
     /// Corpus name (`droidbench/...`, `securibench/...`,
-    /// `insecurebank`) or `stress/<K>`.
+    /// `insecurebank`), `stress/<K>`, or a path to an on-disk app dir /
+    /// `.rpk` archive under the daemon's `--allow-apps` roots.
     pub app: String,
     /// Wall-clock deadline, measured from submission; the job returns
     /// an `aborted` partial result once it passes.
@@ -323,6 +327,14 @@ impl JobResult {
 /// The `error` response line.
 pub fn error_line(message: &str) -> String {
     obj([("type", Json::from("error")), ("message", Json::from(message))]).to_line()
+}
+
+/// The `denied` response line: the external-app path policy refused the
+/// requested path. Distinct from `error` so clients can surface a
+/// sandbox refusal (exit code 6 in the CLI) instead of a protocol
+/// failure.
+pub fn denied_line(message: &str) -> String {
+    obj([("type", Json::from("denied")), ("message", Json::from(message))]).to_line()
 }
 
 /// The `rejected` response line: the admission queue is full. Distinct

@@ -1,8 +1,9 @@
 //! End-to-end daemon round trips over a real TCP socket: cold→warm
 //! cache sharing between jobs, platform-snapshot boot (including the
 //! corrupt-file fallback), deadline aborts, cross-connection
-//! cancellation, stats, clean shutdown, and prompt Unix-socket unlink
-//! on shutdown while jobs are still draining.
+//! cancellation, stats, clean shutdown, prompt Unix-socket unlink
+//! on shutdown while jobs are still draining, and external-app serving
+//! under the `--allow-apps` path policy.
 
 use flowdroid_service::{
     AnalyzeOptions, AnalyzeOutcome, AnalyzeRequest, Client, Daemon, DaemonOptions, Listen,
@@ -39,6 +40,7 @@ fn spawn_daemon_capped(
         queue_cap,
         summary_cache: cache,
         platform_snapshot: snapshot,
+        allow_apps: Vec::new(),
     })
     .expect("bind daemon");
     let addr = daemon.local_addr().to_string();
@@ -251,6 +253,7 @@ fn shutdown_unlinks_unix_socket_while_a_job_is_still_draining() {
         queue_cap: 0,
         summary_cache: None,
         platform_snapshot: None,
+        allow_apps: Vec::new(),
     })
     .expect("bind unix daemon");
     let addr = daemon.local_addr().to_string();
@@ -397,6 +400,7 @@ fn full_queue_rejects_submissions_with_backpressure() {
                 assert_eq!(queue_cap, 2, "rejected line reports the daemon's cap");
                 rejections += 1;
             }
+            Submitted::Denied { .. } => panic!("corpus names never hit the path policy"),
         }
     }
     assert!(rejections > 0, "6 submissions into worker=1/cap=2 must overflow");
@@ -439,6 +443,7 @@ fn cancel_storm_drains_cleanly_with_reconciled_counters() {
         match c.submit("stress/3000", &opts).expect("submit") {
             Submitted::Queued(id) => pending.push((id, c)),
             Submitted::Rejected { .. } => panic!("unbounded queue must not reject"),
+            Submitted::Denied { .. } => panic!("corpus names never hit the path policy"),
         }
     }
 
@@ -544,6 +549,135 @@ fn high_priority_overtakes_batch_in_the_queue() {
 /// Jobs in different cache namespaces must not see each other's
 /// summaries: a tenant's first job starts cold even when another tenant
 /// has already warmed the same app in the same store directory.
+/// Like [`spawn_daemon_capped`] but with an external-app allow-list.
+fn spawn_daemon_allow(allow_apps: Vec<PathBuf>) -> (String, std::thread::JoinHandle<()>) {
+    let daemon = Daemon::bind(DaemonOptions {
+        listen: Listen::parse("127.0.0.1:0"),
+        workers: 2,
+        queue_cap: 0,
+        summary_cache: None,
+        platform_snapshot: None,
+        allow_apps,
+    })
+    .expect("bind daemon");
+    let addr = daemon.local_addr().to_string();
+    let handle = std::thread::spawn(move || daemon.run().expect("daemon run"));
+    (addr, handle)
+}
+
+/// The external-app round trip: an on-disk app directory and a packed
+/// `.rpk` under the allow-root both analyze through the daemon with
+/// reports byte-identical to a local run through the same loader, while
+/// the same archive outside the root — directly, via `..`, or via a
+/// symlink planted inside the root — gets the typed `denied` reply.
+#[test]
+fn daemon_serves_external_apps_under_path_policy() {
+    let root = temp_cache("allow-root");
+    let outside = temp_cache("outside-root");
+    std::fs::create_dir_all(&root).unwrap();
+    std::fs::create_dir_all(&outside).unwrap();
+
+    // An app directory inside the root (a DroidBench app exported to
+    // disk) …
+    let apps = flowdroid_droidbench::all_apps();
+    let button1 = apps.iter().find(|a| a.name == "Button1").unwrap();
+    let app_dir = root.join("button1");
+    button1.write_to_dir(&app_dir).unwrap();
+
+    // … a packed ground-truth `.rpk` inside it, and the same bytes
+    // outside it.
+    let truth = flowdroid_truth::generate_corpus(7, 1);
+    let field = truth.iter().find(|a| a.category == "field").unwrap();
+    std::fs::write(root.join("field.rpk"), field.rpk_bytes()).unwrap();
+    std::fs::write(outside.join("field.rpk"), field.rpk_bytes()).unwrap();
+
+    let (addr, daemon) = spawn_daemon_allow(vec![root.clone()]);
+    let mut c = Client::connect(&addr).expect("connect");
+
+    // Outside the root: denied, not errored.
+    let outside_rpk = outside.join("field.rpk");
+    let denied = c
+        .submit(outside_rpk.to_str().unwrap(), &AnalyzeOptions::default())
+        .expect("submit outside path");
+    assert!(matches!(denied, Submitted::Denied { .. }), "got {denied:?}");
+
+    // A `..` escape through the root: canonicalization defeats it.
+    let escape = format!(
+        "{}/../{}/field.rpk",
+        root.display(),
+        outside.file_name().unwrap().to_str().unwrap()
+    );
+    assert!(matches!(
+        c.submit(&escape, &AnalyzeOptions::default()).expect("submit escape"),
+        Submitted::Denied { .. }
+    ));
+
+    // A symlink planted inside the root pointing outside it.
+    #[cfg(unix)]
+    {
+        let link = root.join("sneaky.rpk");
+        std::os::unix::fs::symlink(&outside_rpk, &link).unwrap();
+        assert!(matches!(
+            c.submit(link.to_str().unwrap(), &AnalyzeOptions::default())
+                .expect("submit symlink"),
+            Submitted::Denied { .. }
+        ));
+    }
+
+    // Allowed paths analyze; reports match a local run through the same
+    // loader (content-hashed job names make them comparable).
+    let mut scratch = flowdroid_bench::shared_platform_snapshot().overlay_program();
+    for path in [app_dir.clone(), root.join("field.rpk")] {
+        let (_, result) =
+            c.analyze(path.to_str().unwrap(), None, None, None).expect("external job");
+        assert!(!result.aborted);
+        let job = flowdroid_service::load_external_job(&path, &mut scratch)
+            .expect("local load");
+        let local = flowdroid_bench::run_single(&job, &flowdroid_core::InfoflowConfig::default());
+        assert_eq!(result.report, local.report, "daemon leg must match local run");
+    }
+    // The generated app's manifest pins what the daemon must report.
+    let (_, r) = c
+        .analyze(root.join("field.rpk").to_str().unwrap(), None, None, None)
+        .expect("rpk job");
+    assert_eq!(r.leaks as usize, field.expected_reported);
+
+    // A well-placed but malformed archive is an error, not a denial.
+    std::fs::write(root.join("junk.rpk"), b"not an archive").unwrap();
+    let err = c
+        .analyze(root.join("junk.rpk").to_str().unwrap(), None, None, None)
+        .expect_err("junk archive");
+    assert!(err.to_string().contains("cannot load app"), "got: {err}");
+
+    let denied_expected = if cfg!(unix) { 3 } else { 2 };
+    let stats = c.stats().expect("stats");
+    assert_eq!(stats.u64_field("policy_denied"), Some(denied_expected));
+
+    c.shutdown().expect("shutdown");
+    daemon.join().expect("accept loop exits cleanly");
+    let _ = std::fs::remove_dir_all(&root);
+    let _ = std::fs::remove_dir_all(&outside);
+}
+
+/// Without `--allow-apps` every path-shaped submission is denied — the
+/// closed-by-default posture.
+#[test]
+fn daemon_without_allow_apps_denies_all_paths() {
+    let (addr, daemon) = spawn_daemon(None);
+    let mut c = Client::connect(&addr).expect("connect");
+    let denied =
+        c.submit("/etc/hosts.rpk", &AnalyzeOptions::default()).expect("submit path");
+    let Submitted::Denied { message } = denied else {
+        panic!("pathless daemon must deny, got {denied:?}");
+    };
+    assert!(message.contains("--allow-apps"), "got: {message}");
+    // Corpus jobs still work on the same connection.
+    let (_, r) = c.analyze("droidbench/Callbacks/Button1", None, None, None).expect("corpus job");
+    assert_eq!(r.leaks, 1);
+    c.shutdown().expect("shutdown");
+    daemon.join().expect("accept loop exits cleanly");
+}
+
 #[test]
 fn cache_namespaces_isolate_tenants_over_the_wire() {
     let cache = temp_cache("tenants");
@@ -557,6 +691,7 @@ fn cache_namespaces_isolate_tenants_over_the_wire() {
     {
         AnalyzeOutcome::Done { result, .. } => result,
         AnalyzeOutcome::Rejected { .. } => panic!("unbounded queue must not reject"),
+        AnalyzeOutcome::Denied { .. } => panic!("corpus names never hit the path policy"),
     };
 
     let a_cold = run(&mut c, &tenant("tenant-a"));

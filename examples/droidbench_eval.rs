@@ -1,16 +1,18 @@
 //! Runs the reproduced FlowDroid over the whole DroidBench suite and
-//! prints the per-app outcome and the Table 1 summary numbers.
+//! prints the per-app outcomes, the per-category precision/recall
+//! table (the same [`ScoreBoard`] schema the ground-truth harness
+//! emits) and the Table 1 summary numbers.
 //!
 //! ```sh
 //! cargo run --example droidbench_eval
 //! ```
 
 use flowdroid::android::install_platform;
-use flowdroid::droidbench::{all_apps, AppScore};
+use flowdroid::droidbench::{all_apps, AppScore, ScoreBoard};
 use flowdroid::prelude::*;
 
 fn main() {
-    let mut total = AppScore::default();
+    let mut board = ScoreBoard::new();
     println!("{:<28} {:>8} {:>8} outcome", "app", "expected", "reported");
     for app in all_apps().iter().filter(|a| a.in_table) {
         let mut program = Program::new();
@@ -30,8 +32,11 @@ fn main() {
             _ => "mixed",
         };
         println!("{:<28} {:>8} {:>8} {outcome}", app.name, app.expected_leaks, found);
-        total.add(score);
+        board.record(&format!("{:?}", app.category), score);
     }
+    println!();
+    print!("{}", board.render());
+    let total = board.total();
     println!();
     println!(
         "sum: {} correct, {} false alarms, {} missed",

@@ -172,4 +172,46 @@ if ! grep -q '"namespace_cold_hits": 0' BENCH_solver.json; then
     exit 1
 fi
 
+# Ground-truth harness: generate the seeded synthetic corpus, sweep the
+# full engine matrix (sequential/parallel x hash/bitset x eager/lazy x
+# cold/warm caches, at 1 and 4 taint threads) and serve the packed
+# archives through a daemon under the --allow-apps policy. The binary
+# gates byte-identical reports, manifest agreement, the k-limit probe
+# and the daemon leg itself; the checks below re-read the headline
+# fields from the spliced JSON.
+echo "== ground-truth stats (splices \"ground_truth\" into BENCH_solver.json)"
+cargo run --release -p flowdroid-service --bin solver_stats -- --mode ground-truth BENCH_solver.json >/dev/null
+gt_apps=$(grep -o '"k_limit_apps": [0-9]*' BENCH_solver.json | grep -o '[0-9]*$' || true)
+gt_divergent=$(grep -o '"divergent_pairs": [0-9]*' BENCH_solver.json | grep -o '[0-9]*$' || true)
+gt_drift=$(grep -o '"drift_apps": [0-9]*' BENCH_solver.json | grep -o '[0-9]*$' || true)
+echo "ground-truth: divergent engine pairs: ${gt_divergent:-none}, drifted apps: ${gt_drift:-none}, widening apps: ${gt_apps:-none}"
+if [[ "${gt_divergent:-1}" -ne 0 ]]; then
+    echo "FAIL: engine configurations disagreed on the ground-truth corpus" >&2
+    exit 1
+fi
+if [[ "${gt_drift:-1}" -ne 0 ]]; then
+    echo "FAIL: reference engine drifted from a ground-truth manifest" >&2
+    exit 1
+fi
+if ! grep -q '"constructive_precision": 1.0000' BENCH_solver.json; then
+    echo "FAIL: constructive ground-truth corpus precision below 1.0" >&2
+    exit 1
+fi
+if ! grep -q '"constructive_recall": 1.0000' BENCH_solver.json; then
+    echo "FAIL: constructive ground-truth corpus recall below 1.0" >&2
+    exit 1
+fi
+if ! grep -q '"icc_linked_ok": true' BENCH_solver.json; then
+    echo "FAIL: linked-ICC leak counts diverged from the manifests" >&2
+    exit 1
+fi
+if ! grep -q '"daemon_external_ok": true' BENCH_solver.json; then
+    echo "FAIL: daemon-served .rpk reports diverged from local runs" >&2
+    exit 1
+fi
+if ! grep -q '"policy_denied_works": true' BENCH_solver.json; then
+    echo "FAIL: the --allow-apps path policy accepted an outside path" >&2
+    exit 1
+fi
+
 echo "verify: OK"

@@ -59,7 +59,9 @@ fn print_usage() {
     eprintln!("  flowdroid analyze <app-dir | app.rpk> [options]");
     eprintln!("  flowdroid serve --listen <addr> [--summary-cache <dir>] [--workers <n>]");
     eprintln!("                  [--queue-cap <n>] [--platform-snapshot <platform.fdps>]");
-    eprintln!("  flowdroid client <addr> analyze <app> [--deadline-ms <ms>] [--max-propagations <n>] [--taint-threads <n>]");
+    eprintln!("                  [--allow-apps <dir>]...   serve on-disk app dirs / .rpk under <dir>");
+    eprintln!("  flowdroid client <addr> analyze <app | app-dir | app.rpk>");
+    eprintln!("                  [--deadline-ms <ms>] [--max-propagations <n>] [--taint-threads <n>]");
     eprintln!("                  [--priority high|normal|batch] [--namespace <ns>] [--stream]");
     eprintln!("  flowdroid client <addr> cancel <job> | stats | shutdown");
     eprintln!("  flowdroid pack <app-dir> -o <app.rpk>");
@@ -81,8 +83,11 @@ fn print_usage() {
     eprintln!("  --max-propagations <n>     abort after n forward path-edge propagations");
     eprintln!();
     eprintln!("addresses are `host:port` for TCP or `unix:<path>` for a Unix socket;");
+    eprintln!("`client analyze` takes a corpus name or, against a daemon started with");
+    eprintln!("--allow-apps, a path to an app directory or packed .rpk under an allowed root;");
     eprintln!("exit codes: 0 clean, 2 leaks found, 3 analysis aborted, 4 rejected");
-    eprintln!("            (queue full; retry later), 5 protocol error, 1 other errors");
+    eprintln!("            (queue full; retry later), 5 protocol error,");
+    eprintln!("            6 denied by the --allow-apps path policy, 1 other errors");
 }
 
 fn analyze(args: &[String]) -> ExitCode {
@@ -243,7 +248,8 @@ fn analyze(args: &[String]) -> ExitCode {
 }
 
 /// `flowdroid serve --listen <addr> [--summary-cache <dir>] [--workers <n>]
-/// [--queue-cap <n>] [--platform-snapshot <platform.fdps>]`
+/// [--queue-cap <n>] [--platform-snapshot <platform.fdps>]
+/// [--allow-apps <dir>]...`
 fn serve(args: &[String]) -> ExitCode {
     use flowdroid_service::{Daemon, DaemonOptions, Listen, DEFAULT_QUEUE_CAP};
     let mut listen = None;
@@ -251,6 +257,7 @@ fn serve(args: &[String]) -> ExitCode {
     let mut queue_cap = DEFAULT_QUEUE_CAP;
     let mut summary_cache = None;
     let mut platform_snapshot = None;
+    let mut allow_apps = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -294,6 +301,14 @@ fn serve(args: &[String]) -> ExitCode {
                 };
                 platform_snapshot = Some(path.into());
             }
+            "--allow-apps" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--allow-apps needs a directory (repeatable)");
+                    return ExitCode::FAILURE;
+                };
+                allow_apps.push(dir.into());
+            }
             other => {
                 eprintln!("serve: unknown option `{other}` (run `flowdroid help` for usage)");
                 return ExitCode::FAILURE;
@@ -311,6 +326,7 @@ fn serve(args: &[String]) -> ExitCode {
         queue_cap,
         summary_cache,
         platform_snapshot,
+        allow_apps,
     }) {
         Ok(d) => d,
         Err(e) => {
@@ -456,6 +472,9 @@ fn client(args: &[String]) -> ExitCode {
                             // Backpressure: nothing was enqueued;
                             // callers should retry later.
                             Some("rejected") => return ExitCode::from(4),
+                            // Path policy: the daemon does not serve
+                            // this path; retrying is pointless.
+                            Some("denied") => return ExitCode::from(6),
                             _ => {}
                         }
                     }
@@ -676,8 +695,8 @@ fn pack(args: &[String]) -> ExitCode {
 }
 
 fn droidbench() -> ExitCode {
-    use flowdroid::droidbench::{all_apps, AppScore};
-    let mut total = AppScore::default();
+    use flowdroid::droidbench::{all_apps, AppScore, ScoreBoard};
+    let mut board = ScoreBoard::new();
     for app in all_apps().iter().filter(|a| a.in_table) {
         let mut program = Program::new();
         let platform = install_platform(&mut program);
@@ -693,10 +712,12 @@ fn droidbench() -> ExitCode {
             "{:<28} expected {} reported {} ({}✓ {}☆ {}○)",
             app.name, app.expected_leaks, found, score.tp, score.fp, score.fn_
         );
-        total.add(score);
+        board.record(&format!("{:?}", app.category), score);
     }
+    let total = board.total();
+    println!("\n{}", board.render());
     println!(
-        "\nprecision {:.0}%  recall {:.0}%  F {:.2}",
+        "precision {:.0}%  recall {:.0}%  F {:.2}",
         total.precision() * 100.0,
         total.recall() * 100.0,
         total.f_measure()
